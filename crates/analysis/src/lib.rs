@@ -1,0 +1,38 @@
+//! # lsw-analysis — the hierarchical workload characterizer
+//!
+//! The measurement half of the reproduction: given a trace (real or
+//! synthetic), compute every statistic the paper reports, at the paper's
+//! three layers:
+//!
+//! * [`client_layer`] — concurrency profile `c(t)` and its marginal
+//!   (Figs 3/4), autocorrelation (Fig 8), client interarrivals and the
+//!   piecewise-Poisson arrival test (Figs 5/6, §3.4), the client interest
+//!   profile (Fig 7), and topological/geographical diversity (Fig 2).
+//! * [`session_layer`] — the `T_o` sweep (Fig 9), session ON times and
+//!   their lognormal fit (Figs 10/11), session OFF times and their
+//!   exponential fit with daily ripples (Fig 12), transfers per session
+//!   (Fig 13), intra-session interarrivals (Fig 14).
+//! * [`transfer_layer`] — concurrent transfers (Figs 15/16), transfer
+//!   interarrivals with the two-regime tail (Figs 17/18), transfer lengths
+//!   (Fig 19) and the bimodal bandwidth marginal (Fig 20).
+//!
+//! [`report::CharacterizationReport`] bundles all three layers plus the
+//! Table-1 summary; it serializes to JSON and renders as text.
+//!
+//! ## Conventions
+//!
+//! Durations and interarrival times are transformed with the paper's
+//! `⌊t⌋ + 1` convention before log-scale binning (§2.3), so zero-second
+//! measurements (the artifact of 1-second log resolution) are displayable
+//! and fits see the same data the paper's fits saw.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client_layer;
+pub mod marginal;
+pub mod report;
+pub mod session_layer;
+pub mod transfer_layer;
+
+pub use report::{characterize, characterize_with, CharacterizationReport};

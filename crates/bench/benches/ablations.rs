@@ -1,0 +1,122 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! group runs the pipeline under a family of alternatives so the cost and
+//! behavior of every modeling decision is visible side by side.
+//!
+//! * `ablation_to` — sessionization cost/sensitivity across timeouts
+//!   (the paper's "To is to a large extent arbitrary" remark).
+//! * `ablation_arrival` — flat Poisson vs the paper's diurnal
+//!   piecewise-stationary process.
+//! * `ablation_interest` — uniform vs Zipf client interest.
+//! * `ablation_tps` — Zipf vs geometric vs hybrid transfers-per-session.
+//! * `ablation_stored_vs_live` — the classic-GISMO baseline vs GISMO-Live.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsw_bench::bench_trace;
+use lsw_core::config::{TransfersPerSession, WorkloadConfig};
+use lsw_core::diurnal::DiurnalProfile;
+use lsw_core::generator::Generator;
+use lsw_core::stored::{StoredConfig, StoredGenerator};
+use lsw_trace::session::{SessionConfig, Sessions};
+use std::hint::black_box;
+
+fn small_config() -> WorkloadConfig {
+    WorkloadConfig::paper().scaled(8_000, 86_400, 15_000)
+}
+
+fn ablation_to(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("ablation_to");
+    group.sample_size(10);
+    for timeout in [60.0, 600.0, 1_500.0, 4_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(timeout as u64),
+            &timeout,
+            |b, &t| {
+                b.iter(|| black_box(Sessions::identify(&trace, SessionConfig { timeout: t })))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_arrival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_arrival");
+    group.sample_size(10);
+    let diurnal = Generator::new(small_config(), 5).expect("valid");
+    let flat =
+        Generator::with_profile(small_config(), 5, DiurnalProfile::flat()).expect("valid");
+    group.bench_function("diurnal_piecewise_poisson", |b| {
+        b.iter(|| black_box(diurnal.generate()))
+    });
+    group.bench_function("flat_poisson", |b| b.iter(|| black_box(flat.generate())));
+    group.finish();
+}
+
+fn ablation_interest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interest");
+    group.sample_size(10);
+    for alpha in [0.0, 0.4704, 1.0] {
+        let mut config = small_config();
+        config.interest_alpha = alpha;
+        let generator = Generator::new(config, 6).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha_{alpha}")),
+            &generator,
+            |b, g| b.iter(|| black_box(g.generate())),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_tps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tps");
+    group.sample_size(10);
+    let models = [
+        ("zipf_paper", TransfersPerSession::Zipf { alpha: 2.70417 }),
+        ("geometric", TransfersPerSession::Geometric { mean: 3.7 }),
+        (
+            "hybrid_scale_matched",
+            TransfersPerSession::Hybrid { alpha: 2.70417, p_tail: 0.35, body_mean: 4.8 },
+        ),
+    ];
+    for (name, model) in models {
+        let mut config = small_config();
+        config.transfers_per_session = model;
+        let generator = Generator::new(config, 7).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &generator, |b, g| {
+            b.iter(|| black_box(g.generate()))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_stored_vs_live(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_stored_vs_live");
+    group.sample_size(10);
+    let live = Generator::new(small_config(), 8).expect("valid");
+    let stored = StoredGenerator::new(
+        StoredConfig {
+            n_clients: 8_000,
+            horizon_secs: 86_400,
+            target_requests: 15_000,
+            ..StoredConfig::default()
+        },
+        8,
+    )
+    .expect("valid");
+    group.bench_function("live_generate_render", |b| {
+        b.iter(|| black_box(live.generate().render()))
+    });
+    group.bench_function("stored_generate", |b| b.iter(|| black_box(stored.generate())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_to,
+    ablation_arrival,
+    ablation_interest,
+    ablation_tps,
+    ablation_stored_vs_live
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! One benchmark per paper table/figure: the cost of regenerating each
+//! artifact from a prepared reproduction context. `table1`/`fig02`/…/
+//! `table2` names match the experiment registry (and the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsw_bench::bench_context;
+use lsw_figures::experiments;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (id, run) in experiments::all() {
+        group.bench_function(id, |b| b.iter(|| black_box(run(black_box(&ctx)))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

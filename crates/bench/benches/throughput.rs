@@ -1,0 +1,111 @@
+//! Substrate throughput benches: how fast each stage of the pipeline runs.
+//!
+//! Throughput is what makes the paper-scale (11M-event) reproduction run
+//! in seconds; these benches watch for regressions in the hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lsw_bench::{bench_trace, bench_workload};
+use lsw_core::config::WorkloadConfig;
+use lsw_core::generator::Generator;
+use lsw_sim::{SimConfig, Simulator};
+use lsw_stats::dist::{Discrete, LogNormal, Sample, Zeta, ZipfTable};
+use lsw_stats::SeedStream;
+use lsw_trace::concurrency::ConcurrencyProfile;
+use lsw_trace::session::{SessionConfig, Sessions};
+use lsw_trace::wms;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let config = WorkloadConfig::paper().scaled(15_000, 86_400, 25_000);
+    let generator = Generator::new(config, 1).expect("valid config");
+    let n = generator.generate().len() as u64;
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("generate_1day_25k_sessions", |b| {
+        b.iter(|| black_box(generator.generate()))
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let workload = bench_workload();
+    let sim = Simulator::new(SimConfig::default());
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.len() as u64 * 2));
+    group.bench_function("des_run", |b| b.iter(|| black_box(sim.run(&workload, 1))));
+    group.finish();
+}
+
+fn bench_sessionizer(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("sessionizer");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("identify_To1500", |b| {
+        b.iter(|| black_box(Sessions::identify(&trace, SessionConfig::default())))
+    });
+    group.finish();
+}
+
+fn bench_concurrency_sweep(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("concurrency");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("sweep_line_transfers", |b| {
+        b.iter(|| black_box(ConcurrencyProfile::transfers(trace.entries(), trace.horizon())))
+    });
+    group.finish();
+}
+
+fn bench_wms_round_trip(c: &mut Criterion) {
+    let trace = bench_trace();
+    let entries = &trace.entries()[..10_000.min(trace.len())];
+    let text = wms::format_log(entries);
+    let text_str = std::str::from_utf8(&text).expect("UTF-8").to_string();
+    let mut group = c.benchmark_group("wms");
+    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.bench_function("format_10k", |b| b.iter(|| black_box(wms::format_log(entries))));
+    group.bench_function("parse_10k", |b| {
+        b.iter(|| black_box(wms::parse_log(&text_str).expect("parses")))
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.throughput(Throughput::Elements(1));
+    let lognormal = LogNormal::new(4.383921, 1.427247).expect("valid");
+    let zeta = Zeta::new(2.70417).expect("valid");
+    let zipf = ZipfTable::new(691_889, 0.4704).expect("valid");
+    let mut rng = SeedStream::new(3).rng("bench");
+    group.bench_function("lognormal", |b| b.iter(|| black_box(lognormal.sample(&mut rng))));
+    group.bench_function("zeta_devroye", |b| b.iter(|| black_box(zeta.sample_k(&mut rng))));
+    group.bench_function("zipf_692k_table", |b| b.iter(|| black_box(zipf.sample_k(&mut rng))));
+    group.finish();
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("full_hierarchical_report", |b| {
+        b.iter(|| black_box(lsw_analysis::characterize(&trace, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_simulation,
+    bench_sessionizer,
+    bench_concurrency_sweep,
+    bench_wms_round_trip,
+    bench_samplers,
+    bench_characterization
+);
+criterion_main!(benches);

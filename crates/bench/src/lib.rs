@@ -1,0 +1,37 @@
+//! # lsw-bench — benchmark fixtures
+//!
+//! Shared fixture builders for the Criterion benches. Three bench targets
+//! exist:
+//!
+//! * `figures` — one benchmark per paper table/figure: the cost of
+//!   regenerating that artifact from a prepared context.
+//! * `throughput` — substrate throughput: workload generation, discrete-
+//!   event simulation, sessionization, sweep-line concurrency, log
+//!   encode/parse, distribution sampling.
+//! * `ablations` — design-choice sensitivity: session timeout, arrival
+//!   process, interest skew, transfers-per-session model, live vs stored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lsw_core::config::WorkloadConfig;
+use lsw_core::generator::Generator;
+use lsw_core::Workload;
+use lsw_figures::context::{ReproContext, Scale};
+use lsw_trace::trace::Trace;
+
+/// A workload sized for micro-benchmarks (~1 day, ~45k transfers).
+pub fn bench_workload() -> Workload {
+    let config = WorkloadConfig::paper().scaled(15_000, 86_400, 25_000);
+    Generator::new(config, 9001).expect("valid config").generate()
+}
+
+/// The rendered trace of [`bench_workload`].
+pub fn bench_trace() -> Trace {
+    bench_workload().render()
+}
+
+/// A prepared small-scale reproduction context.
+pub fn bench_context() -> ReproContext {
+    ReproContext::build(Scale::Small, 9001)
+}

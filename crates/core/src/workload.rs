@@ -1,0 +1,224 @@
+//! The generated workload and its rendering into a trace.
+//!
+//! A [`Workload`] is the generator's output before log quantization:
+//! scheduled sessions and transfers with full `f64` timing. [`render`]
+//! turns it into an `lsw-trace` [`Trace`] the way a Windows Media Server
+//! would have recorded it: 1-second timestamps, per-transfer bandwidth
+//! from the bimodal model, bytes, packet loss, and a CPU reading derived
+//! from actual transfer concurrency.
+//!
+//! [`render`]: Workload::render
+
+use crate::bandwidth::BandwidthModel;
+use crate::config::WorkloadConfig;
+use lsw_stats::rng::SeedStream;
+use lsw_topology::ClientPopulation;
+use lsw_trace::concurrency::ConcurrencyProfile;
+use lsw_trace::event::LogEntry;
+use lsw_trace::ids::{ClientId, ObjectId};
+use lsw_trace::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled transfer (pre-quantization).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledTransfer {
+    /// Index of the owning session in [`Workload::sessions`].
+    pub session: u32,
+    /// Owning client.
+    pub client: ClientId,
+    /// The feed joined.
+    pub object: ObjectId,
+    /// Camera the feed was showing at the start.
+    pub camera: u8,
+    /// Start time, seconds (fractional).
+    pub start: f64,
+    /// Duration, seconds (fractional).
+    pub duration: f64,
+}
+
+/// One generated session (the generator's ground truth — what the
+/// sessionizer should approximately recover).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedSession {
+    /// Owning client.
+    pub client: ClientId,
+    /// Arrival time, seconds.
+    pub start: f64,
+    /// Number of transfers generated within the session.
+    pub n_transfers: u32,
+}
+
+/// Number of concurrent transfers that drives the server CPU to 100% in
+/// the rendered logs. Chosen so the paper's observed peaks (~6,000
+/// concurrent transfers) sit below 10% utilization, matching §2.4.
+pub const CPU_CAPACITY_TRANSFERS: f64 = 75_000.0;
+
+/// A generated live-media workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    config: WorkloadConfig,
+    seeds: SeedStream,
+    population: ClientPopulation,
+    sessions: Vec<GeneratedSession>,
+    transfers: Vec<ScheduledTransfer>,
+}
+
+impl Workload {
+    /// Assembles a workload (used by [`crate::generator::Generator`]).
+    pub(crate) fn new(
+        config: WorkloadConfig,
+        seeds: SeedStream,
+        population: ClientPopulation,
+        sessions: Vec<GeneratedSession>,
+        transfers: Vec<ScheduledTransfer>,
+    ) -> Self {
+        Self { config, seeds, population, sessions, transfers }
+    }
+
+    /// The configuration that produced this workload.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The client population behind the workload.
+    pub fn population(&self) -> &ClientPopulation {
+        &self.population
+    }
+
+    /// Ground-truth sessions, in arrival order.
+    pub fn sessions(&self) -> &[GeneratedSession] {
+        &self.sessions
+    }
+
+    /// Scheduled transfers, in start order.
+    pub fn transfers(&self) -> &[ScheduledTransfer] {
+        &self.transfers
+    }
+
+    /// Number of scheduled transfers.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// True when no transfers were generated.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// Renders the workload as a server log trace.
+    ///
+    /// Times are floored to whole seconds (the WMS resolution); each
+    /// transfer gets a bandwidth/loss draw from the bimodal model and a
+    /// CPU reading computed from the true transfer concurrency at its stop
+    /// second (scaled by [`CPU_CAPACITY_TRANSFERS`]).
+    pub fn render(&self) -> Trace {
+        let model = BandwidthModel::new(self.config.bandwidth)
+            .expect("config validated at generation time");
+        let mut rng = self.seeds.rng("render-bandwidth");
+        let horizon = self.config.horizon_secs;
+
+        // First pass: quantize times.
+        let mut spans: Vec<(u32, u32)> = Vec::with_capacity(self.transfers.len());
+        for t in &self.transfers {
+            let start = (t.start.max(0.0) as u32).min(horizon.saturating_sub(1));
+            let stop_f = (t.start + t.duration).min(f64::from(horizon));
+            let stop = (stop_f as u32).max(start);
+            spans.push((start, stop - start));
+        }
+
+        // Transfer concurrency drives the logged CPU utilization.
+        let concurrency = ConcurrencyProfile::from_intervals(
+            spans.iter().map(|&(s, d)| (s, s + d)),
+            horizon,
+        );
+
+        let mut entries = Vec::with_capacity(self.transfers.len());
+        for (t, &(start, duration)) in self.transfers.iter().zip(&spans) {
+            let info = self.population.get(t.client);
+            let draw = model.sample(&mut rng, info.access);
+            let bytes = (t.duration.max(0.0) * f64::from(draw.bps) / 8.0) as u64;
+            let stop = start + duration;
+            let cpu = (f64::from(concurrency.at(stop)) / CPU_CAPACITY_TRANSFERS).min(1.0);
+            entries.push(LogEntry {
+                timestamp: stop,
+                start,
+                duration,
+                client: t.client,
+                ip: info.ip,
+                as_id: info.as_id,
+                country: info.country,
+                object: t.object,
+                camera: t.camera,
+                bytes,
+                avg_bandwidth: draw.bps,
+                packet_loss: draw.packet_loss,
+                cpu_util: cpu as f32,
+                status: 200,
+            });
+        }
+        Trace::from_entries(entries, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Generator;
+
+    fn small_workload() -> Workload {
+        let config = WorkloadConfig::paper().scaled(500, 43_200, 1_500);
+        Generator::new(config, 7).unwrap().generate()
+    }
+
+    #[test]
+    fn render_preserves_transfer_count() {
+        let w = small_workload();
+        let trace = w.render();
+        assert_eq!(trace.len(), w.len());
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn rendered_entries_are_valid_and_bounded() {
+        let w = small_workload();
+        let trace = w.render();
+        for e in trace.entries() {
+            assert!(e.validate().is_ok(), "{:?}", e.validate());
+            assert!(e.start < w.config().horizon_secs);
+            assert!(e.stop() <= w.config().horizon_secs);
+            assert!(e.avg_bandwidth > 0);
+        }
+    }
+
+    #[test]
+    fn rendered_cpu_stays_low_at_small_scale() {
+        // §2.4: the server is far from overload; at test scale even more so.
+        let w = small_workload();
+        let trace = w.render();
+        assert!(trace.entries().iter().all(|e| e.cpu_util < 0.10));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let w = small_workload();
+        let a = w.render();
+        let b = w.render();
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn bytes_consistent_with_bandwidth_and_duration() {
+        let w = small_workload();
+        let trace = w.render();
+        for e in trace.entries().iter().take(500) {
+            // bytes ≈ duration × bw/8, using the *fractional* duration, so
+            // allow the quantization slack of one second of bandwidth.
+            let upper = (f64::from(e.duration) + 1.5) * f64::from(e.avg_bandwidth) / 8.0;
+            assert!(
+                (e.bytes as f64) <= upper + 1.0,
+                "bytes {} vs upper {upper}",
+                e.bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the GISMO-Live generator: structural
+//! invariants that must hold for any configuration and seed.
+
+use lsw_core::config::{TransfersPerSession, WorkloadConfig};
+use lsw_core::diurnal::DiurnalProfile;
+use lsw_core::generator::Generator;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        50usize..2_000,       // clients
+        3_600u32..172_800,    // horizon
+        100usize..3_000,      // sessions
+        0.0..1.2f64,          // interest alpha
+        prop_oneof![
+            (1.5..4.0f64).prop_map(|alpha| TransfersPerSession::Zipf { alpha }),
+            (1.0..8.0f64).prop_map(|mean| TransfersPerSession::Geometric { mean }),
+            (1.5..4.0f64, 0.0..1.0f64, 1.0..8.0f64).prop_map(|(alpha, p_tail, body_mean)| {
+                TransfersPerSession::Hybrid { alpha, p_tail, body_mean }
+            }),
+        ],
+    )
+        .prop_map(|(n_clients, horizon, sessions, alpha, tps)| {
+            let mut c = WorkloadConfig::paper().scaled(n_clients, horizon, sessions);
+            c.interest_alpha = alpha;
+            c.transfers_per_session = tps;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn workload_structural_invariants(config in arb_config(), seed in 0u64..10_000) {
+        let horizon = f64::from(config.horizon_secs);
+        let n_clients = config.n_clients;
+        let w = Generator::new(config, seed).unwrap().generate();
+
+        // Transfers sorted, in-horizon, owned by valid clients/sessions.
+        let mut prev = 0.0;
+        for t in w.transfers() {
+            prop_assert!(t.start >= prev);
+            prop_assert!(t.start >= 0.0 && t.start < horizon);
+            prop_assert!(t.duration >= 0.0);
+            prop_assert!(t.start + t.duration <= horizon + 1e-9);
+            prop_assert!((t.client.0 as usize) < n_clients);
+            prop_assert!((t.session as usize) < w.sessions().len());
+            prev = t.start;
+        }
+        // Per-session transfer counts agree with ground truth.
+        let mut counts = vec![0u32; w.sessions().len()];
+        for t in w.transfers() {
+            counts[t.session as usize] += 1;
+        }
+        for (c, s) in counts.iter().zip(w.sessions()) {
+            prop_assert_eq!(*c, s.n_transfers);
+            prop_assert!(s.n_transfers >= 1);
+            prop_assert!(s.start >= 0.0 && s.start < horizon);
+        }
+    }
+
+    #[test]
+    fn render_conserves_and_quantizes(config in arb_config(), seed in 0u64..10_000) {
+        let horizon = config.horizon_secs;
+        let w = Generator::new(config, seed).unwrap().generate();
+        let trace = w.render();
+        prop_assert_eq!(trace.len(), w.len());
+        for e in trace.entries() {
+            prop_assert!(e.validate().is_ok());
+            prop_assert!(e.stop() <= horizon);
+        }
+        // Rendered summary sees at most the configured population.
+        let s = trace.summary();
+        prop_assert!(s.users <= w.population().len());
+        prop_assert!(s.objects <= 2);
+    }
+
+    #[test]
+    fn seed_determinism(config in arb_config(), seed in 0u64..10_000) {
+        let a = Generator::new(config.clone(), seed).unwrap().generate();
+        let b = Generator::new(config, seed).unwrap().generate();
+        prop_assert_eq!(a.transfers(), b.transfers());
+    }
+
+    #[test]
+    fn flat_profile_generates(seed in 0u64..1_000) {
+        let config = WorkloadConfig::paper().scaled(100, 7_200, 300);
+        let g = Generator::with_profile(config, seed, DiurnalProfile::flat()).unwrap();
+        let w = g.generate();
+        prop_assert!(!w.is_empty());
+    }
+}

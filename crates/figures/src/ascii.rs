@@ -1,0 +1,125 @@
+//! Tiny ASCII plotting for terminal previews of figure series.
+//!
+//! Deliberately crude: the JSON output carries the real data; this exists
+//! so `repro` can show a figure's shape without a plotting stack.
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Linear axis.
+    Linear,
+    /// Log10 axis (non-positive values dropped).
+    Log,
+}
+
+/// Renders a scatter of `(x, y)` points into a `width × height` character
+/// grid with simple axis annotations.
+pub fn scatter(
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+    xscale: AxisScale,
+    yscale: AxisScale,
+) -> String {
+    let tx = |v: f64| match xscale {
+        AxisScale::Linear => Some(v),
+        AxisScale::Log => (v > 0.0).then(|| v.log10()),
+    };
+    let ty = |v: f64| match yscale {
+        AxisScale::Linear => Some(v),
+        AxisScale::Log => (v > 0.0).then(|| v.log10()),
+    };
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|&(x, y)| Some((tx(x)?, ty(y)?)))
+        .collect();
+    if pts.is_empty() || width < 8 || height < 3 {
+        return "(no plottable points)\n".to_string();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 <= x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in &pts {
+        let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = b'*';
+    }
+    let mut out = String::with_capacity((width + 4) * (height + 2));
+    let un = |v: f64, scale: AxisScale| match scale {
+        AxisScale::Linear => v,
+        AxisScale::Log => 10f64.powf(v),
+    };
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>9.3e} ", un(y1, yscale))
+        } else if i == height - 1 {
+            format!("{:>9.3e} ", un(y0, yscale))
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("ASCII grid"));
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10} {:<12.3e}{}{:>12.3e}\n",
+        "",
+        un(x0, xscale),
+        " ".repeat(width.saturating_sub(24)),
+        un(x1, xscale)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grid_of_requested_size() {
+        let pts: Vec<(f64, f64)> = (1..100).map(|i| (i as f64, 1.0 / i as f64)).collect();
+        let s = scatter(&pts, 40, 10, AxisScale::Log, AxisScale::Log);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 12); // 10 rows + axis + labels
+        assert!(lines[0].contains('*') || lines[1].contains('*'));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert!(scatter(&[], 40, 10, AxisScale::Linear, AxisScale::Linear)
+            .contains("no plottable"));
+        // All non-positive on a log axis ⇒ nothing plottable.
+        assert!(scatter(&[(0.0, -1.0)], 40, 10, AxisScale::Log, AxisScale::Log)
+            .contains("no plottable"));
+    }
+
+    #[test]
+    fn power_law_descends_on_loglog() {
+        // A power law on log-log is a straight descending diagonal: the
+        // top-left should be populated and the bottom-left empty.
+        let pts: Vec<(f64, f64)> = (1..=1000).map(|i| (i as f64, (i as f64).powf(-1.0))).collect();
+        let s = scatter(&pts, 40, 10, AxisScale::Log, AxisScale::Log);
+        let lines: Vec<&str> = s.lines().collect();
+        let first_cols: String = lines[0].chars().skip(11).take(5).collect();
+        let last_cols: String = lines[9].chars().skip(11).take(5).collect();
+        assert!(first_cols.contains('*'), "top-left empty:\n{s}");
+        assert!(!last_cols.contains('*'), "bottom-left populated:\n{s}");
+    }
+}

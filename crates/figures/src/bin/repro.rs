@@ -1,0 +1,132 @@
+//! `repro` — run the reproduction experiments and write their results.
+//!
+//! ```text
+//! repro [--scale small|medium|paper] [--seed N] [--out DIR] [--plot] [IDS...]
+//! ```
+//!
+//! With no IDS, every experiment runs. Results are printed as text and,
+//! with `--out`, written as JSON (one file per experiment plus a
+//! `summary.md`).
+
+use lsw_figures::ascii::{scatter, AxisScale};
+use lsw_figures::context::{ReproContext, Scale};
+use lsw_figures::experiments;
+use std::io::Write as _;
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut out_dir: Option<String> = None;
+    let mut plot = false;
+    let mut ext = false;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (small|medium|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => out_dir = args.next(),
+            "--plot" => plot = true,
+            "--ext" => ext = true,
+            "--help" | "-h" => {
+                println!(
+                    "repro [--scale small|medium|paper] [--seed N] [--out DIR] [--plot] [--ext] [IDS...]"
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let started = std::time::Instant::now();
+    eprintln!("building {scale} context (seed {seed})...");
+    let ctx = ReproContext::build(scale, seed);
+    eprintln!(
+        "context ready in {:.1}s: {} transfers, {} sessions, {} clients",
+        started.elapsed().as_secs_f64(),
+        ctx.trace.len(),
+        ctx.sessions.len(),
+        ctx.report.summary.users
+    );
+
+    let experiments: Vec<_> = if ids.is_empty() {
+        let mut exps = experiments::all();
+        if ext {
+            exps.extend(experiments::extensions());
+        }
+        exps
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment {id:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "# Reproduction run\n\nscale: {scale}, seed: {seed}\n\n| experiment | comparisons | holds |\n|---|---|---|\n"
+    ));
+    let mut all_ok = true;
+    for (id, run) in experiments {
+        let t0 = std::time::Instant::now();
+        let result = run(&ctx);
+        print!("{}", result.render_text());
+        if plot {
+            if let Some(series) = result.series.first() {
+                println!("  [{}]", series.name);
+                print!(
+                    "{}",
+                    scatter(&series.points, 64, 14, AxisScale::Log, AxisScale::Log)
+                );
+            }
+        }
+        println!("  ({:.2}s)", t0.elapsed().as_secs_f64());
+        let held = result.comparisons.iter().filter(|c| c.holds).count();
+        summary.push_str(&format!(
+            "| {} | {} | {}/{} |\n",
+            id,
+            result.title,
+            held,
+            result.comparisons.len()
+        ));
+        all_ok &= result.all_hold();
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{id}.json");
+            let json = serde_json::to_string_pretty(&result).expect("result serializes");
+            std::fs::write(&path, json).expect("write result JSON");
+        }
+    }
+    if let Some(dir) = &out_dir {
+        let mut f =
+            std::fs::File::create(format!("{dir}/summary.md")).expect("create summary");
+        f.write_all(summary.as_bytes()).expect("write summary");
+        eprintln!("results written to {dir}/");
+    }
+    eprintln!(
+        "total wall time {:.1}s; all criteria hold: {all_ok}",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,30 @@
+//! # lsw-figures — reproduction harness for every table and figure
+//!
+//! One experiment per table/figure of Veloso et al. (IMC 2002). Each
+//! experiment consumes a [`context::ReproContext`] (a synthetic trace,
+//! built by the generator and simulator, sanitized, sessionized and
+//! characterized) and produces a [`result::FigureResult`]: the plotted
+//! series, a set of paper-vs-measured comparisons, and notes.
+//!
+//! The `repro` binary runs all experiments at a chosen scale and writes
+//! JSON plus a human-readable summary — the data behind EXPERIMENTS.md.
+//!
+//! | Experiment | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — basic trace statistics |
+//! | `fig02`…`fig08` | Client layer (diversity, concurrency, arrivals, interest, ACF) |
+//! | `fig09`…`fig14` | Session layer (T_o sweep, ON/OFF, transfers/session, intra-IAT) |
+//! | `fig15`…`fig20` | Transfer layer (concurrency, interarrivals, lengths, bandwidth) |
+//! | `table2` | Closed-loop recovery of the generative-model parameters |
+//! | `sanity` | §2.4 — sanitization and the server-overload audit |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod context;
+pub mod experiments;
+pub mod result;
+
+pub use context::{ReproContext, Scale};
+pub use result::{Comparison, FigureResult, Series};

@@ -1,0 +1,152 @@
+//! `lsw` — command-line front end: generate, characterize, summarize.
+//!
+//! ```text
+//! lsw generate  [--days D] [--clients N] [--sessions N] [--seed S]
+//!               [--simulate] [--scale-matched] --out LOG
+//! lsw characterize LOG [--horizon SECS] [--timeout TO] [--json FILE]
+//! lsw summary     LOG [--horizon SECS]
+//! ```
+//!
+//! Logs are the WMS-style text format (`lsw_trace::wms`); `generate`
+//! writes one, the other commands read one. All times are seconds since
+//! the log's epoch.
+
+use lsw::analysis::characterize_with;
+use lsw::core::config::WorkloadConfig;
+use lsw::core::generator::Generator;
+use lsw::sim::{SimConfig, Simulator};
+use lsw::trace::sanitize::sanitize;
+use lsw::trace::session::SessionConfig;
+use lsw::trace::wms;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("summary") => cmd_summary(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage:\n  lsw generate [--days D] [--clients N] [--sessions N] [--seed S] \
+                 [--simulate] [--scale-matched] --out LOG\n  lsw characterize LOG \
+                 [--horizon SECS] [--timeout TO] [--json FILE]\n  lsw summary LOG [--horizon SECS]"
+            );
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}; try --help");
+            exit(2);
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_or<T: std::str::FromStr>(v: Option<&str>, default: T, name: &str) -> T {
+    match v {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for {name}: {s:?}");
+            exit(2);
+        }),
+    }
+}
+
+fn cmd_generate(args: &[String]) {
+    let days: f64 = parse_or(flag_value(args, "--days"), 1.0, "--days");
+    let clients: usize = parse_or(flag_value(args, "--clients"), 20_000, "--clients");
+    let sessions: usize = parse_or(flag_value(args, "--sessions"), 30_000, "--sessions");
+    let seed: u64 = parse_or(flag_value(args, "--seed"), 42, "--seed");
+    let simulate = args.iter().any(|a| a == "--simulate");
+    let scale_matched = args.iter().any(|a| a == "--scale-matched");
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("generate requires --out LOG");
+        exit(2);
+    };
+
+    let horizon = (days * 86_400.0) as u32;
+    let base = if scale_matched {
+        WorkloadConfig::paper_scale_matched()
+    } else {
+        WorkloadConfig::paper()
+    };
+    let config = base.scaled(clients, horizon, sessions);
+    let workload = Generator::new(config, seed).unwrap_or_else(|e| {
+        eprintln!("invalid configuration: {e}");
+        exit(2);
+    });
+    let workload = workload.generate();
+    eprintln!(
+        "generated {} sessions / {} transfers over {days} day(s)",
+        workload.sessions().len(),
+        workload.len()
+    );
+    let trace = if simulate {
+        let out = Simulator::new(SimConfig::default()).run(&workload, seed);
+        eprintln!(
+            "simulated: {} congested transfers, {:.2} GB delivered",
+            out.congested_transfers,
+            out.bytes_delivered as f64 / 1e9
+        );
+        out.trace
+    } else {
+        workload.render()
+    };
+    let text = wms::format_log(trace.entries());
+    std::fs::write(out, &text).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote {} entries to {out}", trace.len());
+}
+
+fn load(args: &[String]) -> (lsw::trace::trace::Trace, u32) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("expected a LOG file argument");
+        exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let entries = wms::parse_log(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    // Horizon: explicit flag, or inferred from the last stop time.
+    let inferred = entries.iter().map(|e| e.stop()).max().unwrap_or(0) + 1;
+    let horizon: u32 = parse_or(flag_value(args, "--horizon"), inferred, "--horizon");
+    let (trace, report) = sanitize(entries, horizon);
+    if report.rejected() > 0 {
+        eprintln!("sanitized: dropped {} of {} entries", report.rejected(), report.examined);
+    }
+    (trace, horizon)
+}
+
+fn cmd_characterize(args: &[String]) {
+    let (trace, _) = load(args);
+    let timeout: f64 = parse_or(
+        flag_value(args, "--timeout"),
+        lsw::stats::paper::SESSION_TIMEOUT_SECS,
+        "--timeout",
+    );
+    let report = characterize_with(&trace, SessionConfig { timeout }, 0);
+    println!("{}", report.headline());
+    if let Some(json_path) = flag_value(args, "--json") {
+        std::fs::write(json_path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {json_path}: {e}");
+            exit(1);
+        });
+        eprintln!("full report written to {json_path}");
+    }
+}
+
+fn cmd_summary(args: &[String]) {
+    let (trace, _) = load(args);
+    println!("{}", trace.summary());
+}

@@ -1,0 +1,54 @@
+//! # lsw — live streaming media workloads: generation, simulation, analysis
+//!
+//! The facade crate of the `lsw` workspace, a from-scratch Rust
+//! reproduction of *"A Hierarchical Characterization of a Live Streaming
+//! Media Workload"* (Veloso, Almeida, Meira, Bestavros, Jin — IMC 2002).
+//!
+//! Everything is re-exported under topical modules:
+//!
+//! * [`stats`] — distributions, arrival processes, estimators, empirical
+//!   statistics, hypothesis tests ([`lsw_stats`]).
+//! * [`trace`] — the trace data model, WMS-style log format, sanitization
+//!   and the sessionizer ([`lsw_trace`]).
+//! * [`topology`] — the synthetic client population ([`lsw_topology`]).
+//! * [`core`] — GISMO-Live, the paper's generative model, plus the
+//!   stored-media baseline ([`lsw_core`]).
+//! * [`analysis`] — the three-layer hierarchical characterizer
+//!   ([`lsw_analysis`]).
+//! * [`sim`] — the discrete-event media-server simulator ([`lsw_sim`]).
+//! * [`figures`] — per-table/figure reproduction experiments
+//!   ([`lsw_figures`]).
+//!
+//! ## Five-minute tour
+//!
+//! ```
+//! use lsw::core::config::WorkloadConfig;
+//! use lsw::core::generator::Generator;
+//! use lsw::analysis::characterize;
+//!
+//! // 1. Configure the paper's generative model, scaled down.
+//! let config = WorkloadConfig::paper().scaled(2_000, 86_400, 5_000);
+//!
+//! // 2. Generate a live streaming workload and render the server log.
+//! let workload = Generator::new(config, 42).unwrap().generate();
+//! let trace = workload.render();
+//!
+//! // 3. Characterize it hierarchically (clients → sessions → transfers).
+//! let report = characterize(&trace, 0);
+//! println!("{}", report.headline());
+//! assert!(report.session.n_sessions > 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lsw_analysis as analysis;
+pub use lsw_core as core;
+pub use lsw_figures as figures;
+pub use lsw_sim as sim;
+pub use lsw_stats as stats;
+pub use lsw_topology as topology;
+pub use lsw_trace as trace;
+
+/// The crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

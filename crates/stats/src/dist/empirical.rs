@@ -1,0 +1,172 @@
+//! Empirical distribution built from observed samples.
+//!
+//! Lets the generator replay a measured marginal directly (e.g. feed the
+//! characterized bandwidth distribution of one trace into the synthesis of
+//! another), which is exactly how GISMO consumes characterization output.
+
+use super::{Continuous, ParamError, Sample};
+use crate::rng::u01;
+use rand::Rng;
+
+/// Empirical distribution over a set of observed values.
+///
+/// Sampling draws an observation uniformly at random and (optionally)
+/// interpolates linearly between adjacent order statistics, giving a
+/// continuous approximation of the underlying distribution.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    /// Sorted observations.
+    sorted: Vec<f64>,
+    interpolate: bool,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from observations.
+    ///
+    /// Non-finite values are rejected. With `interpolate`, samples are drawn
+    /// from the piecewise-linear interpolation of the ECDF; otherwise
+    /// bootstrap resampling of the raw values is used.
+    pub fn new(mut values: Vec<f64>, interpolate: bool) -> Result<Self, ParamError> {
+        if values.is_empty() {
+            return Err(ParamError::new("Empirical requires at least one observation"));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(ParamError::new("Empirical observations must be finite"));
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Ok(Self { sorted: values, interpolate })
+    }
+
+    /// Number of observations backing the distribution.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no observations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u = u01(rng);
+        if !self.interpolate || self.sorted.len() == 1 {
+            let idx = ((u * self.sorted.len() as f64) as usize).min(self.sorted.len() - 1);
+            return self.sorted[idx];
+        }
+        self.quantile(u)
+    }
+}
+
+impl Continuous for Empirical {
+    fn pdf(&self, x: f64) -> f64 {
+        // Density estimate via a central difference of the ECDF over a small
+        // window; crude, but only used for diagnostics.
+        let n = self.sorted.len() as f64;
+        let span = self.max() - self.min();
+        if span == 0.0 {
+            return if x == self.min() { f64::INFINITY } else { 0.0 };
+        }
+        let h = span / n.sqrt();
+        (self.cdf(x + h) - self.cdf(x - h)) / (2.0 * h)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        // Piecewise-linear interpolation between order statistics.
+        let pos = p * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = pos - lo as f64;
+        self.sorted[lo] + frac * (self.sorted[hi] - self.sorted[lo])
+    }
+
+    fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.sorted.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedStream;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Empirical::new(vec![], true).is_err());
+        assert!(Empirical::new(vec![1.0, f64::NAN], true).is_err());
+        assert!(Empirical::new(vec![f64::INFINITY], false).is_err());
+    }
+
+    #[test]
+    fn bootstrap_only_returns_observations() {
+        let vals = vec![1.0, 5.0, 9.0];
+        let d = Empirical::new(vals.clone(), false).unwrap();
+        let mut rng = SeedStream::new(101).rng("emp");
+        for _ in 0..1_000 {
+            let x = d.sample(&mut rng);
+            assert!(vals.contains(&x));
+        }
+    }
+
+    #[test]
+    fn interpolated_stays_in_hull() {
+        let d = Empirical::new(vec![2.0, 4.0, 10.0, 3.0], true).unwrap();
+        let mut rng = SeedStream::new(102).rng("emp2");
+        for _ in 0..1_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=10.0).contains(&x));
+        }
+        assert_eq!(d.min(), 2.0);
+        assert_eq!(d.max(), 10.0);
+    }
+
+    #[test]
+    fn cdf_matches_counts() {
+        let d = Empirical::new(vec![1.0, 2.0, 2.0, 3.0], false).unwrap();
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.25);
+        assert_eq!(d.cdf(2.0), 0.75);
+        assert_eq!(d.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn moments_match_data() {
+        let d = Empirical::new(vec![2.0, 4.0, 6.0, 8.0], true).unwrap();
+        assert_eq!(d.mean(), 5.0);
+        assert_eq!(d.variance(), 5.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let d = Empirical::new(vec![0.0, 10.0], true).unwrap();
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(0.5), 5.0);
+        assert_eq!(d.quantile(1.0), 10.0);
+    }
+}

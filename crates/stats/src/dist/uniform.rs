@@ -1,0 +1,100 @@
+//! Continuous uniform distribution on `[a, b)`.
+
+use super::{Continuous, ParamError, Sample};
+use crate::rng::u01;
+use rand::Rng;
+
+/// Uniform distribution on `[a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[a, b)`; requires `a < b` and both
+    /// finite.
+    pub fn new(a: f64, b: f64) -> Result<Self, ParamError> {
+        if !(a.is_finite() && b.is_finite() && a < b) {
+            return Err(ParamError::new(format!("Uniform requires finite a < b, got [{a}, {b})")));
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Lower bound.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.a + u01(rng) * (self.b - self.a)
+    }
+}
+
+impl Continuous for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.a && x < self.b {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.a + p.clamp(0.0, 1.0) * (self.b - self.a)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedStream;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn samples_in_range_with_correct_mean() {
+        let d = Uniform::new(-2.0, 6.0).unwrap();
+        let mut rng = SeedStream::new(3).rng("unif");
+        let xs = d.sample_n(&mut rng, 50_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(xs.iter().all(|&x| (-2.0..6.0).contains(&x)));
+        assert!((mean - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let d = Uniform::new(10.0, 20.0).unwrap();
+        for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+        assert_eq!(d.mean(), 15.0);
+        assert!((d.variance() - 100.0 / 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Tail-index estimation.
+//!
+//! Fig 17 of the paper reads *two* tail exponents off the transfer
+//! interarrival CCDF: α ≈ 2.8 for interarrivals up to 100 s and α ≈ 1
+//! beyond. [`two_regime_tail`] reproduces that measurement; the Hill
+//! estimator provides an independent check on the far tail.
+
+use super::{linear_regression, FitError};
+use serde::{Deserialize, Serialize};
+
+/// Hill estimator of the tail index from the top `k` order statistics.
+///
+/// For `P[X > x] ~ x^{-alpha}`, returns the estimate of `alpha`.
+/// `data` need not be sorted. Requires `2 <= k < data.len()` and positive
+/// upper order statistics.
+pub fn hill_estimator(data: &[f64], k: usize) -> Result<f64, FitError> {
+    if data.len() < 3 || k < 2 || k >= data.len() {
+        return Err(FitError::new(format!(
+            "Hill estimator needs 2 <= k < n, got k={k}, n={}",
+            data.len()
+        )));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite data")); // descending
+    let xk = sorted[k];
+    if !(xk > 0.0) {
+        return Err(FitError::new("Hill estimator requires positive order statistics"));
+    }
+    let mean_log: f64 = sorted[..k].iter().map(|&x| (x / xk).ln()).sum::<f64>() / k as f64;
+    if !(mean_log > 0.0) {
+        return Err(FitError::new("Hill estimator: degenerate upper tail"));
+    }
+    Ok(1.0 / mean_log)
+}
+
+/// Result of the Fig 17 two-regime CCDF tail analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoRegimeTail {
+    /// Tail exponent fitted on CCDF points with `x <= boundary`.
+    pub alpha_short: f64,
+    /// Tail exponent fitted on CCDF points with `x > boundary`.
+    pub alpha_long: f64,
+    /// The regime boundary used.
+    pub boundary: f64,
+    /// R² of the short-regime log-log fit.
+    pub r2_short: f64,
+    /// R² of the long-regime log-log fit.
+    pub r2_long: f64,
+}
+
+/// Fits separate power-law exponents to the CCDF below and above `boundary`.
+///
+/// `ccdf_points` are `(x, P[X >= x])` pairs, e.g. from
+/// [`crate::empirical::Ecdf::ccdf_points`]. Only points with positive `x`
+/// and probability enter the log-log regressions. `min_x` discards the
+/// distribution body below it (the paper reads its exponents off the tail
+/// region, not the body near 1 second).
+pub fn two_regime_tail(
+    ccdf_points: &[(f64, f64)],
+    boundary: f64,
+    min_x: f64,
+) -> Result<TwoRegimeTail, FitError> {
+    let short: Vec<(f64, f64)> = ccdf_points
+        .iter()
+        .filter(|&&(x, p)| x >= min_x && x <= boundary && p > 0.0)
+        .map(|&(x, p)| (x.ln(), p.ln()))
+        .collect();
+    let long: Vec<(f64, f64)> = ccdf_points
+        .iter()
+        .filter(|&&(x, p)| x > boundary && p > 0.0)
+        .map(|&(x, p)| (x.ln(), p.ln()))
+        .collect();
+    if short.len() < 2 || long.len() < 2 {
+        return Err(FitError::new(format!(
+            "two-regime tail needs >= 2 points per regime, got {} and {}",
+            short.len(),
+            long.len()
+        )));
+    }
+    let (ms, _, r2s) = linear_regression(&short)?;
+    let (ml, _, r2l) = linear_regression(&long)?;
+    Ok(TwoRegimeTail {
+        alpha_short: -ms,
+        alpha_long: -ml,
+        boundary,
+        r2_short: r2s,
+        r2_long: r2l,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Pareto, Sample};
+    use crate::rng::SeedStream;
+
+    #[test]
+    fn hill_recovers_pareto_index() {
+        let d = Pareto::new(1.0, 1.5).unwrap();
+        let mut rng = SeedStream::new(501).rng("hill");
+        let xs = d.sample_n(&mut rng, 100_000);
+        let alpha = hill_estimator(&xs, 5_000).unwrap();
+        assert!((alpha - 1.5).abs() < 0.1, "alpha {alpha}");
+    }
+
+    #[test]
+    fn hill_rejects_bad_k() {
+        let xs = vec![1.0, 2.0, 3.0];
+        assert!(hill_estimator(&xs, 1).is_err());
+        assert!(hill_estimator(&xs, 3).is_err());
+        assert!(hill_estimator(&[], 2).is_err());
+    }
+
+    #[test]
+    fn two_regimes_from_synthetic_ccdf() {
+        // Construct a CCDF with a kink at x = 100: slope -2.8 before,
+        // -1.0 after (the paper's Fig 17 shape).
+        let mut pts = Vec::new();
+        for i in 1..=200 {
+            let x = 1.0 + (i as f64) * 0.5; // 1.5 .. 101
+            if x <= 100.0 {
+                pts.push((x, x.powf(-2.8)));
+            }
+        }
+        let c = 100f64.powf(-2.8) / 100f64.powf(-1.0); // continuity constant
+        for i in 1..=100 {
+            let x = 100.0 * 1.05f64.powi(i);
+            pts.push((x, c * x.powf(-1.0)));
+        }
+        let t = two_regime_tail(&pts, 100.0, 1.0).unwrap();
+        assert!((t.alpha_short - 2.8).abs() < 0.01, "short {}", t.alpha_short);
+        assert!((t.alpha_long - 1.0).abs() < 0.01, "long {}", t.alpha_long);
+        assert!(t.r2_short > 0.999 && t.r2_long > 0.999);
+    }
+
+    #[test]
+    fn two_regimes_need_points_on_both_sides() {
+        let pts = vec![(1.0, 0.9), (2.0, 0.5), (3.0, 0.2)];
+        assert!(two_regime_tail(&pts, 100.0, 0.0).is_err());
+    }
+}

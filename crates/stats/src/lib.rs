@@ -1,0 +1,64 @@
+//! # lsw-stats — statistical substrate for live streaming workload modeling
+//!
+//! This crate provides every piece of probability and statistics machinery
+//! needed to reproduce *"A Hierarchical Characterization of a Live Streaming
+//! Media Workload"* (Veloso et al., IMC 2002), implemented from scratch:
+//!
+//! * **Distributions** ([`dist`]) — lognormal, exponential, bounded Zipf,
+//!   zeta, Pareto, normal, Poisson, geometric, Weibull, mixtures and
+//!   empirical distributions, all with sampling, densities, CDFs, quantiles
+//!   and moments.
+//! * **Arrival processes** ([`process`]) — homogeneous Poisson, the paper's
+//!   *piecewise-stationary* Poisson process, general non-homogeneous Poisson
+//!   via thinning, and ON/OFF renewal processes.
+//! * **Estimators** ([`fit`]) — maximum-likelihood fits (lognormal,
+//!   exponential, normal, Pareto), log-log least-squares Zipf fits, Hill tail
+//!   estimation and simple model selection.
+//! * **Empirical statistics** ([`empirical`]) — summary moments, ECDF/CCDF,
+//!   linear and logarithmic histograms, rank-frequency tables.
+//! * **Time series** ([`timeseries`]) — fixed-width binning, periodic folding
+//!   (mod-day / mod-week views) and autocorrelation.
+//! * **Hypothesis tests** ([`hypothesis`]) — Kolmogorov–Smirnov (one- and
+//!   two-sample) and chi-square goodness of fit.
+//! * **Deterministic randomness** ([`rng`]) — a master seed fans out into
+//!   independent named substreams so every experiment is reproducible.
+//! * **Self-similarity** ([`selfsim`]) — variance-time and R/S Hurst
+//!   estimators, for the long-range-dependence lineage the paper builds
+//!   on (Crovella & Bestavros) and GISMO's self-similar VBR content.
+//!
+//! The paper's published parameters are collected in [`paper`] so the rest of
+//! the workspace can refer to a single source of truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use lsw_stats::dist::{LogNormal, Sample};
+//! use lsw_stats::fit::fit_lognormal;
+//! use lsw_stats::rng::SeedStream;
+//!
+//! // The paper's transfer-length distribution (Table 2).
+//! let d = LogNormal::new(4.383921, 1.427247).unwrap();
+//! let mut rng = SeedStream::new(42).rng("transfer-length");
+//! let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+//! let fit = fit_lognormal(&xs).unwrap();
+//! assert!((fit.mu - 4.383921).abs() < 0.05);
+//! assert!((fit.sigma - 1.427247).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod empirical;
+pub mod fit;
+pub mod hypothesis;
+pub mod paper;
+pub mod process;
+pub mod rng;
+pub mod selfsim;
+pub mod special;
+pub mod timeseries;
+
+pub use dist::Sample;
+pub use empirical::{Ecdf, Histogram, RankFrequency, Summary};
+pub use rng::SeedStream;

@@ -1,0 +1,139 @@
+//! Published parameters of Veloso et al., IMC 2002 — single source of truth.
+//!
+//! Every constant the paper reports (Table 1 scale figures, Table 2
+//! generative-model parameters, fitted exponents quoted in the text) lives
+//! here so that the generator, the characterizer and the experiment harness
+//! all agree on the target values.
+
+/// Session timeout `T_o` (seconds) used throughout the paper (§4.1).
+pub const SESSION_TIMEOUT_SECS: f64 = 1_500.0;
+
+/// Trace duration: 28 days (§2.3, Table 1).
+pub const TRACE_DAYS: u32 = 28;
+
+/// Trace duration in seconds.
+pub const TRACE_SECS: f64 = TRACE_DAYS as f64 * 86_400.0;
+
+/// Number of live objects (feeds) served (Table 1).
+pub const NUM_LIVE_OBJECTS: usize = 2;
+
+/// Number of cameras behind the live feeds (§2.1).
+pub const NUM_CAMERAS: usize = 48;
+
+/// Total client autonomous systems observed (Table 1).
+pub const NUM_CLIENT_AS: usize = 1_010;
+
+/// Countries spanned by the client population (§3.1).
+pub const NUM_COUNTRIES: usize = 11;
+
+/// Total distinct client IPs (Table 1).
+pub const NUM_CLIENT_IPS: usize = 364_184;
+
+/// Total distinct users / player IDs (Table 1).
+pub const NUM_USERS: usize = 691_889;
+
+/// Lower bound on sessions in the trace (Table 1).
+pub const MIN_SESSIONS: usize = 1_500_000;
+
+/// Lower bound on transfers in the trace (Table 1).
+pub const MIN_TRANSFERS: usize = 5_500_000;
+
+/// Lower bound on bytes served (Table 1): 8 TB.
+pub const MIN_BYTES: u64 = 8 * 1024 * 1024 * 1024 * 1024;
+
+/// Zipf exponent of the client interest profile measured in *transfers*
+/// per client rank (Fig 7 left).
+pub const INTEREST_TRANSFERS_ALPHA: f64 = 0.719395;
+
+/// Prefactor of the Fig 7 (left) Zipf fit.
+pub const INTEREST_TRANSFERS_PREFACTOR: f64 = 0.00600482;
+
+/// Zipf exponent of the client interest profile measured in *sessions*
+/// per client rank (Fig 7 right; retained in Table 2).
+pub const INTEREST_SESSIONS_ALPHA: f64 = 0.470438;
+
+/// Prefactor of the Fig 7 (right) Zipf fit.
+pub const INTEREST_SESSIONS_PREFACTOR: f64 = 0.000642496;
+
+/// Session ON time lognormal μ (Fig 11).
+pub const SESSION_ON_MU: f64 = 5.23553;
+
+/// Session ON time lognormal σ (Fig 11).
+pub const SESSION_ON_SIGMA: f64 = 1.54432;
+
+/// Session OFF time exponential mean, seconds (Fig 12; ≈ 2.35 days).
+pub const SESSION_OFF_MEAN: f64 = 203_150.0;
+
+/// Transfers-per-session Zipf exponent (Fig 13, Table 2).
+pub const TRANSFERS_PER_SESSION_ALPHA: f64 = 2.70417;
+
+/// Transfers-per-session Zipf prefactor (Fig 13).
+pub const TRANSFERS_PER_SESSION_PREFACTOR: f64 = 1.81054;
+
+/// Intra-session transfer interarrival lognormal μ (Fig 14, Table 2).
+pub const INTRA_SESSION_IAT_MU: f64 = 4.89991;
+
+/// Intra-session transfer interarrival lognormal σ (Fig 14, Table 2).
+pub const INTRA_SESSION_IAT_SIGMA: f64 = 1.32074;
+
+/// Transfer length lognormal μ (Fig 19, Table 2).
+pub const TRANSFER_LENGTH_MU: f64 = 4.383921;
+
+/// Transfer length lognormal σ (Fig 19, Table 2).
+pub const TRANSFER_LENGTH_SIGMA: f64 = 1.427247;
+
+/// Transfer interarrival tail exponent for interarrivals ≤ 100 s (§5.2).
+pub const TRANSFER_IAT_TAIL_ALPHA_SHORT: f64 = 2.8;
+
+/// Transfer interarrival tail exponent for interarrivals > 100 s (§5.2).
+pub const TRANSFER_IAT_TAIL_ALPHA_LONG: f64 = 1.0;
+
+/// Boundary between the two transfer-interarrival tail regimes, seconds (§5.2).
+pub const TRANSFER_IAT_REGIME_BOUNDARY: f64 = 100.0;
+
+/// Fraction of transfers that are congestion-bound rather than
+/// client-connection-bound (§5.4, footnote 12).
+pub const CONGESTION_BOUND_FRACTION: f64 = 0.10;
+
+/// Piecewise-stationary Poisson window used in §3.4, seconds (15 minutes).
+pub const PIECEWISE_WINDOW_SECS: f64 = 900.0;
+
+/// Bin width used for the temporal plots (Figs 4, 16, 18), seconds.
+pub const TEMPORAL_BIN_SECS: f64 = 900.0;
+
+/// Diurnal trough: the paper observes few clients between 4am and 11am (§3.2).
+pub const DIURNAL_TROUGH_HOURS: (u32, u32) = (4, 11);
+
+/// The paper's `⌊t⌋ + 1` convention for displaying (possibly zero) second
+/// -resolution measurements on log axes (§2.3).
+pub fn log_display_time(t: f64) -> f64 {
+    t.floor() + 1.0
+}
+
+/// Fraction of time the server CPU stayed below 10% utilization (§2.4).
+pub const SERVER_UNDERLOAD_TIME_FRACTION: f64 = 0.9999;
+
+/// CPU utilization threshold used by the §2.4 overload analysis.
+pub const SERVER_LOAD_THRESHOLD: f64 = 0.10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_display_time_matches_paper_convention() {
+        assert_eq!(log_display_time(0.0), 1.0);
+        assert_eq!(log_display_time(0.9), 1.0);
+        assert_eq!(log_display_time(1.0), 2.0);
+        assert_eq!(log_display_time(59.3), 60.0);
+    }
+
+    #[test]
+    fn derived_scales_consistent() {
+        assert_eq!(TRACE_SECS, 2_419_200.0);
+        // Mean session OFF ≈ 2.35 days as the paper's ripple analysis implies.
+        assert!((SESSION_OFF_MEAN / 86_400.0 - 2.35).abs() < 0.01);
+        // Lognormal session ON median e^μ ≈ 188 s.
+        assert!((SESSION_ON_MU.exp() - 187.7).abs() < 1.0);
+    }
+}

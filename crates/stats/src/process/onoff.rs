@@ -1,0 +1,133 @@
+//! ON/OFF renewal processes.
+//!
+//! Figure 1 of the paper describes client activity as alternating ON and
+//! OFF periods at both the session layer (ON = session, OFF = "log-off"
+//! time) and the transfer layer (ON = transfer, OFF = "think" time).
+//! [`OnOff`] generates such an alternation from two duration distributions.
+
+use crate::dist::Sample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One ON interval produced by an [`OnOff`] process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnOffInterval {
+    /// Start of the ON period (seconds).
+    pub start: f64,
+    /// End of the ON period (seconds).
+    pub end: f64,
+}
+
+impl OnOffInterval {
+    /// Duration of the ON period.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Alternating ON/OFF renewal process.
+///
+/// Starting at `t0` in the ON state, draws ON durations from one
+/// distribution and OFF durations from another, until the horizon is
+/// reached. The final ON interval is clipped to the horizon (live content
+/// ends when the event ends).
+pub struct OnOff<'a> {
+    on: &'a dyn Sample,
+    off: &'a dyn Sample,
+}
+
+impl<'a> OnOff<'a> {
+    /// Creates the process from ON- and OFF-duration distributions.
+    pub fn new(on: &'a dyn Sample, off: &'a dyn Sample) -> Self {
+        Self { on, off }
+    }
+
+    /// Generates ON intervals from `t0` until `horizon`.
+    ///
+    /// Draws with non-positive duration are treated as zero (skipped for ON,
+    /// instantaneous for OFF) so pathological distributions cannot wedge the
+    /// loop: time always advances by at least `min_advance`.
+    pub fn generate(
+        &self,
+        rng: &mut dyn Rng,
+        t0: f64,
+        horizon: f64,
+        min_advance: f64,
+    ) -> Vec<OnOffInterval> {
+        assert!(min_advance > 0.0, "min_advance must be positive");
+        let mut out = Vec::new();
+        let mut t = t0;
+        while t < horizon {
+            let on_len = self.on.sample(rng).max(0.0);
+            if on_len > 0.0 {
+                let end = (t + on_len).min(horizon);
+                out.push(OnOffInterval { start: t, end });
+                t = end;
+            }
+            if t >= horizon {
+                break;
+            }
+            let off_len = self.off.sample(rng).max(0.0);
+            t += off_len.max(min_advance);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, LogNormal};
+    use crate::rng::SeedStream;
+
+    #[test]
+    fn intervals_ordered_and_disjoint() {
+        let on = LogNormal::new(5.23553, 1.54432).unwrap(); // paper session ON
+        let off = Exponential::with_mean(203_150.0).unwrap(); // paper session OFF
+        let p = OnOff::new(&on, &off);
+        let mut rng = SeedStream::new(801).rng("onoff");
+        let ivs = p.generate(&mut rng, 0.0, 2_419_200.0, 1.0);
+        assert!(!ivs.is_empty());
+        for w in ivs.windows(2) {
+            assert!(w[0].end <= w[1].start, "overlap: {:?} then {:?}", w[0], w[1]);
+        }
+        assert!(ivs.iter().all(|iv| iv.start < iv.end));
+        assert!(ivs.last().unwrap().end <= 2_419_200.0);
+    }
+
+    #[test]
+    fn clips_final_interval_to_horizon() {
+        let on = Exponential::with_mean(1e9).unwrap(); // huge ON times
+        let off = Exponential::with_mean(1.0).unwrap();
+        let p = OnOff::new(&on, &off);
+        let mut rng = SeedStream::new(802).rng("onoff2");
+        let ivs = p.generate(&mut rng, 0.0, 100.0, 1.0);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].end, 100.0);
+    }
+
+    #[test]
+    fn mean_cycle_structure() {
+        // With mean ON = 10 and mean OFF = 30, ~horizon/40 cycles expected.
+        let on = Exponential::with_mean(10.0).unwrap();
+        let off = Exponential::with_mean(30.0).unwrap();
+        let p = OnOff::new(&on, &off);
+        let mut rng = SeedStream::new(803).rng("onoff3");
+        let ivs = p.generate(&mut rng, 0.0, 400_000.0, 0.001);
+        let cycles = ivs.len() as f64;
+        assert!((cycles - 10_000.0).abs() < 600.0, "cycles {cycles}");
+        let on_frac: f64 =
+            ivs.iter().map(|iv| iv.duration()).sum::<f64>() / 400_000.0;
+        assert!((on_frac - 0.25).abs() < 0.02, "on fraction {on_frac}");
+    }
+
+    #[test]
+    fn starts_at_t0() {
+        let on = Exponential::with_mean(5.0).unwrap();
+        let off = Exponential::with_mean(5.0).unwrap();
+        let p = OnOff::new(&on, &off);
+        let mut rng = SeedStream::new(804).rng("onoff4");
+        let ivs = p.generate(&mut rng, 1_234.5, 2_000.0, 1.0);
+        assert_eq!(ivs[0].start, 1_234.5);
+    }
+}

@@ -1,0 +1,211 @@
+//! Self-similarity estimation: variance-time analysis and R/S (rescaled
+//! range) Hurst estimators.
+//!
+//! The paper's lineage runs straight through self-similar traffic:
+//! Crovella & Bestavros \[14\] traced Web traffic self-similarity to
+//! heavy-tailed transfers, and GISMO \[19\] generates "self-similar
+//! variable bit-rate" content. These estimators let the workspace *test*
+//! for long-range dependence — in generated VBR streams and in the
+//! transfer-arrival counts of synthesized workloads.
+//!
+//! Both estimators are the classic graphical ones, made numeric:
+//!
+//! * **Variance-time**: for aggregation levels `m`, the variance of the
+//!   `m`-aggregated series scales as `m^{2H−2}`; regressing
+//!   `log Var(X^{(m)})` on `log m` gives `H = 1 + slope/2`.
+//! * **R/S**: the rescaled range over windows of size `n` scales as
+//!   `n^H`.
+
+use crate::fit::{linear_regression, FitError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a Hurst estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HurstEstimate {
+    /// Estimated Hurst exponent (0.5 = short-range dependent; H → 1 =
+    /// strongly self-similar).
+    pub h: f64,
+    /// R² of the underlying log-log regression.
+    pub r2: f64,
+    /// Number of scales used.
+    pub n_scales: usize,
+}
+
+/// Variance-time Hurst estimator.
+///
+/// Aggregates the series at geometrically spaced block sizes between
+/// `min_m` and `len / 8`, regresses log-variance on log-m. Requires a
+/// series of at least 64 points with nonzero variance.
+pub fn hurst_variance_time(series: &[f64], min_m: usize) -> Result<HurstEstimate, FitError> {
+    if series.len() < 64 {
+        return Err(FitError::new("variance-time needs >= 64 points"));
+    }
+    let max_m = series.len() / 8;
+    if min_m < 1 || min_m >= max_m {
+        return Err(FitError::new(format!("invalid aggregation range {min_m}..{max_m}")));
+    }
+    let mut points = Vec::new();
+    let mut m = min_m;
+    while m <= max_m {
+        let agg = aggregate(series, m);
+        if agg.len() >= 4 {
+            if let Some(var) = variance(&agg) {
+                if var > 0.0 {
+                    points.push(((m as f64).ln(), var.ln()));
+                }
+            }
+        }
+        // Geometric spacing: ~10 scales per decade.
+        m = ((m as f64) * 1.3).ceil() as usize;
+    }
+    if points.len() < 4 {
+        return Err(FitError::new("too few usable aggregation scales"));
+    }
+    let (slope, _, r2) = linear_regression(&points)?;
+    Ok(HurstEstimate { h: (1.0 + slope / 2.0).clamp(0.0, 1.0), r2, n_scales: points.len() })
+}
+
+/// R/S (rescaled range) Hurst estimator.
+///
+/// Computes `E[R/S]` over non-overlapping windows at geometrically spaced
+/// sizes and regresses `log(R/S)` on `log n`.
+pub fn hurst_rs(series: &[f64]) -> Result<HurstEstimate, FitError> {
+    if series.len() < 128 {
+        return Err(FitError::new("R/S needs >= 128 points"));
+    }
+    let mut points = Vec::new();
+    let mut n = 8usize;
+    while n <= series.len() / 4 {
+        let mut ratios = Vec::new();
+        for window in series.chunks_exact(n) {
+            if let Some(rs) = rescaled_range(window) {
+                ratios.push(rs);
+            }
+        }
+        if !ratios.is_empty() {
+            let mean_rs = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            if mean_rs > 0.0 {
+                points.push(((n as f64).ln(), mean_rs.ln()));
+            }
+        }
+        n = ((n as f64) * 1.5).ceil() as usize;
+    }
+    if points.len() < 4 {
+        return Err(FitError::new("too few usable window sizes"));
+    }
+    let (slope, _, r2) = linear_regression(&points)?;
+    Ok(HurstEstimate { h: slope.clamp(0.0, 1.0), r2, n_scales: points.len() })
+}
+
+/// Non-overlapping block means at aggregation level `m`.
+fn aggregate(series: &[f64], m: usize) -> Vec<f64> {
+    series
+        .chunks_exact(m)
+        .map(|c| c.iter().sum::<f64>() / m as f64)
+        .collect()
+}
+
+fn variance(series: &[f64]) -> Option<f64> {
+    if series.len() < 2 {
+        return None;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    Some(series.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n)
+}
+
+/// R/S statistic of one window: range of the mean-adjusted cumulative sum
+/// divided by the window standard deviation.
+fn rescaled_range(window: &[f64]) -> Option<f64> {
+    let n = window.len() as f64;
+    let mean = window.iter().sum::<f64>() / n;
+    let sd = variance(window)?.sqrt();
+    if sd == 0.0 {
+        return None;
+    }
+    let mut acc = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in window {
+        acc += x - mean;
+        min = min.min(acc);
+        max = max.max(acc);
+    }
+    Some((max - min) / sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{u01, SeedStream};
+
+    /// IID uniform noise: H ≈ 0.5.
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SeedStream::new(seed).rng("white");
+        (0..n).map(|_| u01(&mut rng)).collect()
+    }
+
+    /// A strongly long-range-dependent series: aggregated heavy-tailed
+    /// ON/OFF sources (the Crovella–Bestavros mechanism). Pareto ON/OFF
+    /// with alpha = 1.2 gives H = (3 − 1.2) / 2 = 0.9.
+    fn lrd_series(n: usize, seed: u64) -> Vec<f64> {
+        use crate::dist::{Pareto, Sample};
+        let on_off = Pareto::new(1.0, 1.2).unwrap();
+        let mut rng = SeedStream::new(seed).rng("lrd");
+        let mut series = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut t = 0.0f64;
+            let mut on = true;
+            while (t as usize) < n {
+                let dur = on_off.sample(&mut rng).min(n as f64);
+                if on {
+                    let end = ((t + dur) as usize).min(n);
+                    for v in &mut series[(t as usize)..end] {
+                        *v += 1.0;
+                    }
+                }
+                t += dur;
+                on = !on;
+            }
+        }
+        series
+    }
+
+    #[test]
+    fn white_noise_is_not_self_similar() {
+        let s = white_noise(16_384, 1);
+        let vt = hurst_variance_time(&s, 2).unwrap();
+        assert!((vt.h - 0.5).abs() < 0.1, "VT H = {}", vt.h);
+        let rs = hurst_rs(&s).unwrap();
+        // R/S is biased upward on short series; accept a loose band.
+        assert!((0.4..0.68).contains(&rs.h), "R/S H = {}", rs.h);
+    }
+
+    #[test]
+    fn heavy_tailed_onoff_is_self_similar() {
+        let s = lrd_series(16_384, 2);
+        let vt = hurst_variance_time(&s, 2).unwrap();
+        assert!(vt.h > 0.7, "VT H = {} (expected ≈ 0.9)", vt.h);
+        let rs = hurst_rs(&s).unwrap();
+        assert!(rs.h > 0.7, "R/S H = {}", rs.h);
+        // And the regression actually fits.
+        assert!(vt.r2 > 0.9, "VT r2 = {}", vt.r2);
+    }
+
+    #[test]
+    fn estimators_agree_on_ordering() {
+        let white = white_noise(8_192, 3);
+        let lrd = lrd_series(8_192, 3);
+        let h_white = hurst_variance_time(&white, 2).unwrap().h;
+        let h_lrd = hurst_variance_time(&lrd, 2).unwrap().h;
+        assert!(h_lrd > h_white + 0.15, "white {h_white} vs LRD {h_lrd}");
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(hurst_variance_time(&[1.0; 32], 2).is_err()); // too short
+        assert!(hurst_variance_time(&vec![5.0; 1_000], 2).is_err()); // zero variance
+        assert!(hurst_rs(&[0.0; 64]).is_err()); // too short
+        assert!(hurst_variance_time(&white_noise(1_000, 4), 500).is_err()); // bad range
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the client-population substrate.
+
+use lsw_topology::access::AccessMix;
+use lsw_topology::{AccessClass, AsRegistry, AsRegistryConfig, ClientPopulation, ClientPopulationConfig};
+use lsw_trace::ids::Ipv4Addr;
+use proptest::prelude::*;
+
+fn registry(n_ases: usize, exponent: f64, seed: u64) -> AsRegistry {
+    let config = AsRegistryConfig { n_ases, zipf_exponent: exponent, ..AsRegistryConfig::default() };
+    let mut rng = lsw_stats::SeedStream::new(seed).rng("topo-prop");
+    AsRegistry::build(&config, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn registry_invariants(n_ases in 11usize..2_000, exponent in 0.0..2.5f64, seed in 0u64..500) {
+        let r = registry(n_ases, exponent, seed);
+        prop_assert_eq!(r.len(), n_ases);
+        // Weights positive and in rank order.
+        let weights: Vec<f64> = r.all().iter().map(|a| a.weight).collect();
+        prop_assert!(weights.iter().all(|&w| w > 0.0));
+        prop_assert!(weights.windows(2).all(|w| w[0] >= w[1]));
+        // Prefixes are unique: a shared IP must identify one AS.
+        let mut prefixes: Vec<(u8, u8)> = r.all().iter().map(|a| a.prefix).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        prop_assert_eq!(prefixes.len(), n_ases, "prefix collision");
+        // Every configured country is represented.
+        prop_assert_eq!(r.countries().len(), 11);
+    }
+
+    #[test]
+    fn population_invariants(
+        n_clients in 50usize..20_000,
+        clients_per_ip in 1.0..4.0f64,
+        seed in 0u64..500,
+    ) {
+        let r = registry(200, 1.3, seed);
+        let config = ClientPopulationConfig {
+            n_clients,
+            clients_per_ip,
+            access_mix: AccessClass::default_mix(),
+        };
+        let mut rng = lsw_stats::SeedStream::new(seed).rng("pop-prop");
+        let p = ClientPopulation::build(&config, &r, &mut rng);
+        prop_assert_eq!(p.len(), n_clients);
+        // IP accounting agrees with the records.
+        let distinct: std::collections::HashSet<Ipv4Addr> =
+            p.all().iter().map(|c| c.ip).collect();
+        prop_assert_eq!(distinct.len(), p.n_ips());
+        prop_assert!(p.n_ips() <= n_clients);
+        // Shared IPs never span ASes, and countries denormalize correctly.
+        let mut ip_as = std::collections::HashMap::new();
+        for c in p.all() {
+            let entry = ip_as.entry(c.ip).or_insert(c.as_id);
+            prop_assert_eq!(*entry, c.as_id);
+            prop_assert_eq!(c.country, r.get(c.as_id).unwrap().country);
+        }
+    }
+
+    #[test]
+    fn sharing_ratio_tracks_target(clients_per_ip in 1.0..3.5f64, seed in 0u64..100) {
+        let r = registry(100, 1.0, seed);
+        let config = ClientPopulationConfig {
+            n_clients: 30_000,
+            clients_per_ip,
+            access_mix: AccessClass::default_mix(),
+        };
+        let mut rng = lsw_stats::SeedStream::new(seed).rng("pop-ratio");
+        let p = ClientPopulation::build(&config, &r, &mut rng);
+        let ratio = p.len() as f64 / p.n_ips() as f64;
+        prop_assert!(
+            (ratio / clients_per_ip - 1.0).abs() < 0.12,
+            "ratio {} vs target {}", ratio, clients_per_ip
+        );
+    }
+
+    #[test]
+    fn access_mix_covers_all_weighted_classes(seed in 0u64..200) {
+        let mix = AccessMix::default_2002();
+        let mut rng = lsw_stats::SeedStream::new(seed).rng("mix-prop");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            seen.insert(mix.sample(&mut rng));
+        }
+        // All seven classes have weight >= 3%, so 5k draws see them all
+        // (P[miss] < 1e-60).
+        prop_assert_eq!(seen.len(), 7);
+    }
+}

@@ -1,0 +1,161 @@
+//! Sweep-line concurrency counting.
+//!
+//! The paper's Figs 3/4 plot the number of concurrently *active clients*
+//! `c(t)` and Figs 15/16 the number of concurrent *transfers* over time.
+//! Both are interval-overlap counts, computed here with a single sorted
+//! sweep over `(time, +1/−1)` events — `O(n log n)` once, then every bin
+//! query is `O(1)`.
+
+use crate::event::LogEntry;
+use crate::session::Session;
+use lsw_stats::timeseries::BinnedSeries;
+
+/// A step function: number of active intervals at each whole second.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyProfile {
+    /// `counts[t]` = active intervals during second `t`.
+    counts: Vec<u32>,
+}
+
+impl ConcurrencyProfile {
+    /// Builds the profile from `(start, stop)` pairs over `[0, horizon)`.
+    ///
+    /// An interval is active during seconds `start..=stop.min(horizon-1)`;
+    /// zero-length intervals (sub-second transfers rounded down by the
+    /// 1-second log resolution) still count as active for their start
+    /// second, matching how the server would have seen them.
+    pub fn from_intervals(intervals: impl Iterator<Item = (u32, u32)>, horizon: u32) -> Self {
+        let h = horizon as usize;
+        // Difference array: +1 at start, −1 after stop.
+        let mut delta = vec![0i32; h + 1];
+        for (start, stop) in intervals {
+            let s = (start as usize).min(h);
+            if s >= h {
+                continue;
+            }
+            let e = ((stop as usize) + 1).min(h);
+            delta[s] += 1;
+            delta[e] -= 1;
+        }
+        let mut counts = Vec::with_capacity(h);
+        let mut acc = 0i32;
+        for d in delta.iter().take(h) {
+            acc += d;
+            debug_assert!(acc >= 0, "sweep went negative");
+            counts.push(acc as u32);
+        }
+        Self { counts }
+    }
+
+    /// Concurrent **transfers** over time (Figs 15/16).
+    pub fn transfers(entries: &[LogEntry], horizon: u32) -> Self {
+        Self::from_intervals(entries.iter().map(|e| (e.start, e.stop())), horizon)
+    }
+
+    /// Concurrent **clients with an active session** over time (Figs 3/4).
+    pub fn clients(sessions: &[Session], horizon: u32) -> Self {
+        Self::from_intervals(sessions.iter().map(|s| (s.start, s.end)), horizon)
+    }
+
+    /// Active count during second `t` (0 beyond the horizon).
+    pub fn at(&self, t: u32) -> u32 {
+        self.counts.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// The per-second counts.
+    pub fn per_second(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Maximum concurrency over the horizon.
+    pub fn peak(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-second counts as `f64` (for the marginal-distribution figures).
+    pub fn samples(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+
+    /// Mean count per `bin_width`-second bin (Figs 4/16: 900-second bins).
+    pub fn binned_mean(&self, bin_width: u32) -> BinnedSeries {
+        assert!(bin_width > 0, "bin width must be positive");
+        let mut values = Vec::with_capacity(self.counts.len() / bin_width as usize + 1);
+        for chunk in self.counts.chunks(bin_width as usize) {
+            let sum: u64 = chunk.iter().map(|&c| u64::from(c)).sum();
+            values.push(sum as f64 / chunk.len() as f64);
+        }
+        BinnedSeries::new(values, f64::from(bin_width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_overlap_counting() {
+        // Intervals: [0,5], [3,8], [10,10] (a zero-length one).
+        let p = ConcurrencyProfile::from_intervals(
+            vec![(0, 5), (3, 8), (10, 10)].into_iter(),
+            15,
+        );
+        assert_eq!(p.at(0), 1);
+        assert_eq!(p.at(3), 2);
+        assert_eq!(p.at(5), 2);
+        assert_eq!(p.at(6), 1);
+        assert_eq!(p.at(8), 1);
+        assert_eq!(p.at(9), 0);
+        assert_eq!(p.at(10), 1); // zero-length interval is active at its second
+        assert_eq!(p.at(11), 0);
+        assert_eq!(p.peak(), 2);
+    }
+
+    #[test]
+    fn intervals_clipped_to_horizon() {
+        let p = ConcurrencyProfile::from_intervals(vec![(8, 100), (50, 60)].into_iter(), 10);
+        assert_eq!(p.at(8), 1);
+        assert_eq!(p.at(9), 1);
+        assert_eq!(p.per_second().len(), 10);
+        // The (50, 60) interval starts beyond the horizon: ignored.
+        assert_eq!(p.per_second().iter().map(|&c| c as u64).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn binned_mean_averages() {
+        let p = ConcurrencyProfile::from_intervals(vec![(0, 3)].into_iter(), 8);
+        // counts: [1,1,1,1,0,0,0,0]; mean over 4-second bins: [1.0, 0.0].
+        let b = p.binned_mean(4);
+        assert_eq!(b.values, vec![1.0, 0.0]);
+        assert_eq!(b.bin_width, 4.0);
+    }
+
+    #[test]
+    fn binned_mean_partial_last_bin() {
+        let p = ConcurrencyProfile::from_intervals(vec![(0, 9)].into_iter(), 10);
+        let b = p.binned_mean(4);
+        // bins of 4, 4, 2 seconds — all fully active.
+        assert_eq!(b.values, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = ConcurrencyProfile::from_intervals(std::iter::empty(), 5);
+        assert_eq!(p.peak(), 0);
+        assert_eq!(p.samples(), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn heavy_overlap() {
+        // 1000 identical intervals — peak must be exactly 1000.
+        let p = ConcurrencyProfile::from_intervals(
+            std::iter::repeat((2u32, 4u32)).take(1000),
+            6,
+        );
+        assert_eq!(p.peak(), 1000);
+        assert_eq!(p.at(1), 0);
+        assert_eq!(p.at(2), 1000);
+        assert_eq!(p.at(4), 1000);
+        assert_eq!(p.at(5), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # lsw-trace — trace data model for live streaming media workloads
+//!
+//! This crate defines everything that touches *trace data* in the
+//! reproduction of Veloso et al. (IMC 2002):
+//!
+//! * [`ids`] — compact typed identifiers (clients, objects, ASes, IPs, …).
+//! * [`event`] — the per-transfer [`LogEntry`] record
+//!   modeled on Windows Media Server 4.1 logging (§2.3 of the paper),
+//!   including its 1-second timestamp resolution.
+//! * [`wms`] — a textual, W3C-style wire format for log entries with a
+//!   writer and a strict parser, so traces can round-trip through files.
+//! * [`trace`] — the [`Trace`] container with summary
+//!   statistics (Table 1).
+//! * [`sanitize`] — the paper's §2.4 log sanitization: dropping entries
+//!   that span log-harvest boundaries, and the server-overload audit.
+//! * [`concurrency`] — sweep-line counting of concurrent transfers and
+//!   concurrent clients over time (Figs 3, 4, 15, 16).
+//! * [`session`] — the sessionizer: grouping a client's transfers into
+//!   sessions under the timeout `T_o` (§2.2), exposing session ON/OFF
+//!   times, transfers-per-session and intra-session interarrivals
+//!   (Figs 9–14).
+//!
+//! The crate is deliberately independent of *how* traces are produced —
+//! both the synthetic generator (`lsw-core`) and the simulator (`lsw-sim`)
+//! emit [`event::LogEntry`] values, and the characterizer (`lsw-analysis`)
+//! consumes them through [`trace::Trace`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrency;
+pub mod event;
+pub mod ids;
+pub mod sanitize;
+pub mod session;
+pub mod trace;
+pub mod wms;
+
+pub use event::LogEntry;
+pub use ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+pub use session::{Session, SessionConfig, Sessions};
+pub use trace::{Trace, TraceSummary};

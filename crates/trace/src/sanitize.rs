@@ -1,0 +1,229 @@
+//! Log sanitization, after §2.4 of the paper.
+//!
+//! The paper found a small number of pathological entries — activities
+//! "spanning durations longer than the 28-day period of the trace",
+//! attributed to accesses that crossed multiple daily log harvests — and
+//! excluded them. It also audited server CPU load to rule out overload
+//! effects (utilization below 10% for over 99.99% of the time).
+//!
+//! [`sanitize`] reproduces both steps: it drops invalid entries into a
+//! typed reject pile and computes the overload audit from the surviving
+//! entries.
+
+use crate::event::LogEntry;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Why an entry was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Duration exceeds the whole trace period (the paper's harvest-spanning
+    /// anomaly).
+    SpansTracePeriod,
+    /// The transfer starts after the collection horizon.
+    StartsBeyondHorizon,
+    /// Stop time overflows or precedes start.
+    InconsistentTimestamps,
+    /// Non-2xx protocol status.
+    FailedStatus,
+    /// Malformed statistics (loss/CPU outside [0, 1]).
+    MalformedStats,
+}
+
+/// Outcome of sanitizing a raw entry list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SanitizeReport {
+    /// Entries examined.
+    pub examined: usize,
+    /// Entries kept.
+    pub kept: usize,
+    /// Rejects per reason.
+    pub rejects: Vec<(RejectReason, usize)>,
+    /// Fraction of (per-second) time the server CPU stayed below 10%.
+    pub underload_time_fraction: f64,
+    /// Fraction of transfers logged while server CPU was below 10%.
+    pub underload_transfer_fraction: f64,
+}
+
+impl SanitizeReport {
+    /// Total rejected entries.
+    pub fn rejected(&self) -> usize {
+        self.rejects.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The paper's §2.4 conclusion holds when overloads are "extremely
+    /// rare": below-threshold fractions above the given bar.
+    pub fn overload_is_rare(&self, bar: f64) -> bool {
+        self.underload_time_fraction >= bar && self.underload_transfer_fraction >= bar
+    }
+}
+
+/// CPU threshold used in the §2.4 audit.
+pub const CPU_THRESHOLD: f32 = 0.10;
+
+/// Sanitizes raw entries into a [`Trace`], reproducing §2.4.
+///
+/// `horizon` is the collection period in seconds. Rejected entries are
+/// counted by reason; surviving entries feed the CPU-load audit, which
+/// averages the per-entry CPU readings into one-second bins (as the paper
+/// did) and reports the fraction of bins below 10%.
+pub fn sanitize(entries: Vec<LogEntry>, horizon: u32) -> (Trace, SanitizeReport) {
+    let examined = entries.len();
+    let mut kept = Vec::with_capacity(entries.len());
+    let mut counts: std::collections::HashMap<RejectReason, usize> =
+        std::collections::HashMap::new();
+
+    for e in entries {
+        let reason = classify(&e, horizon);
+        match reason {
+            None => kept.push(e),
+            Some(r) => *counts.entry(r).or_insert(0) += 1,
+        }
+    }
+
+    // CPU audit: average readings per 1-second bin over bins that have
+    // readings, then measure the below-threshold fraction (§2.4).
+    let mut bin_sum: std::collections::HashMap<u32, (f64, u32)> =
+        std::collections::HashMap::new();
+    let mut under_transfers = 0usize;
+    for e in &kept {
+        let slot = bin_sum.entry(e.timestamp).or_insert((0.0, 0));
+        slot.0 += e.cpu_util as f64;
+        slot.1 += 1;
+        if e.cpu_util < CPU_THRESHOLD {
+            under_transfers += 1;
+        }
+    }
+    let under_bins = bin_sum
+        .values()
+        .filter(|(s, n)| s / f64::from(*n) < f64::from(CPU_THRESHOLD))
+        .count();
+    let underload_time_fraction = if bin_sum.is_empty() {
+        1.0
+    } else {
+        under_bins as f64 / bin_sum.len() as f64
+    };
+    let underload_transfer_fraction = if kept.is_empty() {
+        1.0
+    } else {
+        under_transfers as f64 / kept.len() as f64
+    };
+
+    let mut rejects: Vec<(RejectReason, usize)> = counts.into_iter().collect();
+    rejects.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+
+    let report = SanitizeReport {
+        examined,
+        kept: kept.len(),
+        rejects,
+        underload_time_fraction,
+        underload_transfer_fraction,
+    };
+    (Trace::from_entries(kept, horizon), report)
+}
+
+/// Classifies an entry; `None` means it is clean.
+fn classify(e: &LogEntry, horizon: u32) -> Option<RejectReason> {
+    if e.duration as u64 > horizon as u64 {
+        return Some(RejectReason::SpansTracePeriod);
+    }
+    if e.start >= horizon {
+        return Some(RejectReason::StartsBeyondHorizon);
+    }
+    if e.timestamp != e.stop() || (e.start as u64 + e.duration as u64) > u32::MAX as u64 {
+        return Some(RejectReason::InconsistentTimestamps);
+    }
+    if !e.is_success() {
+        return Some(RejectReason::FailedStatus);
+    }
+    if !(0.0..=1.0).contains(&e.packet_loss) || !(0.0..=1.0).contains(&e.cpu_util) {
+        return Some(RejectReason::MalformedStats);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LogEntryBuilder;
+    use crate::ids::ClientId;
+
+    const DAY: u32 = 86_400;
+
+    fn ok_entry(start: u32, dur: u32) -> LogEntry {
+        LogEntryBuilder::new().span(start, dur).client(ClientId(1)).build()
+    }
+
+    #[test]
+    fn clean_entries_survive() {
+        let (trace, report) = sanitize(vec![ok_entry(0, 10), ok_entry(100, 5)], DAY);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(report.rejected(), 0);
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.examined, 2);
+    }
+
+    #[test]
+    fn spanning_entries_dropped() {
+        // The §2.4 anomaly: durations longer than the whole trace period.
+        let bad = ok_entry(10, DAY + 1);
+        let (trace, report) = sanitize(vec![ok_entry(0, 10), bad], DAY);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(report.rejects, vec![(RejectReason::SpansTracePeriod, 1)]);
+    }
+
+    #[test]
+    fn late_starts_dropped() {
+        let bad = ok_entry(DAY + 5, 1);
+        let (trace, report) = sanitize(vec![bad], DAY);
+        assert!(trace.is_empty());
+        assert_eq!(report.rejects, vec![(RejectReason::StartsBeyondHorizon, 1)]);
+    }
+
+    #[test]
+    fn failed_status_dropped() {
+        let mut bad = ok_entry(0, 1);
+        bad.status = 404;
+        let (trace, report) = sanitize(vec![bad], DAY);
+        assert!(trace.is_empty());
+        assert_eq!(report.rejects, vec![(RejectReason::FailedStatus, 1)]);
+    }
+
+    #[test]
+    fn malformed_stats_dropped() {
+        let mut bad = ok_entry(0, 1);
+        bad.packet_loss = 2.0;
+        let (_, report) = sanitize(vec![bad], DAY);
+        assert_eq!(report.rejects, vec![(RejectReason::MalformedStats, 1)]);
+    }
+
+    #[test]
+    fn inconsistent_timestamp_dropped() {
+        let mut bad = ok_entry(5, 10);
+        bad.timestamp = 7;
+        let (_, report) = sanitize(vec![bad], DAY);
+        assert_eq!(report.rejects, vec![(RejectReason::InconsistentTimestamps, 1)]);
+    }
+
+    #[test]
+    fn cpu_audit_fractions() {
+        let mut hot = ok_entry(0, 1);
+        hot.cpu_util = 0.5;
+        let cool1 = ok_entry(100, 1);
+        let cool2 = ok_entry(200, 1);
+        let (_, report) = sanitize(vec![hot, cool1, cool2], DAY);
+        // 1 of 3 one-second bins is hot; 1 of 3 transfers is hot.
+        assert!((report.underload_time_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!((report.underload_transfer_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!(!report.overload_is_rare(0.9));
+        assert!(report.overload_is_rare(0.5));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (trace, report) = sanitize(vec![], DAY);
+        assert!(trace.is_empty());
+        assert_eq!(report.examined, 0);
+        assert_eq!(report.underload_time_fraction, 1.0);
+    }
+}

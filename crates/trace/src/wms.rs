@@ -1,0 +1,253 @@
+//! Textual wire format for log entries, W3C-extended-log style.
+//!
+//! Real Windows Media Server 4.1 logs are space-separated text with a
+//! `#Fields:` header (§2.3 / \[13\] in the paper). We emit an equivalent
+//! schema so traces can be written to disk, inspected with standard Unix
+//! tooling, and parsed back without loss:
+//!
+//! ```text
+//! #Software: lsw-sim
+//! #Version: 1.0
+//! #Fields: x-timestamp c-start x-duration c-playerid c-ip c-as c-country cs-uri-stem x-camera sc-bytes x-avg-bandwidth c-pkts-lost-rate s-cpu-util sc-status
+//! 150 100 50 7 200.17.34.5 42 BR /live/feed1.asf 12 500000 34000 0.0100 0.050 200
+//! ```
+//!
+//! The encoder writes into a [`bytes::BytesMut`] so large traces serialize
+//! without intermediate `String` churn.
+
+use crate::event::LogEntry;
+use crate::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+use bytes::{BufMut, BytesMut};
+use std::str::FromStr;
+
+/// The `#Fields:` header emitted (and required) by this format.
+pub const FIELDS_HEADER: &str = "#Fields: x-timestamp c-start x-duration c-playerid c-ip \
+     c-as c-country cs-uri-stem x-camera sc-bytes x-avg-bandwidth c-pkts-lost-rate \
+     s-cpu-util sc-status";
+
+/// Error from parsing a WMS-style log line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number when known (0 when parsing a bare line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WMS log parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes one entry as a log line (no trailing newline).
+pub fn format_entry(e: &LogEntry, out: &mut BytesMut) {
+    use std::fmt::Write as _;
+    // itoa-style manual formatting is overkill here; fmt::Write into a
+    // reused stack string keeps allocations at zero per line.
+    let mut line = String::with_capacity(96);
+    write!(
+        line,
+        "{} {} {} {} {} {} {} {} {} {} {} {:.4} {:.3} {}",
+        e.timestamp,
+        e.start,
+        e.duration,
+        e.client.0,
+        e.ip,
+        e.as_id.0,
+        e.country,
+        e.object.uri(),
+        e.camera,
+        e.bytes,
+        e.avg_bandwidth,
+        e.packet_loss,
+        e.cpu_util,
+        e.status
+    )
+    .expect("write to String cannot fail");
+    out.put_slice(line.as_bytes());
+}
+
+/// Serializes a whole trace body with headers.
+pub fn format_log(entries: &[LogEntry]) -> BytesMut {
+    let mut out = BytesMut::with_capacity(entries.len() * 96 + 256);
+    out.put_slice(b"#Software: lsw-sim\n#Version: 1.0\n");
+    out.put_slice(FIELDS_HEADER.as_bytes());
+    out.put_u8(b'\n');
+    for e in entries {
+        format_entry(e, &mut out);
+        out.put_u8(b'\n');
+    }
+    out
+}
+
+/// Parses one (non-comment) log line.
+pub fn parse_line(line: &str) -> Result<LogEntry, ParseError> {
+    let err = |msg: String| ParseError { line: 0, message: msg };
+    let mut it = line.split_ascii_whitespace();
+    let mut next = |name: &str| {
+        it.next()
+            .ok_or_else(|| err(format!("missing field {name}")))
+    };
+
+    fn num<T: FromStr>(s: &str, name: &str) -> Result<T, ParseError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        s.parse::<T>().map_err(|e| ParseError {
+            line: 0,
+            message: format!("bad {name} {s:?}: {e}"),
+        })
+    }
+
+    let timestamp: u32 = num(next("x-timestamp")?, "x-timestamp")?;
+    let start: u32 = num(next("c-start")?, "c-start")?;
+    let duration: u32 = num(next("x-duration")?, "x-duration")?;
+    let client = ClientId(num(next("c-playerid")?, "c-playerid")?);
+    let ip = Ipv4Addr::from_str(next("c-ip")?)
+        .map_err(|e| err(format!("bad c-ip: {e}")))?;
+    let as_id = AsId(num(next("c-as")?, "c-as")?);
+    let country = CountryCode::new(next("c-country")?)
+        .map_err(|e| err(format!("bad c-country: {e}")))?;
+    let uri = next("cs-uri-stem")?;
+    let object = parse_uri(uri).ok_or_else(|| err(format!("bad cs-uri-stem {uri:?}")))?;
+    let camera: u8 = num(next("x-camera")?, "x-camera")?;
+    let bytes: u64 = num(next("sc-bytes")?, "sc-bytes")?;
+    let avg_bandwidth: u32 = num(next("x-avg-bandwidth")?, "x-avg-bandwidth")?;
+    let packet_loss: f32 = num(next("c-pkts-lost-rate")?, "c-pkts-lost-rate")?;
+    let cpu_util: f32 = num(next("s-cpu-util")?, "s-cpu-util")?;
+    let status: u16 = num(next("sc-status")?, "sc-status")?;
+    if it.next().is_some() {
+        return Err(err("trailing fields".into()));
+    }
+    Ok(LogEntry {
+        timestamp,
+        start,
+        duration,
+        client,
+        ip,
+        as_id,
+        country,
+        object,
+        camera,
+        bytes,
+        avg_bandwidth,
+        packet_loss,
+        cpu_util,
+        status,
+    })
+}
+
+/// Extracts the object id from a `/live/feedN.asf` URI stem.
+fn parse_uri(uri: &str) -> Option<ObjectId> {
+    let rest = uri.strip_prefix("/live/feed")?;
+    let digits = rest.strip_suffix(".asf")?;
+    digits.parse::<u16>().ok().map(ObjectId)
+}
+
+/// Parses a whole log (headers + lines). Comment lines start with `#`.
+pub fn parse_log(text: &str) -> Result<Vec<LogEntry>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut e = parse_line(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?;
+        // Preserve the parsed entry exactly; validation is the caller's
+        // (sanitizer's) job, not the parser's.
+        let _ = &mut e;
+        out.push(e);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LogEntryBuilder;
+
+    fn sample_entry() -> LogEntry {
+        LogEntryBuilder::new()
+            .span(100, 50)
+            .client(ClientId(7))
+            .origin(Ipv4Addr::from_octets(200, 17, 34, 5), AsId(42), CountryCode(*b"BR"))
+            .object(ObjectId(1), 12)
+            .transfer_stats(500_000, 34_000, 0.01)
+            .server(0.05, 200)
+            .build()
+    }
+
+    #[test]
+    fn round_trip_single_entry() {
+        let e = sample_entry();
+        let mut buf = BytesMut::new();
+        format_entry(&e, &mut buf);
+        let line = std::str::from_utf8(&buf).unwrap();
+        let parsed = parse_line(line).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn round_trip_full_log() {
+        let entries: Vec<LogEntry> = (0..100)
+            .map(|i| {
+                LogEntryBuilder::new()
+                    .span(i * 10, (i % 7) + 1)
+                    .client(ClientId(i % 13))
+                    .object(ObjectId((i % 2) as u16), (i % 48) as u8)
+                    .transfer_stats(u64::from(i) * 1_000, 34_000, 0.0)
+                    .build()
+            })
+            .collect();
+        let text = format_log(&entries);
+        let parsed = parse_log(std::str::from_utf8(&text).unwrap()).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn header_lines_skipped() {
+        let text = "#Software: x\n#Fields: whatever\n\n";
+        assert!(parse_log(text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "#header\n1 2 3 not-a-number\n";
+        let err = parse_log(text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("1 2 3").is_err()); // too few fields
+        let mut buf = BytesMut::new();
+        format_entry(&sample_entry(), &mut buf);
+        let line = format!("{} extra", std::str::from_utf8(&buf).unwrap());
+        assert!(parse_line(&line).is_err()); // trailing field
+    }
+
+    #[test]
+    fn rejects_bad_uri() {
+        let mut buf = BytesMut::new();
+        format_entry(&sample_entry(), &mut buf);
+        let line = std::str::from_utf8(&buf).unwrap().replace("/live/feed1.asf", "/evil.mp4");
+        assert!(parse_line(&line).is_err());
+    }
+
+    #[test]
+    fn packet_loss_precision_preserved() {
+        let mut e = sample_entry();
+        e.packet_loss = 0.1234;
+        let mut buf = BytesMut::new();
+        format_entry(&e, &mut buf);
+        let parsed = parse_line(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!((parsed.packet_loss - 0.1234).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,85 @@
+//! Parser robustness: the WMS log parser must never panic, whatever bytes
+//! it is fed — including mutations of valid logs (truncations, bit flips,
+//! field swaps) and arbitrary text.
+
+use lsw_trace::event::LogEntryBuilder;
+use lsw_trace::ids::ClientId;
+use lsw_trace::wms;
+use proptest::prelude::*;
+
+fn valid_line() -> String {
+    let e = LogEntryBuilder::new()
+        .span(100, 50)
+        .client(ClientId(7))
+        .transfer_stats(500_000, 34_000, 0.01)
+        .build();
+    let mut buf = bytes::BytesMut::new();
+    wms::format_entry(&e, &mut buf);
+    String::from_utf8(buf.to_vec()).expect("ASCII")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics(input in ".*") {
+        // Err is fine; panic is not.
+        let _ = wms::parse_line(&input);
+        let _ = wms::parse_log(&input);
+    }
+
+    #[test]
+    fn truncations_never_panic(cut in 0usize..80) {
+        let line = valid_line();
+        let cut = cut.min(line.len());
+        // Truncate at a char boundary (the line is ASCII).
+        let _ = wms::parse_line(&line[..cut]);
+    }
+
+    #[test]
+    fn field_corruption_never_panics(
+        field in 0usize..14,
+        garbage in "[ -~]{0,12}",
+    ) {
+        let line = valid_line();
+        let mut fields: Vec<&str> = line.split_ascii_whitespace().collect();
+        if field < fields.len() {
+            fields[field] = &garbage;
+        }
+        let corrupted = fields.join(" ");
+        let _ = wms::parse_line(&corrupted);
+    }
+
+    #[test]
+    fn duplicate_and_reordered_fields_rejected_cleanly(
+        swap_a in 0usize..14,
+        swap_b in 0usize..14,
+    ) {
+        let line = valid_line();
+        let mut fields: Vec<&str> = line.split_ascii_whitespace().collect();
+        fields.swap(swap_a.min(13), swap_b.min(13));
+        let reordered = fields.join(" ");
+        // Either parses (swap of same-typed fields) or errors — never panics.
+        let _ = wms::parse_line(&reordered);
+    }
+
+    #[test]
+    fn valid_logs_with_noise_lines_fail_with_line_numbers(
+        noise in "[ -~]{1,40}",
+        at_line in 0usize..5,
+    ) {
+        // A log with one garbage line: the parse error (if any) must carry
+        // the right line number.
+        prop_assume!(!noise.trim().is_empty() && !noise.trim_start().starts_with('#'));
+        let valid = valid_line();
+        let mut lines: Vec<String> = (0..4).map(|_| valid.clone()).collect();
+        lines.insert(at_line.min(4), noise.clone());
+        let text = lines.join("\n");
+        match wms::parse_log(&text) {
+            Ok(entries) => prop_assert_eq!(entries.len(), 5), // noise parsed as a line?!
+            Err(e) => {
+                prop_assert_eq!(e.line, at_line.min(4) + 1, "wrong line in {:?}", e);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the trace substrate: sessionizer invariants,
+//! WMS wire-format round trips, sweep-line conservation laws.
+
+use lsw_trace::concurrency::ConcurrencyProfile;
+use lsw_trace::event::{LogEntry, LogEntryBuilder};
+use lsw_trace::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+use lsw_trace::session::{transfer_counts_per_client, SessionConfig, Sessions};
+use lsw_trace::trace::Trace;
+use lsw_trace::wms;
+use proptest::prelude::*;
+
+/// Strategy producing a random but valid log entry within a 1-day horizon.
+fn arb_entry() -> impl Strategy<Value = LogEntry> {
+    (
+        0u32..80_000,  // start
+        0u32..5_000,   // duration
+        0u32..50,      // client
+        0u32..1_000,   // ip
+        0u16..30,      // as
+        0u16..2,       // object
+        0u8..48,       // camera
+        0u64..10_000_000,
+        0u32..1_000_000,
+        0.0f32..1.0,
+        0.0f32..1.0,
+    )
+        .prop_map(|(start, dur, client, ip, asn, obj, cam, bytes, bw, loss, cpu)| {
+            LogEntryBuilder::new()
+                .span(start, dur)
+                .client(ClientId(client))
+                .origin(Ipv4Addr(ip), AsId(asn), CountryCode(*b"BR"))
+                .object(ObjectId(obj), cam)
+                .transfer_stats(bytes, bw, loss)
+                .server(cpu, 200)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wms_round_trip(entries in prop::collection::vec(arb_entry(), 0..50)) {
+        let text = wms::format_log(&entries);
+        let parsed = wms::parse_log(std::str::from_utf8(&text).unwrap()).unwrap();
+        // Float fields are printed with finite precision; compare them with
+        // tolerance and everything else exactly.
+        prop_assert_eq!(parsed.len(), entries.len());
+        for (p, e) in parsed.iter().zip(&entries) {
+            prop_assert_eq!(p.timestamp, e.timestamp);
+            prop_assert_eq!(p.start, e.start);
+            prop_assert_eq!(p.duration, e.duration);
+            prop_assert_eq!(p.client, e.client);
+            prop_assert_eq!(p.ip, e.ip);
+            prop_assert_eq!(p.as_id, e.as_id);
+            prop_assert_eq!(p.object, e.object);
+            prop_assert_eq!(p.camera, e.camera);
+            prop_assert_eq!(p.bytes, e.bytes);
+            prop_assert_eq!(p.avg_bandwidth, e.avg_bandwidth);
+            prop_assert!((p.packet_loss - e.packet_loss).abs() < 1e-4);
+            prop_assert!((p.cpu_util - e.cpu_util).abs() < 1e-3);
+            prop_assert_eq!(p.status, e.status);
+        }
+    }
+
+    #[test]
+    fn sessions_partition_transfers(
+        entries in prop::collection::vec(arb_entry(), 1..120),
+        timeout in 0.0..10_000.0f64,
+    ) {
+        let n = entries.len();
+        let trace = Trace::from_entries(entries, 100_000);
+        let s = Sessions::identify(&trace, SessionConfig { timeout });
+        // Every transfer belongs to exactly one session.
+        let total: u64 = s.transfers_per_session().iter().sum();
+        prop_assert_eq!(total as usize, n);
+        prop_assert_eq!(s.entry_order().len(), n);
+        let mut seen = vec![false; n];
+        for &i in s.entry_order() {
+            prop_assert!(!seen[i as usize], "transfer in two sessions");
+            seen[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sessions_respect_bounds(
+        entries in prop::collection::vec(arb_entry(), 1..120),
+        timeout in 0.0..10_000.0f64,
+    ) {
+        let trace = Trace::from_entries(entries, 100_000);
+        let s = Sessions::identify(&trace, SessionConfig { timeout });
+        for sess in s.all() {
+            prop_assert!(sess.start <= sess.end);
+            prop_assert!(sess.transfers >= 1);
+            // Each session's transfers lie within [start, end] and gaps
+            // never exceed the timeout.
+            let es = s.entries_of(sess, &trace);
+            let mut running_end = es[0].stop();
+            prop_assert_eq!(es[0].start, sess.start);
+            for e in &es {
+                prop_assert!(e.start >= sess.start && e.stop() <= sess.end);
+            }
+            for e in es.iter().skip(1) {
+                prop_assert!(e.start as f64 - running_end as f64 <= timeout,
+                    "intra-session gap exceeds timeout");
+                running_end = running_end.max(e.stop());
+            }
+            prop_assert_eq!(running_end, sess.end);
+        }
+    }
+
+    #[test]
+    fn session_count_monotone_in_timeout(
+        entries in prop::collection::vec(arb_entry(), 1..100),
+    ) {
+        let trace = Trace::from_entries(entries, 100_000);
+        let mut prev = usize::MAX;
+        for timeout in [0.0, 100.0, 500.0, 1_500.0, 5_000.0, 50_000.0] {
+            let n = Sessions::identify(&trace, SessionConfig { timeout }).len();
+            prop_assert!(n <= prev, "session count increased with To");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn off_times_exceed_timeout(
+        entries in prop::collection::vec(arb_entry(), 1..120),
+        timeout in 0.0..5_000.0f64,
+    ) {
+        let trace = Trace::from_entries(entries, 100_000);
+        let s = Sessions::identify(&trace, SessionConfig { timeout });
+        // By construction a session OFF time is a silence longer than To.
+        for off in s.off_times() {
+            prop_assert!(off > timeout, "off time {off} <= timeout {timeout}");
+        }
+    }
+
+    #[test]
+    fn concurrency_integral_equals_active_seconds(
+        entries in prop::collection::vec(arb_entry(), 0..80),
+    ) {
+        let horizon = 100_000u32;
+        let p = ConcurrencyProfile::transfers(&entries, horizon);
+        let integral: u64 = p.per_second().iter().map(|&c| u64::from(c)).sum();
+        // Each transfer contributes (duration + 1) active seconds (it is
+        // active during its stop second too), clipped to the horizon.
+        let expected: u64 = entries
+            .iter()
+            .map(|e| {
+                let start = e.start.min(horizon) as u64;
+                let end = (e.stop() as u64 + 1).min(horizon as u64);
+                end.saturating_sub(start)
+            })
+            .sum();
+        prop_assert_eq!(integral, expected);
+    }
+
+    #[test]
+    fn summary_counts_bounded(entries in prop::collection::vec(arb_entry(), 0..100)) {
+        let n = entries.len();
+        let trace = Trace::from_entries(entries, 100_000);
+        let s = trace.summary();
+        prop_assert_eq!(s.transfers, n);
+        prop_assert!(s.users <= n.max(1));
+        prop_assert!(s.client_ips <= n.max(1));
+        prop_assert!(s.client_ases <= s.client_ips.max(1));
+        let per_client: u64 = transfer_counts_per_client(&trace).iter().sum();
+        prop_assert_eq!(per_client as usize, n);
+    }
+}

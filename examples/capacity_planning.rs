@@ -1,0 +1,87 @@
+//! Capacity planning for live content delivery — the paper's motivating
+//! application (§1): admission control is not viable for live media, so
+//! the operator must provision for the peak.
+//!
+//! This example sizes a server against a synthetic week of the reality
+//! show: it sweeps admission caps and uplink capacities, measures denied
+//! viewer-hours and congestion, and reports the provisioning frontier.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use lsw::core::config::WorkloadConfig;
+use lsw::core::generator::Generator;
+use lsw::sim::{AdmissionPolicy, NetworkConfig, ServerConfig, SimConfig, Simulator};
+
+fn main() {
+    // A 3-day slice at moderate scale.
+    let config = WorkloadConfig::paper().scaled(40_000, 3 * 86_400, 120_000);
+    let workload = Generator::new(config, 2024).expect("valid config").generate();
+    println!(
+        "workload: {} sessions, {} transfers over 3 days\n",
+        workload.sessions().len(),
+        workload.len()
+    );
+
+    // --- Step 1: what does the uncapped peak look like? ---
+    let base = Simulator::new(SimConfig::default()).run(&workload, 1);
+    let peak = base.server_stats.peak_concurrent;
+    println!("uncapped peak concurrency: {peak} transfers");
+    println!(
+        "bytes delivered: {:.2} GB; congested transfers: {}\n",
+        base.bytes_delivered as f64 / 1e9,
+        base.congested_transfers
+    );
+
+    // --- Step 2: the admission-control fallacy (§1) ---
+    // For *stored* content a rejected request retries later; for *live*
+    // content it is a denied viewing. Sweep caps below the peak and count
+    // the damage.
+    println!("admission cap sweep (cap as fraction of peak):");
+    println!("{:>10} {:>12} {:>16} {:>20}", "cap", "rejected", "rejection rate", "denied viewer-hours");
+    for frac in [0.25, 0.5, 0.75, 0.9, 1.0] {
+        let cap = ((peak as f64) * frac).ceil() as u64;
+        let sim = Simulator::new(SimConfig {
+            server: ServerConfig {
+                admission: AdmissionPolicy::RejectAbove { max_concurrent: cap },
+                ..ServerConfig::default()
+            },
+            ..SimConfig::default()
+        });
+        let out = sim.run(&workload, 1);
+        println!(
+            "{:>10} {:>12} {:>15.2}% {:>19.1} h",
+            cap,
+            out.server_stats.rejected,
+            100.0 * out.server_stats.rejection_rate(),
+            out.server_stats.denied_viewer_seconds / 3_600.0
+        );
+    }
+
+    // --- Step 3: uplink sizing ---
+    // Instead of rejecting, provision bandwidth. Sweep the uplink and
+    // watch congestion fall off; the knee is the provisioning answer.
+    println!("\nuplink sweep:");
+    println!("{:>12} {:>22} {:>18}", "uplink", "uplink-congested xfers", "delivered GB");
+    for uplink_mbps in [5.0, 10.0, 20.0, 40.0, 80.0] {
+        let sim = Simulator::new(SimConfig {
+            network: NetworkConfig { uplink_bps: uplink_mbps * 1e6 },
+            path_congestion_rate: 0.0, // isolate the uplink effect
+            ..SimConfig::default()
+        });
+        let out = sim.run(&workload, 1);
+        println!(
+            "{:>9} Mbps {:>22} {:>17.2}",
+            uplink_mbps,
+            out.congested_transfers,
+            out.bytes_delivered as f64 / 1e9
+        );
+    }
+
+    println!(
+        "\nconclusion: provisioning for the diurnal peak (~{peak} concurrent transfers, \
+         see the Fig 4/16 temporal profiles) avoids both denied viewings and congestion; \
+         admission control converts every capacity shortfall into lost audience."
+    );
+}

@@ -1,0 +1,113 @@
+//! The paper's central duality, made executable: live media access is
+//! *object driven* (clients carry the Zipf skew; transfer lengths come
+//! from client stickiness), stored media access is *user driven* (objects
+//! carry the Zipf skew; transfer lengths come from object sizes).
+//!
+//! This example generates one workload of each kind, characterizes both,
+//! and prints the side-by-side contrast (§3.5 and §5.3 of the paper).
+//!
+//! ```text
+//! cargo run --release --example live_vs_stored
+//! ```
+
+use lsw::analysis::transfer_layer;
+use lsw::core::config::WorkloadConfig;
+use lsw::core::generator::Generator;
+use lsw::core::stored::{StoredConfig, StoredGenerator};
+use lsw::stats::empirical::RankFrequency;
+use lsw::stats::fit::fit_zipf_rank_frequency;
+use lsw::trace::session::{transfer_counts_per_client, SessionConfig, Sessions};
+use lsw::trace::trace::Trace;
+
+fn object_popularity_alpha(trace: &Trace) -> Option<f64> {
+    let mut counts = std::collections::HashMap::new();
+    for e in trace.entries() {
+        *counts.entry(e.object).or_insert(0u64) += 1;
+    }
+    let rf = RankFrequency::from_counts(counts.into_values().collect());
+    fit_zipf_rank_frequency(&rf, Some(100.0)).ok().map(|f| f.alpha)
+}
+
+fn client_interest_alpha(trace: &Trace) -> Option<f64> {
+    let rf = RankFrequency::from_counts(transfer_counts_per_client(trace));
+    // Fit the low-noise body.
+    let mut body = rf.n();
+    for rank in 1..=rf.n() {
+        if rf.count_at(rank).unwrap_or(0) < 10 {
+            body = rank.saturating_sub(1);
+            break;
+        }
+    }
+    fit_zipf_rank_frequency(&rf, Some(body.max(20) as f64)).ok().map(|f| f.alpha)
+}
+
+fn main() {
+    let horizon = 2 * 86_400u32;
+
+    // --- Live: the paper's workload ---
+    let live_cfg = WorkloadConfig::paper().scaled(25_000, horizon, 60_000);
+    let live = Generator::new(live_cfg, 5).expect("valid config").generate().render();
+
+    // --- Stored: the classic GISMO baseline ---
+    let stored_cfg = StoredConfig {
+        n_clients: 25_000,
+        n_objects: 500,
+        horizon_secs: horizon,
+        target_requests: 60_000,
+        ..StoredConfig::default()
+    };
+    let stored = StoredGenerator::new(stored_cfg, 5).expect("valid config").generate();
+
+    println!("{:<44} {:>12} {:>12}", "", "LIVE", "STORED");
+    println!("{:<44} {:>12} {:>12}", "transfers", live.len(), stored.len());
+
+    // Duality 1 (§3.5): where does the Zipf skew live?
+    // Live: only 2 objects exist — object popularity is meaningless; the
+    // skew is in the *client interest* profile. Stored: 500 objects carry
+    // a Zipf popularity; clients are uniform.
+    let live_objects = live.summary().objects;
+    let stored_objects = stored.summary().objects;
+    println!("{:<44} {:>12} {:>12}", "distinct objects", live_objects, stored_objects);
+    let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |a| format!("{a:.3}"));
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "object-popularity Zipf alpha",
+        fmt(object_popularity_alpha(&live)),
+        fmt(object_popularity_alpha(&stored)),
+    );
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "client-interest Zipf alpha",
+        fmt(client_interest_alpha(&live)),
+        fmt(client_interest_alpha(&stored)),
+    );
+
+    // Duality 2 (§5.3): where does transfer-length variability live?
+    // Live: within each object (stickiness). Stored: across objects
+    // (sizes) — the within-object variance ratio drops well below 1.
+    let live_lengths = transfer_layer::analyze_lengths(&live);
+    let stored_lengths = transfer_layer::analyze_lengths(&stored);
+    println!(
+        "{:<44} {:>12.3} {:>12.3}",
+        "within-object variance ratio of log-lengths",
+        live_lengths.within_object_variance_ratio,
+        stored_lengths.within_object_variance_ratio,
+    );
+
+    // Session structure for completeness.
+    let live_sessions = Sessions::identify(&live, SessionConfig::default());
+    let stored_sessions = Sessions::identify(&stored, SessionConfig::default());
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "sessions (T_o = 1500 s)",
+        live_sessions.len(),
+        stored_sessions.len()
+    );
+
+    println!(
+        "\nreading: for LIVE content the client side is skewed (interest alpha ~0.5-0.7) \
+         and essentially all length variance is within-object (ratio ~1.0); for STORED \
+         content the object side is skewed (popularity alpha ~0.73, Breslau et al.) and \
+         object sizes absorb a large share of the length variance (ratio well below 1).",
+    );
+}

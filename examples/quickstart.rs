@@ -1,0 +1,40 @@
+//! Quickstart: generate a live streaming workload, render the server log,
+//! and print the Table-1/Table-2 style headline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lsw::analysis::characterize;
+use lsw::core::config::WorkloadConfig;
+use lsw::core::generator::Generator;
+
+fn main() {
+    // One day of the reality show, 20k clients, ~30k viewing sessions —
+    // every distributional parameter is the paper's Table 2.
+    let config = WorkloadConfig::paper().scaled(20_000, 86_400, 30_000);
+    println!("generating: {} clients, {} target sessions, {} hours of live content",
+        config.n_clients,
+        config.target_sessions,
+        config.horizon_secs / 3_600
+    );
+
+    let workload = Generator::new(config, 42).expect("valid config").generate();
+    println!(
+        "generated {} sessions and {} transfers",
+        workload.sessions().len(),
+        workload.len()
+    );
+
+    // Render as a Windows-Media-Server-style log (1-second resolution).
+    let trace = workload.render();
+
+    // Characterize hierarchically: client layer, session layer, transfer
+    // layer — the full pipeline of the paper.
+    let report = characterize(&trace, 0);
+    println!("\n{}", report.headline());
+
+    // The first few log lines, in the on-disk format.
+    let text = lsw::trace::wms::format_log(&trace.entries()[..3.min(trace.len())]);
+    println!("--- first log lines ---\n{}", String::from_utf8_lossy(&text));
+}

@@ -1,0 +1,88 @@
+//! Programmable arrival profiles: a soccer-game flash crowd.
+//!
+//! §6.1 of the paper conjectures that live-media characteristics depend on
+//! the *nature* of the content: "the periodicity observed in our reality
+//! TV application is likely to be very different from that observed in
+//! (say) live feeds associated with a soccer game." GISMO's extension
+//! therefore makes the arrival profile programmable. This example builds a
+//! match-day profile — a sharp pre-kickoff surge, sustained load through
+//! two halves, a halftime dip, and a final whistle cliff — and contrasts
+//! the resulting concurrency against the reality-show diurnal profile.
+//!
+//! ```text
+//! cargo run --release --example soccer_flash_crowd
+//! ```
+
+use lsw::analysis::transfer_layer;
+use lsw::core::config::WorkloadConfig;
+use lsw::core::diurnal::{DiurnalProfile, BINS_PER_DAY};
+use lsw::core::generator::Generator;
+use lsw::figures::ascii::{scatter, AxisScale};
+
+/// Builds the match-day shape: kickoff 20:00, halftime 20:45–21:00,
+/// final whistle 21:50.
+fn soccer_shape() -> Vec<f64> {
+    let mut shape = vec![10.0; BINS_PER_DAY]; // quiet baseline all day
+    let bin_of = |h: f64| ((h / 24.0) * BINS_PER_DAY as f64) as usize;
+    // Pre-game build-up from 19:00.
+    for (i, b) in (bin_of(19.0)..bin_of(20.0)).enumerate() {
+        shape[b] = 50.0 + 200.0 * i as f64;
+    }
+    // First half: full crowd.
+    for b in bin_of(20.0)..bin_of(20.75) {
+        shape[b] = 2_000.0;
+    }
+    // Halftime dip.
+    for b in bin_of(20.75)..bin_of(21.0) {
+        shape[b] = 1_200.0;
+    }
+    // Second half.
+    for b in bin_of(21.0)..bin_of(21.83) {
+        shape[b] = 2_200.0;
+    }
+    // Final whistle cliff, short post-game lingering.
+    for b in bin_of(21.83)..bin_of(22.5) {
+        shape[b] = 150.0;
+    }
+    shape
+}
+
+fn main() {
+    let config = WorkloadConfig::paper().scaled(30_000, 86_400, 40_000);
+
+    // Reality show (the paper's diurnal profile) vs match day.
+    let tv = Generator::new(config.clone(), 11).expect("valid config");
+    let soccer_profile = DiurnalProfile::new(soccer_shape(), [1.0; 7], 0)
+        .expect("valid shape");
+    let soccer = Generator::with_profile(config, 11, soccer_profile).expect("valid config");
+
+    for (name, generator) in [("reality show", tv), ("soccer match", soccer)] {
+        let trace = generator.generate().render();
+        let conc = transfer_layer::analyze_concurrency(&trace);
+        let peak = conc.peak;
+        let mean = conc.marginal.summary.mean;
+        println!("=== {name} ===");
+        println!(
+            "transfers: {}; peak concurrency: {peak}; mean: {mean:.0}; peak/mean: {:.1}",
+            trace.len(),
+            f64::from(peak) / mean
+        );
+        // Concurrency over the day, ASCII preview.
+        let pts: Vec<(f64, f64)> = conc
+            .over_trace
+            .points()
+            .into_iter()
+            .map(|(t, v)| (t / 3_600.0, v))
+            .collect();
+        println!("concurrent transfers vs hour of day:");
+        print!("{}", scatter(&pts, 72, 12, AxisScale::Linear, AxisScale::Linear));
+        println!();
+    }
+
+    println!(
+        "the flash-crowd profile concentrates the same session volume into ~2 hours: \
+         its peak-to-mean ratio is several times the reality show's, which is exactly \
+         why capacity planning must be content-aware (§6.1). The same Table 2 \
+         distributions drive both runs — only the programmable arrival profile differs."
+    );
+}

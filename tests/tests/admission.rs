@@ -1,0 +1,108 @@
+//! Admission control and provisioning invariants across generator +
+//! simulator (the §1 capacity-planning argument).
+
+use lsw::core::config::WorkloadConfig;
+use lsw::core::generator::Generator;
+use lsw::core::Workload;
+use lsw::sim::{AdmissionPolicy, NetworkConfig, ServerConfig, SimConfig, Simulator};
+
+fn workload() -> Workload {
+    let config = WorkloadConfig::paper().scaled(10_000, 86_400, 25_000);
+    Generator::new(config, 31).expect("valid config").generate()
+}
+
+fn with_cap(cap: u64) -> SimConfig {
+    SimConfig {
+        server: ServerConfig {
+            admission: AdmissionPolicy::RejectAbove { max_concurrent: cap },
+            ..ServerConfig::default()
+        },
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn accounting_is_conserved_under_any_cap() {
+    let w = workload();
+    for cap in [5, 50, 500, 5_000] {
+        let out = Simulator::new(with_cap(cap)).run(&w, 1);
+        let s = &out.server_stats;
+        assert_eq!(
+            (s.accepted + s.rejected) as usize,
+            w.len(),
+            "cap {cap}: every request must be accepted or rejected"
+        );
+        assert_eq!(s.accepted as usize, out.trace.len(), "cap {cap}: accepted == logged");
+        assert!(s.peak_concurrent <= cap, "cap {cap} violated: {}", s.peak_concurrent);
+    }
+}
+
+#[test]
+fn denied_viewer_time_monotone_in_shrinking_cap() {
+    let w = workload();
+    let mut prev_denied = -1.0;
+    // Sweep caps downward: denied viewer-seconds must not decrease.
+    for cap in [2_000u64, 500, 100, 20] {
+        let out = Simulator::new(with_cap(cap)).run(&w, 1);
+        assert!(
+            out.server_stats.denied_viewer_seconds >= prev_denied,
+            "cap {cap}: denied time decreased"
+        );
+        prev_denied = out.server_stats.denied_viewer_seconds;
+    }
+    assert!(prev_denied > 0.0, "tightest cap produced no denials");
+}
+
+#[test]
+fn uncapped_peak_bounds_all_capped_runs() {
+    let w = workload();
+    let base = Simulator::new(SimConfig::default()).run(&w, 1);
+    let peak = base.server_stats.peak_concurrent;
+    assert_eq!(base.server_stats.rejected, 0);
+    // A cap at the uncapped peak rejects nothing.
+    let out = Simulator::new(with_cap(peak)).run(&w, 1);
+    assert_eq!(out.server_stats.rejected, 0, "cap at peak must admit everything");
+    // A cap below it rejects something.
+    let out = Simulator::new(with_cap(peak / 2)).run(&w, 1);
+    assert!(out.server_stats.rejected > 0, "cap at half peak must reject");
+}
+
+#[test]
+fn uplink_conservation_and_monotonicity() {
+    let w = workload();
+    let mut prev_bytes = 0u64;
+    for uplink in [1e6, 4e6, 16e6, 64e6] {
+        let out = Simulator::new(SimConfig {
+            network: NetworkConfig { uplink_bps: uplink },
+            path_congestion_rate: 0.0,
+            ..SimConfig::default()
+        })
+        .run(&w, 1);
+        // Physical bound: bytes <= uplink capacity × horizon.
+        let bound = uplink / 8.0 * 86_400.0;
+        assert!(
+            (out.bytes_delivered as f64) <= bound * 1.001,
+            "uplink {uplink}: {} bytes exceeds {bound}",
+            out.bytes_delivered
+        );
+        // More capacity ⇒ at least as many bytes.
+        assert!(
+            out.bytes_delivered >= prev_bytes,
+            "uplink {uplink}: throughput decreased"
+        );
+        prev_bytes = out.bytes_delivered;
+    }
+}
+
+#[test]
+fn rejections_shrink_observed_audience() {
+    let w = workload();
+    let open = Simulator::new(SimConfig::default()).run(&w, 1);
+    let capped = Simulator::new(with_cap(50)).run(&w, 1);
+    let users_open = open.trace.summary().users;
+    let users_capped = capped.trace.summary().users;
+    assert!(
+        users_capped < users_open,
+        "capping at 50 must lose viewers: {users_capped} vs {users_open}"
+    );
+}

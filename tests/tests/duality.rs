@@ -1,0 +1,118 @@
+//! The live-vs-stored duality (§3.5 / §5.3 / §8), verified across crates:
+//! the same measurement machinery applied to both workload kinds must
+//! report mirror-image skew.
+
+use lsw::analysis::transfer_layer;
+use lsw::core::config::WorkloadConfig;
+use lsw::core::generator::Generator;
+use lsw::core::stored::{StoredConfig, StoredGenerator};
+use lsw::stats::empirical::RankFrequency;
+use lsw::stats::fit::fit_zipf_rank_frequency;
+use lsw::trace::session::transfer_counts_per_client;
+use lsw::trace::trace::Trace;
+
+const HORIZON: u32 = 2 * 86_400;
+
+fn live_trace() -> Trace {
+    let config = WorkloadConfig::paper().scaled(25_000, HORIZON, 60_000);
+    Generator::new(config, 55).expect("valid config").generate().render()
+}
+
+fn stored_trace() -> Trace {
+    let config = StoredConfig {
+        n_clients: 25_000,
+        n_objects: 500,
+        horizon_secs: HORIZON,
+        target_requests: 60_000,
+        ..StoredConfig::default()
+    };
+    StoredGenerator::new(config, 55).expect("valid config").generate()
+}
+
+fn object_alpha(trace: &Trace) -> f64 {
+    let mut counts = std::collections::HashMap::new();
+    for e in trace.entries() {
+        *counts.entry(e.object).or_insert(0u64) += 1;
+    }
+    let rf = RankFrequency::from_counts(counts.into_values().collect());
+    fit_zipf_rank_frequency(&rf, Some(100.0)).map(|f| f.alpha).unwrap_or(f64::NAN)
+}
+
+fn client_alpha(trace: &Trace) -> f64 {
+    let rf = RankFrequency::from_counts(transfer_counts_per_client(trace));
+    let mut body = rf.n();
+    for rank in 1..=rf.n() {
+        if rf.count_at(rank).unwrap_or(0) < 10 {
+            body = rank.saturating_sub(1);
+            break;
+        }
+    }
+    fit_zipf_rank_frequency(&rf, Some(body.max(20) as f64))
+        .map(|f| f.alpha)
+        .unwrap_or(f64::NAN)
+}
+
+#[test]
+fn stored_objects_are_zipf_but_clients_are_not() {
+    let t = stored_trace();
+    let obj = object_alpha(&t);
+    let cli = client_alpha(&t);
+    assert!((obj - 0.73).abs() < 0.15, "stored object alpha {obj}");
+    assert!(cli < 0.3, "stored client alpha should be near-uniform, got {cli}");
+}
+
+#[test]
+fn live_clients_are_zipf_but_objects_are_degenerate() {
+    let t = live_trace();
+    let cli = client_alpha(&t);
+    assert!(cli > 0.3, "live client interest alpha {cli}");
+    // Only 2 live objects exist — "object popularity" has 2 points.
+    assert_eq!(t.summary().objects, 2);
+}
+
+#[test]
+fn length_variance_lives_in_opposite_places() {
+    let live = transfer_layer::analyze_lengths(&live_trace());
+    let stored = transfer_layer::analyze_lengths(&stored_trace());
+    // Live: stickiness ⇒ within-object ratio ≈ 1.
+    assert!(
+        live.within_object_variance_ratio > 0.98,
+        "live ratio {}",
+        live.within_object_variance_ratio
+    );
+    // Stored: object sizes absorb a big share ⇒ ratio clearly below 1.
+    assert!(
+        stored.within_object_variance_ratio < 0.8,
+        "stored ratio {}",
+        stored.within_object_variance_ratio
+    );
+    assert!(
+        live.within_object_variance_ratio - stored.within_object_variance_ratio > 0.2,
+        "duality gap too small"
+    );
+}
+
+#[test]
+fn stored_lengths_bounded_by_objects_live_lengths_are_not() {
+    // For stored media the longest transfer cannot exceed the longest
+    // object; for live media length is bounded only by the event horizon.
+    let stored_cfg = StoredConfig {
+        n_clients: 5_000,
+        n_objects: 50,
+        horizon_secs: HORIZON,
+        target_requests: 20_000,
+        ..StoredConfig::default()
+    };
+    let gen = StoredGenerator::new(stored_cfg, 9).expect("valid config");
+    let trace = gen.generate();
+    let max_object: f64 = (0..50)
+        .map(|i| gen.object_duration(lsw::trace::ids::ObjectId(i)))
+        .fold(0.0, f64::max);
+    for e in trace.entries() {
+        assert!(
+            f64::from(e.duration) <= max_object + 1.0,
+            "stored transfer {} exceeds longest object {max_object}",
+            e.duration
+        );
+    }
+}

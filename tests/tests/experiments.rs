@@ -1,0 +1,93 @@
+//! The experiment harness, exercised end to end at small scale: every
+//! registered experiment must run, produce series and comparisons, and
+//! hold all its criteria.
+
+use lsw::figures::ascii::{scatter, AxisScale};
+use lsw::figures::context::{ReproContext, Scale};
+use lsw::figures::experiments;
+
+fn ctx() -> ReproContext {
+    ReproContext::build(Scale::Small, 42)
+}
+
+#[test]
+fn every_experiment_holds_at_small_scale() {
+    let ctx = ctx();
+    let mut failures = Vec::new();
+    for (id, run) in experiments::all() {
+        let result = run(&ctx);
+        assert_eq!(result.id, id, "experiment id mismatch");
+        assert!(!result.comparisons.is_empty(), "{id} produced no comparisons");
+        if !result.all_hold() {
+            failures.push(format!("{id}: {}", result.render_text()));
+        }
+    }
+    assert!(failures.is_empty(), "failed experiments:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn extension_experiments_hold_at_small_scale() {
+    let ctx = ctx();
+    for (id, run) in experiments::extensions() {
+        let result = run(&ctx);
+        assert_eq!(result.id, id);
+        assert!(
+            result.all_hold(),
+            "extension {id} failed:
+{}",
+            result.render_text()
+        );
+    }
+}
+
+#[test]
+fn experiment_results_serialize() {
+    let ctx = ctx();
+    let (_, run) = experiments::by_id("fig07").expect("registered");
+    let result = run(&ctx);
+    let json = serde_json::to_string(&result).expect("serializes");
+    let back: lsw::figures::FigureResult = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.id, "fig07");
+    assert_eq!(back.comparisons.len(), result.comparisons.len());
+}
+
+#[test]
+fn figure_series_are_plottable() {
+    let ctx = ctx();
+    for (id, run) in experiments::all() {
+        let result = run(&ctx);
+        for series in &result.series {
+            // Every series point must be finite on at least one axis and
+            // the ASCII renderer must not panic on it.
+            let rendered = scatter(&series.points, 48, 10, AxisScale::Log, AxisScale::Log);
+            assert!(!rendered.is_empty(), "{id}/{}", series.name);
+        }
+    }
+}
+
+#[test]
+fn rerun_with_same_context_is_stable() {
+    // Experiments are pure functions of the context.
+    let ctx = ctx();
+    let (_, run) = experiments::by_id("table2").expect("registered");
+    let a = run(&ctx);
+    let b = run(&ctx);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seeds_change_measurements_but_not_conclusions() {
+    let a = ReproContext::build(Scale::Small, 1);
+    let b = ReproContext::build(Scale::Small, 2);
+    let (_, run) = experiments::by_id("fig19").expect("registered");
+    let ra = run(&a);
+    let rb = run(&b);
+    // Different noise...
+    assert_ne!(
+        ra.comparisons[0].measured, rb.comparisons[0].measured,
+        "different seeds must differ"
+    );
+    // ...same verdicts.
+    assert!(ra.all_hold(), "{}", ra.render_text());
+    assert!(rb.all_hold(), "{}", rb.render_text());
+}

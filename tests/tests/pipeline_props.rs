@@ -1,0 +1,79 @@
+//! Property-based integration tests: random scaled configurations through
+//! the whole generate → simulate → sessionize pipeline.
+
+use lsw::core::config::WorkloadConfig;
+use lsw::core::generator::Generator;
+use lsw::sim::{SimConfig, Simulator};
+use lsw::trace::session::{SessionConfig, Sessions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_invariants(
+        n_clients in 200usize..3_000,
+        horizon in 14_400u32..100_000,
+        sessions in 300usize..3_000,
+        seed in 0u64..1_000,
+        timeout in 100.0..4_000.0f64,
+    ) {
+        let config = WorkloadConfig::paper().scaled(n_clients, horizon, sessions);
+        let workload = Generator::new(config, seed).unwrap().generate();
+        let out = Simulator::new(SimConfig::default()).run(&workload, seed);
+
+        // Simulator conserves transfers under AcceptAll.
+        prop_assert_eq!(out.trace.len(), workload.len());
+        prop_assert_eq!(out.server_stats.rejected, 0);
+
+        // Every logged entry is schema-valid and in-horizon.
+        for e in out.trace.entries() {
+            prop_assert!(e.validate().is_ok());
+            prop_assert!(e.stop() <= horizon);
+            prop_assert!(e.avg_bandwidth >= 1);
+            prop_assert!((e.client.0 as usize) < n_clients);
+        }
+
+        // Sessionization partitions the transfers for any timeout.
+        let s = Sessions::identify(&out.trace, SessionConfig { timeout });
+        let total: u64 = s.transfers_per_session().iter().sum();
+        prop_assert_eq!(total as usize, out.trace.len());
+
+        // The sessionizer can only merge or split relative to the ground
+        // truth, never invent clients.
+        let truth_clients: std::collections::HashSet<u32> =
+            workload.sessions().iter().map(|g| g.client.0).collect();
+        for sess in s.all() {
+            prop_assert!(truth_clients.contains(&sess.client.0));
+        }
+
+        // Byte accounting: logged bytes equal what the network delivered
+        // (sum within rounding slack of 1 byte per transfer).
+        let logged: u64 = out.trace.entries().iter().map(|e| e.bytes).sum();
+        let slack = out.trace.len() as u64;
+        prop_assert!(
+            logged <= out.bytes_delivered + slack
+                && out.bytes_delivered <= logged + slack,
+            "logged {} vs delivered {}", logged, out.bytes_delivered
+        );
+    }
+
+    #[test]
+    fn ground_truth_sessions_approximately_recovered(
+        seed in 0u64..200,
+    ) {
+        // With the paper's timeout, sessionized counts land near the
+        // generated ground truth (splits from >To intra-session gaps are
+        // a few percent; merges depend on per-client density).
+        let config = WorkloadConfig::paper().scaled(6_000, 86_400, 8_000);
+        let workload = Generator::new(config, seed).unwrap().generate();
+        let trace = workload.render();
+        let s = Sessions::identify(&trace, SessionConfig::default());
+        let truth = workload.sessions().len() as f64;
+        let found = s.len() as f64;
+        prop_assert!(
+            (found / truth - 1.0).abs() < 0.15,
+            "sessionizer found {} vs ground truth {}", found, truth
+        );
+    }
+}

@@ -108,12 +108,30 @@ impl ModelChoice {
     ];
 }
 
+impl Family {
+    /// Number of free parameters the family's fit estimates.
+    pub fn n_params(self) -> usize {
+        match self {
+            Family::Exponential => 1,
+            Family::LogNormal | Family::Pareto | Family::Weibull | Family::Gamma => 2,
+        }
+    }
+}
+
 /// Fits all candidate families to positive data and picks the one with the
-/// smallest Kolmogorov–Smirnov distance.
+/// smallest Kolmogorov–Smirnov distance, breaking statistical ties toward
+/// parsimony.
 ///
 /// The paper's §4.2 claim "lognormal, not as heavy as Pareto" is exactly a
 /// model-selection statement; this function lets the experiments make it
 /// quantitative.
+///
+/// Tie-break: KS distances closer than half the KS sampling scale
+/// `1/√n` are statistically indistinguishable (a two-parameter family
+/// that *nests* a one-parameter one, like Weibull ⊃ Exponential, always
+/// wins such a coin flip on finite samples). Among candidates within that
+/// band of the minimum, the family with the fewest parameters is chosen —
+/// the one-standard-error rule applied to KS model selection.
 pub fn select_model(data: &[f64]) -> Result<ModelChoice, FitError> {
     use crate::dist::Continuous;
     use crate::hypothesis::ks_distance;
@@ -149,7 +167,19 @@ pub fn select_model(data: &[f64]) -> Result<ModelChoice, FitError> {
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite KS"))
         .ok_or_else(|| FitError::new("no family could be fitted"))?;
-    Ok(ModelChoice { family: best.0, ks_distances: ks.clone() })
+    // Parsimony band: candidates this close to the minimum are within KS
+    // sampling noise of each other on an n-sized sample.
+    let tolerance = 0.5 / (data.len() as f64).sqrt();
+    let winner = ks
+        .iter()
+        .filter(|(_, d)| d - best.1 <= tolerance)
+        .min_by(|a, b| {
+            (a.0.n_params(), a.1)
+                .partial_cmp(&(b.0.n_params(), b.1))
+                .expect("finite KS")
+        })
+        .expect("band contains the minimum");
+    Ok(ModelChoice { family: winner.0, ks_distances: ks.clone() })
 }
 
 #[cfg(test)]

@@ -1,0 +1,66 @@
+//! Vendored subset of the `crossbeam` crate: scoped threads.
+//!
+//! Since Rust 1.63 the standard library ships structurally identical scoped
+//! threads (`std::thread::scope`), so this vendor crate simply re-exports
+//! them under the `crossbeam` names the workspace imports. Scoped spawns
+//! may borrow from the enclosing stack frame and are all joined before
+//! `scope` returns, which is exactly the worker-pool shape the parallel
+//! generator uses.
+
+#![forbid(unsafe_code)]
+
+/// Scoped thread primitives (std-backed).
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+pub use thread::scope;
+
+/// Utilities mirrored from `crossbeam-utils`.
+pub mod utils {
+    /// Cache-line-padded wrapper (semantic no-op stand-in: alignment hints
+    /// only affect performance, never correctness).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct CachePadded<T>(pub T);
+
+    impl<T> CachePadded<T> {
+        /// Wraps a value.
+        pub fn new(t: T) -> Self {
+            CachePadded(t)
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = vec![0u64; 2];
+        super::scope(|s| {
+            let (lo, hi) = partial.split_at_mut(1);
+            let d = &data;
+            s.spawn(move || lo[0] = d[..2].iter().sum());
+            s.spawn(move || hi[0] = d[2..].iter().sum());
+        });
+        assert_eq!(partial, vec![3, 7]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Vendored subset of the `serde` API, implemented over an in-memory value
+//! tree rather than upstream's visitor machinery.
+//!
+//! [`Serialize`] lowers a type to a [`Value`]; [`Deserialize`] raises a
+//! [`Value`] back. `serde_json` (also vendored) renders and parses that
+//! tree. The derive macros in `serde_derive` generate field-by-field
+//! `to_value`/`from_value` impls matching serde's standard JSON data model:
+//! structs as objects, newtypes as their inner value, enums externally
+//! tagged (unit variants as strings).
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialization value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the serialization of non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (field insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Error raised when a [`Value`] does not match the requested shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl Value {
+    /// Looks up a field of an object, erroring when absent or non-object.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(map) => map
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short name of the value's variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when numeric (or `null`, which maps to NaN —
+    /// the inverse of the NaN-to-null serialization rule).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Non-panicking object-field / array-index access.
+    pub fn get(&self, index: impl ValueIndex) -> Option<&Value> {
+        index.get_in(self)
+    }
+}
+
+/// Index argument for [`Value::get`] and `Value`'s `Index` impls.
+pub trait ValueIndex {
+    /// Looks `self` up inside `v`.
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl ValueIndex for str {
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Object(map) => map.iter().find(|(k, _)| k == self).map(|(_, x)| x),
+            _ => None,
+        }
+    }
+}
+
+impl ValueIndex for &str {
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        (**self).get_in(v)
+    }
+}
+
+impl ValueIndex for String {
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().get_in(v)
+    }
+}
+
+impl ValueIndex for usize {
+    fn get_in<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.get_in(self).unwrap_or(&NULL)
+    }
+}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Lowers `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be raised from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Raises a value tree back to `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+mod impls;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![(
+            "a".to_string(),
+            Value::Array(vec![Value::U64(1), Value::U64(2)]),
+        )]);
+        assert_eq!(v["a"][1].as_u64(), Some(2));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn round_trip_primitives() {
+        let x = 3.5f64;
+        assert_eq!(f64::from_value(&x.to_value()).unwrap(), 3.5);
+        let s = "hi".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+        let v = vec![(1u32, 2.0f64), (3, 4.0)];
+        let back: Vec<(u32, f64)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nan_through_null() {
+        let x = f64::NAN;
+        let v = x.to_value();
+        assert_eq!(v, Value::Null);
+        assert!(f64::from_value(&v).unwrap().is_nan());
+    }
+}

@@ -1,0 +1,435 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! Parses the item declaration directly from the raw [`proc_macro`] token
+//! stream (no `syn`/`quote` — the build environment is offline) and emits
+//! field-by-field `to_value`/`from_value` impls against the vendored
+//! value-tree `serde` API. Supported shapes are exactly the ones the
+//! workspace declares: non-generic named structs, tuple structs, unit
+//! structs, and enums with unit / named / tuple variants (externally
+//! tagged, matching serde's default JSON representation).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// The parsed shape of the deriving item.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_serialize(&shape).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error token parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on generic type `{name}` is not supported"));
+    }
+    match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct { name, fields: named_fields(&g)? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct { name, arity: tuple_arity(&g) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Shape::UnitStruct { name })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Enum { name, variants: variants(&g)? })
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skips leading `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(
+                    iter.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-field brace group, skipping types.
+fn named_fields(group: &Group) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant paren group.
+fn tuple_arity(group: &Group) -> usize {
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    let mut angle = 0i32;
+    for tok in group.stream() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if saw_token {
+                        arity += 1;
+                    }
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parses enum variants (unit, named-field, or tuple).
+fn variants(group: &Group) -> Result<Vec<Variant>, String> {
+    let mut out = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g)?;
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g);
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional separator / discriminant — only `,` occurs in this
+        // workspace (no explicit discriminants on serialized enums).
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                out.push(Variant { name, kind });
+                break;
+            }
+            other => return Err(format!("expected `,` after variant, got {other:?}")),
+        }
+        out.push(Variant { name, kind });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Object(::std::vec![{entries}])"),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            impl_serialize(name, &format!("::serde::Value::Array(::std::vec![{items}])"))
+        }
+        Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from({vname:?})),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),"
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: String = binds
+                                    .iter()
+                                    .map(|b| {
+                                        format!("::serde::Serialize::to_value({b}),")
+                                    })
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,")
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!("::std::result::Result::Ok({name} {{ {inits} }})"),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::from_value(v)?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            impl_deserialize(name, &tuple_body(name, *arity))
+        }
+        Shape::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         inner.field({f:?})?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => ::std::result::Result::Ok(\
+                                 {name}::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => Some(format!(
+                            "{vname:?} => {{ let v = inner; {} }}",
+                            tuple_body(&format!("{name}::{vname}"), *arity)
+                        )),
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {unit_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                       format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                     let (tag, inner) = &map[0];\n\
+                     match tag.as_str() {{\n\
+                       {tagged_arms}\n\
+                       other => ::std::result::Result::Err(::serde::Error::msg(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }}\n\
+                   }}\n\
+                   other => ::std::result::Result::Err(::serde::Error::msg(\
+                     format!(\"expected {name}, got {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+/// Body that destructures `v` as a fixed-arity array into `ctor(..)`.
+fn tuple_body(ctor: &str, arity: usize) -> String {
+    let items: String = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+        .collect();
+    format!(
+        "{{ let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\
+         format!(\"expected array, got {{}}\", v.kind())))?;\n\
+         if items.len() != {arity} {{\n\
+           return ::std::result::Result::Err(::serde::Error::msg(format!(\
+             \"expected array of {arity}, got {{}}\", items.len())));\n\
+         }}\n\
+         ::std::result::Result::Ok({ctor}({items})) }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -123,10 +123,8 @@ pub fn analyze_geo(trace: &Trace) -> GeoAnalysis {
     let n_ases = transfers_per_as.len();
     let as_by_transfers =
         RankFrequency::from_counts(transfers_per_as.into_values().collect()).points();
-    let as_by_ips = RankFrequency::from_counts(
-        ips_per_as.values().map(|s| s.len() as u64).collect(),
-    )
-    .points();
+    let as_by_ips =
+        RankFrequency::from_counts(ips_per_as.values().map(|s| s.len() as u64).collect()).points();
     let total: u64 = transfers_per_country.values().sum();
     let mut country_transfers: Vec<(String, f64)> = transfers_per_country
         .into_iter()
@@ -137,7 +135,9 @@ pub fn analyze_geo(trace: &Trace) -> GeoAnalysis {
             )
         })
         .collect();
-    country_transfers.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+    // Total order (share desc, then name) keeps the listing deterministic
+    // even when two countries tie exactly.
+    country_transfers.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     GeoAnalysis {
         as_by_transfers,
         as_by_ips,
@@ -151,8 +151,8 @@ pub fn analyze_geo(trace: &Trace) -> GeoAnalysis {
 pub fn analyze_concurrency(sessions: &Sessions, horizon: u32) -> ClientConcurrency {
     let profile = ConcurrencyProfile::clients(sessions.all(), horizon);
     let samples = profile.samples();
-    let marginal = Marginal::linear_binned(&samples, 100)
-        .expect("horizon >= 1 gives at least one sample");
+    let marginal =
+        Marginal::linear_binned(&samples, 100).expect("horizon >= 1 gives at least one sample");
     let over_trace = profile.binned_mean(900);
     let weekly = over_trace.fold(7.0 * 86_400.0);
     let daily = over_trace.fold(86_400.0);
@@ -202,8 +202,8 @@ fn merge_peaks(series: &[f64], peaks: Vec<usize>, min_gap: usize) -> Vec<usize> 
 pub fn analyze_arrivals(sessions: &Sessions, horizon: u32, seed: u64) -> ArrivalAnalysis {
     let arrivals = sessions.arrival_times();
     let actual_iats = sessions.client_interarrivals();
-    let interarrivals = Marginal::log_binned(&display_transform(&actual_iats), 10)
-        .unwrap_or_else(empty_marginal);
+    let interarrivals =
+        Marginal::log_binned(&display_transform(&actual_iats), 10).unwrap_or_else(empty_marginal);
 
     // Fit 15-minute piecewise rates from the arrivals and regenerate
     // (Fig 6's experiment, §3.4).
@@ -218,7 +218,10 @@ pub fn analyze_arrivals(sessions: &Sessions, horizon: u32, seed: u64) -> Arrival
         // Quantize to whole seconds first: the actual arrivals went through
         // the server's 1-second log resolution, so the synthetic process
         // must see the same measurement pipeline to be comparable.
-        synth.windows(2).map(|w| w[1].floor() - w[0].floor()).collect()
+        synth
+            .windows(2)
+            .map(|w| w[1].floor() - w[0].floor())
+            .collect()
     } else {
         Vec::new()
     };
@@ -228,7 +231,10 @@ pub fn analyze_arrivals(sessions: &Sessions, horizon: u32, seed: u64) -> Arrival
     let ks_actual_vs_synthetic = if !actual_iats.is_empty() && !synthetic_iats.is_empty() {
         ks_two_sample(&display_transform(&actual_iats), &synthetic_display)
     } else {
-        TestResult { statistic: f64::NAN, p_value: f64::NAN }
+        TestResult {
+            statistic: f64::NAN,
+            p_value: f64::NAN,
+        }
     };
 
     // §3.4: within each 15-minute window, are per-minute counts Poisson?
@@ -397,6 +403,11 @@ mod tests {
         let tf = i.transfers_fit.expect("enough clients to fit");
         // Transfers-per-client is interest convolved with transfers-per-
         // session: steeper than the session profile (paper: 0.72 vs 0.47).
-        assert!(tf.alpha > sf.alpha, "transfer {} vs session {}", tf.alpha, sf.alpha);
+        assert!(
+            tf.alpha > sf.alpha,
+            "transfer {} vs session {}",
+            tf.alpha,
+            sf.alpha
+        );
     }
 }

@@ -34,10 +34,18 @@ impl Marginal {
     /// that applied `⌊t⌋+1` have none anyway.
     pub fn log_binned(data: &[f64], per_decade: usize) -> Option<Self> {
         let summary = Summary::from_data(data)?;
-        let positive_min = data.iter().copied().filter(|&x| x > 0.0).fold(f64::INFINITY, f64::min);
+        let positive_min = data
+            .iter()
+            .copied()
+            .filter(|&x| x > 0.0)
+            .fold(f64::INFINITY, f64::min);
         let frequency = if positive_min.is_finite() && summary.max > positive_min {
             let hist = Histogram::from_data(
-                Binning::Log { lo: positive_min, hi: summary.max, per_decade },
+                Binning::Log {
+                    lo: positive_min,
+                    hi: summary.max,
+                    per_decade,
+                },
                 data,
             );
             hist.frequency_points()
@@ -77,7 +85,9 @@ impl Marginal {
 /// Applies the paper's `⌊t⌋+1` log-display transform to a series of
 /// second-resolution measurements.
 pub fn display_transform(data: &[f64]) -> Vec<f64> {
-    data.iter().map(|&t| lsw_stats::paper::log_display_time(t)).collect()
+    data.iter()
+        .map(|&t| lsw_stats::paper::log_display_time(t))
+        .collect()
 }
 
 /// Decimates a sorted point series to at most [`MAX_POINTS`] entries,
@@ -131,7 +141,10 @@ mod tests {
 
     #[test]
     fn display_transform_matches_paper() {
-        assert_eq!(display_transform(&[0.0, 0.4, 1.0, 2.7]), vec![1.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            display_transform(&[0.0, 0.4, 1.0, 2.7]),
+            vec![1.0, 1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

@@ -117,18 +117,32 @@ pub fn characterize(trace: &Trace, seed: u64) -> CharacterizationReport {
 }
 
 /// Runs the characterization with an explicit session configuration.
+///
+/// The three layers are independent given the trace and the sessionization,
+/// so they run concurrently on scoped threads; each layer parallelizes
+/// further internally. Results are identical to running them sequentially.
 pub fn characterize_with(
     trace: &Trace,
     config: SessionConfig,
     seed: u64,
 ) -> CharacterizationReport {
     let sessions = Sessions::identify(trace, config);
+    let (client, session, transfer) = crossbeam::thread::scope(|s| {
+        let client = s.spawn(|| client_layer::analyze(trace, &sessions, seed));
+        let session = s.spawn(|| session_layer::analyze(trace, &sessions));
+        let transfer = s.spawn(|| transfer_layer::analyze(trace));
+        (
+            client.join().expect("client layer panicked"),
+            session.join().expect("session layer panicked"),
+            transfer.join().expect("transfer layer panicked"),
+        )
+    });
     CharacterizationReport {
         summary: trace.summary(),
         session_timeout: config.timeout,
-        client: client_layer::analyze(trace, &sessions, seed),
-        session: session_layer::analyze(trace, &sessions),
-        transfer: transfer_layer::analyze(trace),
+        client,
+        session,
+        transfer,
     }
 }
 

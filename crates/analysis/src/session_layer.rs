@@ -11,6 +11,7 @@ use crate::marginal::{display_transform, Marginal};
 use lsw_stats::fit::{
     fit_exponential, fit_lognormal, fit_zipf_points, ExponentialFit, LogNormalFit, ZipfFit,
 };
+use lsw_stats::par::Parallelism;
 use lsw_trace::session::{SessionConfig, Sessions};
 use lsw_trace::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -77,8 +78,8 @@ pub struct SessionLayer {
 
 /// The sweep values used for Fig 9 (seconds).
 pub const TIMEOUT_SWEEP: [f64; 14] = [
-    60.0, 120.0, 240.0, 400.0, 600.0, 800.0, 1_000.0, 1_250.0, 1_500.0, 2_000.0, 2_500.0,
-    3_000.0, 3_500.0, 4_000.0,
+    60.0, 120.0, 240.0, 400.0, 600.0, 800.0, 1_000.0, 1_250.0, 1_500.0, 2_000.0, 2_500.0, 3_000.0,
+    3_500.0, 4_000.0,
 ];
 
 /// Runs the full session-layer characterization.
@@ -123,11 +124,29 @@ pub fn analyze(trace: &Trace, sessions: &Sessions) -> SessionLayer {
 }
 
 /// Fig 9: re-sessionize under each timeout.
+///
+/// Each timeout's sessionization is independent, so the sweep fans out
+/// one scoped thread per timeout; inside the sweep each `identify` runs
+/// sequentially (the outer fan-out already saturates the cores).
 pub fn sweep_timeouts(trace: &Trace, timeouts: &[f64]) -> TimeoutSweep {
-    let points = timeouts
-        .iter()
-        .map(|&t| (t, Sessions::identify(trace, SessionConfig { timeout: t }).len()))
-        .collect();
+    let points = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = timeouts
+            .iter()
+            .map(|&t| {
+                s.spawn(move || {
+                    let config = SessionConfig { timeout: t };
+                    (
+                        t,
+                        Sessions::identify_with(trace, config, Parallelism::sequential()).len(),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
     TimeoutSweep { points }
 }
 
@@ -144,7 +163,11 @@ pub fn on_time_by_hour(sessions: &Sessions) -> OnTimeByHour {
         .map(|h| {
             (
                 h as f64,
-                if counts[h] > 0 { sums[h] / counts[h] as f64 } else { f64::NAN },
+                if counts[h] > 0 {
+                    sums[h] / counts[h] as f64
+                } else {
+                    f64::NAN
+                },
             )
         })
         .collect();
@@ -158,7 +181,10 @@ pub fn on_time_by_hour(sessions: &Sessions) -> OnTimeByHour {
     } else {
         f64::NAN
     };
-    OnTimeByHour { points, max_relative_deviation }
+    OnTimeByHour {
+        points,
+        max_relative_deviation,
+    }
 }
 
 /// Fig 13's frequency points: `P[K = k]` per transfer count `k`.
@@ -171,7 +197,9 @@ fn tps_frequency_points(counts: &[u64]) -> Vec<(f64, f64)> {
         *hist.entry(c).or_insert(0) += 1;
     }
     let total = counts.len() as f64;
-    hist.into_iter().map(|(k, n)| (k as f64, n as f64 / total)).collect()
+    hist.into_iter()
+        .map(|(k, n)| (k as f64, n as f64 / total))
+        .collect()
 }
 
 /// Detects the Fig 12 daily-revisit ripples: for each integer day `d`,
@@ -184,7 +212,10 @@ fn off_ripples(off_times: &[f64]) -> Vec<f64> {
     let day = 86_400.0;
     let window = 3.0 * 3_600.0;
     let density_near = |center: f64| {
-        off_times.iter().filter(|&&t| (t - center).abs() <= window).count() as f64
+        off_times
+            .iter()
+            .filter(|&&t| (t - center).abs() <= window)
+            .count() as f64
     };
     let mut out = Vec::new();
     for d in 1..=7 {

@@ -104,12 +104,17 @@ pub fn analyze(trace: &Trace) -> TransferLayer {
 pub fn analyze_concurrency(trace: &Trace) -> TransferConcurrency {
     let profile = ConcurrencyProfile::transfers(trace.entries(), trace.horizon());
     let samples = profile.samples();
-    let marginal =
-        Marginal::linear_binned(&samples, 100).expect("horizon >= 1 gives samples");
+    let marginal = Marginal::linear_binned(&samples, 100).expect("horizon >= 1 gives samples");
     let over_trace = profile.binned_mean(900);
     let weekly = over_trace.fold(7.0 * 86_400.0);
     let daily = over_trace.fold(86_400.0);
-    TransferConcurrency { marginal, over_trace, weekly, daily, peak: profile.peak() }
+    TransferConcurrency {
+        marginal,
+        over_trace,
+        weekly,
+        daily,
+        peak: profile.peak(),
+    }
 }
 
 /// Figs 17/18.
@@ -136,20 +141,32 @@ pub fn analyze_arrivals(trace: &Trace) -> TransferArrivals {
     let over_trace = BinnedSeries::new(means.iter().map(|&(m, _)| m).collect(), 900.0);
     let weekly = over_trace.fold(7.0 * 86_400.0);
     let daily = over_trace.fold(86_400.0);
-    TransferArrivals { interarrivals, tail, over_trace, weekly, daily }
+    TransferArrivals {
+        interarrivals,
+        tail,
+        over_trace,
+        weekly,
+        daily,
+    }
 }
 
 /// Fig 19 + the §5.3 stickiness ratio.
 pub fn analyze_lengths(trace: &Trace) -> TransferLengths {
-    let lengths: Vec<f64> = trace.entries().iter().map(|e| e.display_duration()).collect();
+    let lengths: Vec<f64> = trace
+        .entries()
+        .iter()
+        .map(|e| e.display_duration())
+        .collect();
     let marginal = Marginal::log_binned(&lengths, 10).unwrap_or_else(empty_marginal);
     let fit = fit_lognormal(&lengths).ok();
 
     // Variance decomposition of log-lengths by object.
-    let mut by_object: std::collections::HashMap<u16, Vec<f64>> =
-        std::collections::HashMap::new();
+    let mut by_object: std::collections::HashMap<u16, Vec<f64>> = std::collections::HashMap::new();
     for e in trace.entries() {
-        by_object.entry(e.object.0).or_default().push(e.display_duration().ln());
+        by_object
+            .entry(e.object.0)
+            .or_default()
+            .push(e.display_duration().ln());
     }
     let all: Vec<f64> = by_object.values().flatten().copied().collect();
     let within_object_variance_ratio = if all.len() > 1 {
@@ -171,17 +188,28 @@ pub fn analyze_lengths(trace: &Trace) -> TransferLengths {
         f64::NAN
     };
 
-    TransferLengths { marginal, fit, within_object_variance_ratio }
+    TransferLengths {
+        marginal,
+        fit,
+        within_object_variance_ratio,
+    }
 }
 
 /// Fig 20.
 pub fn analyze_bandwidth(trace: &Trace) -> TransferBandwidth {
-    let bws: Vec<f64> = trace.entries().iter().map(|e| f64::from(e.avg_bandwidth)).collect();
+    let bws: Vec<f64> = trace
+        .entries()
+        .iter()
+        .map(|e| f64::from(e.avg_bandwidth))
+        .collect();
     let marginal = Marginal::log_binned(&bws, 20).unwrap_or_else(empty_marginal);
     let congestion_bound_fraction = if bws.is_empty() {
         f64::NAN
     } else {
-        bws.iter().filter(|&&b| b < CONGESTION_THRESHOLD_BPS).count() as f64 / bws.len() as f64
+        bws.iter()
+            .filter(|&&b| b < CONGESTION_THRESHOLD_BPS)
+            .count() as f64
+            / bws.len() as f64
     };
     // Spikes: prominent local maxima of the frequency histogram. A bin is
     // a spike when it carries >= 2% of the mass and is the maximum within
@@ -197,7 +225,11 @@ pub fn analyze_bandwidth(trace: &Trace) -> TransferBandwidth {
             spike_positions.push(f[i].0);
         }
     }
-    TransferBandwidth { marginal, congestion_bound_fraction, spike_positions }
+    TransferBandwidth {
+        marginal,
+        congestion_bound_fraction,
+        spike_positions,
+    }
 }
 
 fn empty_marginal() -> Marginal {
@@ -247,7 +279,11 @@ mod tests {
         let mut t = 0.0f64;
         let mut entries = Vec::new();
         for i in 0..60_000u32 {
-            let gap = if i % 500 == 499 { tail_d.sample(&mut rng) } else { body.sample(&mut rng) };
+            let gap = if i % 500 == 499 {
+                tail_d.sample(&mut rng)
+            } else {
+                body.sample(&mut rng)
+            };
             t += gap;
             entries.push(
                 LogEntryBuilder::new()
@@ -267,7 +303,11 @@ mod tests {
             tail.alpha_long
         );
         // The long regime is the planted Pareto(α = 1).
-        assert!((tail.alpha_long - 1.0).abs() < 0.4, "long {}", tail.alpha_long);
+        assert!(
+            (tail.alpha_long - 1.0).abs() < 0.4,
+            "long {}",
+            tail.alpha_long
+        );
     }
 
     #[test]
@@ -292,7 +332,11 @@ mod tests {
         let l = analyze_lengths(&trace);
         let fit = l.fit.expect("fit available");
         assert!((fit.mu - 4.384).abs() < 0.15, "length mu {}", fit.mu);
-        assert!((fit.sigma - 1.427).abs() < 0.15, "length sigma {}", fit.sigma);
+        assert!(
+            (fit.sigma - 1.427).abs() < 0.15,
+            "length sigma {}",
+            fit.sigma
+        );
         // Live content: nearly all length variance is within-object.
         assert!(
             l.within_object_variance_ratio > 0.98,

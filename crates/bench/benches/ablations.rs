@@ -31,9 +31,7 @@ fn ablation_to(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(timeout as u64),
             &timeout,
-            |b, &t| {
-                b.iter(|| black_box(Sessions::identify(&trace, SessionConfig { timeout: t })))
-            },
+            |b, &t| b.iter(|| black_box(Sessions::identify(&trace, SessionConfig { timeout: t }))),
         );
     }
     group.finish();
@@ -43,8 +41,7 @@ fn ablation_arrival(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_arrival");
     group.sample_size(10);
     let diurnal = Generator::new(small_config(), 5).expect("valid");
-    let flat =
-        Generator::with_profile(small_config(), 5, DiurnalProfile::flat()).expect("valid");
+    let flat = Generator::with_profile(small_config(), 5, DiurnalProfile::flat()).expect("valid");
     group.bench_function("diurnal_piecewise_poisson", |b| {
         b.iter(|| black_box(diurnal.generate()))
     });
@@ -76,7 +73,11 @@ fn ablation_tps(c: &mut Criterion) {
         ("geometric", TransfersPerSession::Geometric { mean: 3.7 }),
         (
             "hybrid_scale_matched",
-            TransfersPerSession::Hybrid { alpha: 2.70417, p_tail: 0.35, body_mean: 4.8 },
+            TransfersPerSession::Hybrid {
+                alpha: 2.70417,
+                p_tail: 0.35,
+                body_mean: 4.8,
+            },
         ),
     ];
     for (name, model) in models {
@@ -107,7 +108,9 @@ fn ablation_stored_vs_live(c: &mut Criterion) {
     group.bench_function("live_generate_render", |b| {
         b.iter(|| black_box(live.generate().render()))
     });
-    group.bench_function("stored_generate", |b| b.iter(|| black_box(stored.generate())));
+    group.bench_function("stored_generate", |b| {
+        b.iter(|| black_box(stored.generate()))
+    });
     group.finish();
 }
 

@@ -55,7 +55,12 @@ fn bench_concurrency_sweep(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("sweep_line_transfers", |b| {
-        b.iter(|| black_box(ConcurrencyProfile::transfers(trace.entries(), trace.horizon())))
+        b.iter(|| {
+            black_box(ConcurrencyProfile::transfers(
+                trace.entries(),
+                trace.horizon(),
+            ))
+        })
     });
     group.finish();
 }
@@ -67,7 +72,9 @@ fn bench_wms_round_trip(c: &mut Criterion) {
     let text_str = std::str::from_utf8(&text).expect("UTF-8").to_string();
     let mut group = c.benchmark_group("wms");
     group.throughput(Throughput::Elements(entries.len() as u64));
-    group.bench_function("format_10k", |b| b.iter(|| black_box(wms::format_log(entries))));
+    group.bench_function("format_10k", |b| {
+        b.iter(|| black_box(wms::format_log(entries)))
+    });
     group.bench_function("parse_10k", |b| {
         b.iter(|| black_box(wms::parse_log(&text_str).expect("parses")))
     });
@@ -81,9 +88,15 @@ fn bench_samplers(c: &mut Criterion) {
     let zeta = Zeta::new(2.70417).expect("valid");
     let zipf = ZipfTable::new(691_889, 0.4704).expect("valid");
     let mut rng = SeedStream::new(3).rng("bench");
-    group.bench_function("lognormal", |b| b.iter(|| black_box(lognormal.sample(&mut rng))));
-    group.bench_function("zeta_devroye", |b| b.iter(|| black_box(zeta.sample_k(&mut rng))));
-    group.bench_function("zipf_692k_table", |b| b.iter(|| black_box(zipf.sample_k(&mut rng))));
+    group.bench_function("lognormal", |b| {
+        b.iter(|| black_box(lognormal.sample(&mut rng)))
+    });
+    group.bench_function("zeta_devroye", |b| {
+        b.iter(|| black_box(zeta.sample_k(&mut rng)))
+    });
+    group.bench_function("zipf_692k_table", |b| {
+        b.iter(|| black_box(zipf.sample_k(&mut rng)))
+    });
     group.finish();
 }
 

@@ -1,0 +1,177 @@
+//! `bench-json` — machine-readable throughput benchmark.
+//!
+//! Times the hot pipeline stages with `std::time::Instant` (no Criterion
+//! harness, so it runs in seconds and emits one JSON file) and writes
+//! `BENCH_throughput.json` with elements/sec per stage, the thread counts
+//! used, the host core count, and the git sha. The headline comparison is
+//! workload generation at 1 thread vs N threads: on a host with >= 4 cores
+//! the parallel generator should clear 3x the single-thread elements/sec.
+//!
+//! ```text
+//! cargo run --release -p lsw-bench --bin bench-json [-- OUT.json]
+//! ```
+
+use std::time::Instant;
+
+use lsw_core::config::WorkloadConfig;
+use lsw_core::generator::Generator;
+use lsw_stats::par::Parallelism;
+use lsw_trace::concurrency::ConcurrencyProfile;
+use lsw_trace::session::{SessionConfig, Sessions};
+
+/// Iterations per stage; the fastest run is reported.
+const ITERS: usize = 3;
+
+fn bench_config() -> WorkloadConfig {
+    WorkloadConfig::paper().scaled(15_000, 86_400, 25_000)
+}
+
+/// Run `f` [`ITERS`] times and return (result of last run, best secs).
+fn time<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.expect("ITERS > 0"), best)
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+struct Stage {
+    name: &'static str,
+    threads: usize,
+    elements: usize,
+    secs: f64,
+}
+
+impl Stage {
+    fn rate(&self) -> f64 {
+        self.elements as f64 / self.secs
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{ \"stage\": \"{}\", \"threads\": {}, \"elements\": {}, \
+             \"secs\": {:.6}, \"elements_per_sec\": {:.1} }}",
+            self.name,
+            self.threads,
+            self.elements,
+            self.secs,
+            self.rate()
+        )
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let par_threads = Parallelism::auto().threads().max(4);
+    let config = bench_config();
+    let seed = 9001;
+
+    eprintln!("bench-json: host_cpus={host_cpus}, parallel stages use {par_threads} threads");
+
+    let gen = |threads: usize| {
+        let config = config.clone();
+        move || {
+            Generator::new(config.clone(), seed)
+                .expect("valid config")
+                .with_parallelism(Parallelism::fixed(threads))
+                .generate()
+        }
+    };
+
+    let (workload, secs_1) = time(gen(1));
+    let n_transfers = workload.len();
+    let (_, secs_n) = time(gen(par_threads));
+    let trace = workload.render();
+
+    let (sessions, sess_secs) = time(|| {
+        Sessions::identify_with(
+            &trace,
+            SessionConfig::default(),
+            Parallelism::fixed(par_threads),
+        )
+    });
+    let intervals: Vec<(u32, u32)> = trace
+        .entries()
+        .iter()
+        .map(|e| (e.start, e.start + e.duration))
+        .collect();
+    let horizon = intervals.iter().map(|&(_, hi)| hi).max().unwrap_or(0) + 1;
+    let (_, conc_secs) = time(|| {
+        ConcurrencyProfile::from_intervals_par(&intervals, horizon, Parallelism::fixed(par_threads))
+    });
+
+    let stages = [
+        Stage {
+            name: "generate",
+            threads: 1,
+            elements: n_transfers,
+            secs: secs_1,
+        },
+        Stage {
+            name: "generate",
+            threads: par_threads,
+            elements: n_transfers,
+            secs: secs_n,
+        },
+        Stage {
+            name: "sessionize",
+            threads: par_threads,
+            elements: trace.len(),
+            secs: sess_secs,
+        },
+        Stage {
+            name: "concurrency",
+            threads: par_threads,
+            elements: intervals.len(),
+            secs: conc_secs,
+        },
+    ];
+    let speedup = stages[1].rate() / stages[0].rate();
+
+    let body: Vec<String> = stages.iter().map(Stage::json).collect();
+    let json = format!(
+        "{{\n  \"git_sha\": \"{}\",\n  \"host_cpus\": {},\n  \"parallel_threads\": {},\n  \
+         \"generate_speedup\": {:.3},\n  \"stages\": [\n{}\n  ]\n}}\n",
+        git_sha(),
+        host_cpus,
+        par_threads,
+        speedup,
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+
+    for s in &stages {
+        eprintln!(
+            "  {:<12} threads={:<2} {:>9} elems in {:>8.3}s = {:>12.0} elems/s",
+            s.name,
+            s.threads,
+            s.elements,
+            s.secs,
+            s.rate()
+        );
+    }
+    eprintln!(
+        "  generate speedup at {par_threads} threads: {speedup:.2}x \
+         (sessions identified: {})",
+        sessions.all().len()
+    );
+    eprintln!("wrote {out_path}");
+}

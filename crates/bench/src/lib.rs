@@ -23,7 +23,9 @@ use lsw_trace::trace::Trace;
 /// A workload sized for micro-benchmarks (~1 day, ~45k transfers).
 pub fn bench_workload() -> Workload {
     let config = WorkloadConfig::paper().scaled(15_000, 86_400, 25_000);
-    Generator::new(config, 9001).expect("valid config").generate()
+    Generator::new(config, 9001)
+        .expect("valid config")
+        .generate()
 }
 
 /// The rendered trace of [`bench_workload`].

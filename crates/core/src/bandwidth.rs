@@ -57,7 +57,11 @@ impl BandwidthModel {
             let bps = raw.min(cap * self.cfg.efficiency_lo).max(1.0);
             // Congested paths lose packets: 2–20%.
             let packet_loss = (0.02 + u01(rng) * 0.18) as f32;
-            BandwidthDraw { bps: bps as u32, congestion_bound: true, packet_loss }
+            BandwidthDraw {
+                bps: bps as u32,
+                congestion_bound: true,
+                packet_loss,
+            }
         } else {
             // Client-bound: a high fraction of link capacity.
             let eff = self.cfg.efficiency_lo
@@ -65,7 +69,11 @@ impl BandwidthModel {
             let bps = cap * eff;
             // Healthy paths: under 1% loss.
             let packet_loss = (u01(rng) * 0.01) as f32;
-            BandwidthDraw { bps: bps as u32, congestion_bound: false, packet_loss }
+            BandwidthDraw {
+                bps: bps as u32,
+                congestion_bound: false,
+                packet_loss,
+            }
         }
     }
 }
@@ -81,8 +89,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_config() {
-        let mut cfg = BandwidthConfig::default();
-        cfg.congestion_fraction = 1.5;
+        let cfg = BandwidthConfig {
+            congestion_fraction: 1.5,
+            ..Default::default()
+        };
         assert!(BandwidthModel::new(cfg).is_err());
     }
 
@@ -144,7 +154,7 @@ mod tests {
             }
         }
         let med = |v: &mut Vec<f64>| {
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_unstable_by(f64::total_cmp);
             v[v.len() / 2]
         };
         let (ml, mh) = (med(&mut low), med(&mut high));

@@ -206,19 +206,28 @@ impl WorkloadConfig {
             return Err("target_sessions must be >= 1".into());
         }
         if !(self.interest_alpha >= 0.0) {
-            return Err(format!("interest_alpha must be >= 0, got {}", self.interest_alpha));
+            return Err(format!(
+                "interest_alpha must be >= 0, got {}",
+                self.interest_alpha
+            ));
         }
         match self.transfers_per_session {
             TransfersPerSession::Zipf { alpha } if !(alpha > 1.0) => {
-                return Err(format!("Zipf transfers-per-session needs alpha > 1, got {alpha}"));
+                return Err(format!(
+                    "Zipf transfers-per-session needs alpha > 1, got {alpha}"
+                ));
             }
             TransfersPerSession::Geometric { mean } if !(mean >= 1.0) => {
-                return Err(format!("Geometric transfers-per-session needs mean >= 1, got {mean}"));
+                return Err(format!(
+                    "Geometric transfers-per-session needs mean >= 1, got {mean}"
+                ));
             }
-            TransfersPerSession::Hybrid { alpha, p_tail, body_mean } => {
-                if !(alpha > 1.0) || !(0.0..=1.0).contains(&p_tail) || !(body_mean >= 1.0) {
-                    return Err("invalid Hybrid transfers-per-session parameters".into());
-                }
+            TransfersPerSession::Hybrid {
+                alpha,
+                p_tail,
+                body_mean,
+            } if !(alpha > 1.0) || !(0.0..=1.0).contains(&p_tail) || !(body_mean >= 1.0) => {
+                return Err("invalid Hybrid transfers-per-session parameters".into());
             }
             _ => {}
         }
@@ -239,10 +248,12 @@ impl WorkloadConfig {
             return Err("camera_hold_secs must be positive".into());
         }
         let b = &self.bandwidth;
+        let efficiency_ok =
+            0.0 < b.efficiency_lo && b.efficiency_lo <= b.efficiency_hi && b.efficiency_hi <= 1.0;
         if !(0.0..=1.0).contains(&b.congestion_fraction)
             || !(b.congestion_median_bps > 0.0)
             || !(b.congestion_sigma > 0.0)
-            || !(0.0 < b.efficiency_lo && b.efficiency_lo <= b.efficiency_hi && b.efficiency_hi <= 1.0)
+            || !efficiency_ok
         {
             return Err("invalid bandwidth configuration".into());
         }
@@ -309,8 +320,11 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = good.clone();
-        c.transfers_per_session =
-            TransfersPerSession::Hybrid { alpha: 2.7, p_tail: 1.5, body_mean: 4.0 };
+        c.transfers_per_session = TransfersPerSession::Hybrid {
+            alpha: 2.7,
+            p_tail: 1.5,
+            body_mean: 4.0,
+        };
         assert!(c.validate().is_err());
     }
 

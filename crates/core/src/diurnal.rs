@@ -43,7 +43,10 @@ impl DiurnalProfile {
         start_weekday: u8,
     ) -> Result<Self, String> {
         if shape.len() != BINS_PER_DAY {
-            return Err(format!("shape must have {BINS_PER_DAY} bins, got {}", shape.len()));
+            return Err(format!(
+                "shape must have {BINS_PER_DAY} bins, got {}",
+                shape.len()
+            ));
         }
         if shape.iter().any(|&v| !(v >= 0.0) || !v.is_finite()) {
             return Err("shape values must be finite and >= 0".into());
@@ -57,7 +60,12 @@ impl DiurnalProfile {
         if start_weekday > 6 {
             return Err("start_weekday must be 0..=6".into());
         }
-        Ok(Self { shape, weekday_weights, start_weekday, day_envelope: Vec::new() })
+        Ok(Self {
+            shape,
+            weekday_weights,
+            start_weekday,
+            day_envelope: Vec::new(),
+        })
     }
 
     /// Attaches a per-day audience envelope (see [`DiurnalProfile::day_envelope`]).
@@ -76,9 +84,8 @@ impl DiurnalProfile {
         // spiking toward ~1,000 s in the opening hours, before word of the
         // webcast spread.
         vec![
-            0.04, 0.12, 0.22, 0.35, 0.50, 0.62, 0.75, 0.85, 0.95, 1.00, 1.00, 0.95, 0.90,
-            0.92, 0.88, 0.85, 0.90, 0.85, 0.80, 0.85, 0.80, 0.75, 0.80, 0.78, 0.75, 0.72,
-            0.70, 0.68,
+            0.04, 0.12, 0.22, 0.35, 0.50, 0.62, 0.75, 0.85, 0.95, 1.00, 1.00, 0.95, 0.90, 0.92,
+            0.88, 0.85, 0.90, 0.85, 0.80, 0.85, 0.80, 0.75, 0.80, 0.78, 0.75, 0.72, 0.70, 0.68,
         ]
     }
 
@@ -199,8 +206,7 @@ impl DiurnalProfile {
         let rates: Vec<f64> = (0..nbins)
             .map(|i| self.relative_rate((i as f64 + 0.5) * 900.0) * scale)
             .collect();
-        let profile =
-            PiecewiseRate::new(rates, 900.0, false).expect("validated rates");
+        let profile = PiecewiseRate::new(rates, 900.0, false).expect("validated rates");
         PiecewisePoisson::new(profile)
     }
 
@@ -210,7 +216,7 @@ impl DiurnalProfile {
             .shape
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite shape"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty shape");
         bin as f64 * 24.0 / BINS_PER_DAY as f64
     }
@@ -221,7 +227,7 @@ impl DiurnalProfile {
             .shape
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite shape"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty shape");
         bin as f64 * 24.0 / BINS_PER_DAY as f64
     }
@@ -260,7 +266,7 @@ mod tests {
         let mut ww = [1.0; 7];
         ww[0] = 2.0; // Sunday
         let p = DiurnalProfile::new(vec![1.0; 96], ww, 6).unwrap(); // starts Saturday
-        // Day 0 is Saturday (weight 1), day 1 is Sunday (weight 2).
+                                                                    // Day 0 is Saturday (weight 1), day 1 is Sunday (weight 2).
         assert_eq!(p.relative_rate(3_600.0), 1.0);
         assert_eq!(p.relative_rate(86_400.0 + 3_600.0), 2.0);
         // Week wraps: day 8 is Sunday again.
@@ -295,8 +301,14 @@ mod tests {
         let mut rng = SeedStream::new(32).rng("diurnal2");
         let arrivals = proc_.generate(&mut rng, 0.0, 86_400.0);
         // Count arrivals in the trough (5–9h) vs the peak (20–23h).
-        let trough = arrivals.iter().filter(|&&t| (5.0 * 3_600.0..9.0 * 3_600.0).contains(&t)).count();
-        let peak = arrivals.iter().filter(|&&t| (20.0 * 3_600.0..23.0 * 3_600.0).contains(&t)).count();
+        let trough = arrivals
+            .iter()
+            .filter(|&&t| (5.0 * 3_600.0..9.0 * 3_600.0).contains(&t))
+            .count();
+        let peak = arrivals
+            .iter()
+            .filter(|&&t| (20.0 * 3_600.0..23.0 * 3_600.0).contains(&t))
+            .count();
         assert!(
             peak as f64 > 5.0 * trough as f64,
             "peak {peak} vs trough {trough}: diurnal shape lost"

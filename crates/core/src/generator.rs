@@ -22,6 +22,7 @@ use crate::interest::InterestProfile;
 use crate::objects::LiveObjects;
 use crate::workload::{GeneratedSession, ScheduledTransfer, Workload};
 use lsw_stats::dist::{Discrete, Geometric, LogNormal, Sample, Zeta};
+use lsw_stats::par::{merge_sorted_runs, F64Key, Parallelism};
 use lsw_stats::rng::{u01, SeedStream};
 use lsw_topology::{AsRegistry, AsRegistryConfig, ClientPopulation, ClientPopulationConfig};
 use rand::Rng;
@@ -30,7 +31,11 @@ use rand::Rng;
 enum TpsSampler {
     Zeta(Zeta),
     Geometric(Geometric),
-    Hybrid { tail: Zeta, body: Geometric, p_tail: f64 },
+    Hybrid {
+        tail: Zeta,
+        body: Geometric,
+        p_tail: f64,
+    },
 }
 
 impl TpsSampler {
@@ -42,7 +47,11 @@ impl TpsSampler {
             TransfersPerSession::Geometric { mean } => {
                 TpsSampler::Geometric(Geometric::with_mean(mean).map_err(|e| e.to_string())?)
             }
-            TransfersPerSession::Hybrid { alpha, p_tail, body_mean } => TpsSampler::Hybrid {
+            TransfersPerSession::Hybrid {
+                alpha,
+                p_tail,
+                body_mean,
+            } => TpsSampler::Hybrid {
                 tail: Zeta::new(alpha).map_err(|e| e.to_string())?,
                 body: Geometric::with_mean(body_mean).map_err(|e| e.to_string())?,
                 p_tail,
@@ -75,6 +84,8 @@ pub struct Generator {
     tps: TpsSampler,
     iat: LogNormal,
     length: LogNormal,
+    population: ClientPopulation,
+    par: Parallelism,
 }
 
 impl Generator {
@@ -97,7 +108,27 @@ impl Generator {
             .map_err(|e| e.to_string())?;
         let length = LogNormal::new(config.transfer_length.mu, config.transfer_length.sigma)
             .map_err(|e| e.to_string())?;
-        Ok(Self { config, seeds, profile, interest, objects, tps, iat, length })
+        // Client population (topology substrate). Depends only on config
+        // and seed, so it is built once here; generate() reuses it.
+        let mut topo_rng = seeds.rng("topology");
+        let registry = AsRegistry::build(&AsRegistryConfig::default(), &mut topo_rng);
+        let pop_config = ClientPopulationConfig {
+            n_clients: config.n_clients,
+            ..ClientPopulationConfig::default()
+        };
+        let population = ClientPopulation::build(&pop_config, &registry, &mut topo_rng);
+        Ok(Self {
+            config,
+            seeds,
+            profile,
+            interest,
+            objects,
+            tps,
+            iat,
+            length,
+            population,
+            par: Parallelism::auto(),
+        })
     }
 
     /// Builds a generator with a custom diurnal profile (GISMO's
@@ -117,18 +148,25 @@ impl Generator {
         &self.profile
     }
 
-    /// Generates the full workload.
-    pub fn generate(&self) -> Workload {
-        // Client population (topology substrate).
-        let mut topo_rng = self.seeds.rng("topology");
-        let registry = AsRegistry::build(&AsRegistryConfig::default(), &mut topo_rng);
-        let pop_config = ClientPopulationConfig {
-            n_clients: self.config.n_clients,
-            ..ClientPopulationConfig::default()
-        };
-        let population = ClientPopulation::build(&pop_config, &registry, &mut topo_rng);
+    /// Sets the worker count for [`generate`](Self::generate). The output
+    /// is bit-identical for every setting; this only changes wall-clock
+    /// time.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
 
-        // 1. Session arrivals.
+    /// Generates the full workload.
+    ///
+    /// Each session's randomness comes from its own counter-derived
+    /// substream (`seeds.rng_indexed("session", i)` for the `i`-th
+    /// arrival), so sessions can be generated in any order — and therefore
+    /// on any number of worker threads — without changing a single draw.
+    /// Workers take contiguous arrival chunks, emit locally sorted
+    /// transfer runs, and the runs are k-way merged; the result is
+    /// bit-identical at every thread count.
+    pub fn generate(&self) -> Workload {
+        // 1. Session arrivals (sequential: one inherently ordered stream).
         let process = self
             .profile
             .to_process(self.config.horizon_secs, self.config.target_sessions);
@@ -136,46 +174,121 @@ impl Generator {
         let arrivals =
             process.generate(&mut arrivals_rng, 0.0, f64::from(self.config.horizon_secs));
 
-        // 2–4. Sessions and transfers.
-        let mut body_rng = self.seeds.rng("sessions");
+        // 2–4. Sessions and transfers, in parallel over arrival chunks.
+        let ranges = self.par.chunk_ranges(arrivals.len());
+        let chunks: Vec<ChunkOutput> = if ranges.len() == 1 {
+            vec![self.generate_chunk(&arrivals, 0)]
+        } else {
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|r| {
+                        let slice = &arrivals[r.clone()];
+                        let base = r.start;
+                        s.spawn(move || self.generate_chunk(slice, base))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("generator worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Stitch chunk outputs back together. Sessions concatenate in
+        // chunk (= arrival) order; each chunk's local session ids shift by
+        // the number of sessions emitted before it (a prefix sum); the
+        // locally sorted transfer runs merge into global start order.
+        let mut sessions = Vec::with_capacity(arrivals.len());
+        let mut runs = Vec::with_capacity(chunks.len());
+        let mut offset = 0u32;
+        for mut chunk in chunks {
+            for t in &mut chunk.transfers {
+                t.session += offset;
+            }
+            offset += chunk.sessions.len() as u32;
+            sessions.append(&mut chunk.sessions);
+            runs.push(chunk.transfers);
+        }
+        let transfers = merge_sorted_runs(runs, |t: &ScheduledTransfer| F64Key(t.start));
+
+        Workload::new(
+            self.config.clone(),
+            self.seeds,
+            self.population.clone(),
+            sessions,
+            transfers,
+        )
+    }
+
+    /// Generates the sessions for one contiguous slice of the arrival
+    /// vector. `base` is the slice's offset into the full vector: session
+    /// `base + i` draws from the `base + i`-indexed substream regardless
+    /// of chunking. Transfer session ids are chunk-local (the caller
+    /// shifts them); the returned transfers are stably sorted by start.
+    fn generate_chunk(&self, arrivals: &[f64], base: usize) -> ChunkOutput {
         let horizon = f64::from(self.config.horizon_secs);
         let mut sessions = Vec::with_capacity(arrivals.len());
         let mut transfers = Vec::with_capacity(arrivals.len() * 2);
-        for &t0 in &arrivals {
+        for (i, &t0) in arrivals.iter().enumerate() {
+            let mut rng = self.seeds.rng_indexed("session", (base + i) as u64);
             let session = sessions.len() as u32;
-            let client = self.interest.sample(&mut body_rng);
-            let n = self.tps.sample(&mut body_rng);
+            let client = self.interest.sample(&mut rng);
+            let n = self.tps.sample(&mut rng);
             let mut start = t0;
             let mut emitted = 0u32;
             for k in 0..n {
                 if k > 0 {
-                    start += self.iat.sample(&mut body_rng);
+                    start += self.iat.sample(&mut rng);
                 }
                 if start >= horizon {
                     break;
                 }
                 // Live content exists only while the event runs: clip.
-                let duration = self.length.sample(&mut body_rng).min(horizon - start);
-                let object = self.objects.sample_feed(&mut body_rng);
+                let duration = self.length.sample(&mut rng).min(horizon - start);
+                let object = self.objects.sample_feed(&mut rng);
                 let camera = self.objects.camera_at(object, start);
-                transfers.push(ScheduledTransfer { session, client, object, camera, start, duration });
+                transfers.push(ScheduledTransfer {
+                    session,
+                    client,
+                    object,
+                    camera,
+                    start,
+                    duration,
+                });
                 emitted += 1;
             }
             if emitted > 0 {
-                sessions.push(GeneratedSession { client, start: t0, n_transfers: emitted });
+                sessions.push(GeneratedSession {
+                    client,
+                    start: t0,
+                    n_transfers: emitted,
+                });
             }
         }
-        transfers.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
-
-        Workload::new(self.config.clone(), self.seeds, population, sessions, transfers)
+        // Stable, total-order sort: ties must resolve by emission order so
+        // the downstream k-way merge equals a global stable sort at any
+        // chunking.
+        transfers.sort_by(|a, b| a.start.total_cmp(&b.start));
+        ChunkOutput {
+            sessions,
+            transfers,
+        }
     }
+}
+
+/// One worker's share of the workload: sessions in arrival order,
+/// transfers stably sorted by start with chunk-local session ids.
+struct ChunkOutput {
+    sessions: Vec<GeneratedSession>,
+    transfers: Vec<ScheduledTransfer>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsw_stats::fit::{fit_lognormal, fit_zipf_rank_frequency};
     use lsw_stats::empirical::RankFrequency;
+    use lsw_stats::fit::{fit_lognormal, fit_zipf_rank_frequency};
 
     fn generate_small(seed: u64) -> Workload {
         let config = WorkloadConfig::paper().scaled(2_000, 86_400, 6_000);
@@ -214,7 +327,10 @@ mod tests {
         for t in w.transfers() {
             assert!(t.start >= prev, "not sorted");
             assert!(t.start < 86_400.0);
-            assert!(t.start + t.duration <= 86_400.0 + 1e-9, "transfer escapes horizon");
+            assert!(
+                t.start + t.duration <= 86_400.0 + 1e-9,
+                "transfer escapes horizon"
+            );
             assert!(t.duration >= 0.0);
             assert!(t.camera < 48);
             assert!(t.object.0 < 2);
@@ -286,7 +402,10 @@ mod tests {
             .filter(|s| (20.0 * 3_600.0..24.0 * 3_600.0).contains(&s.start))
             .count() as f64;
         // Same window length: counts should be comparable.
-        assert!((morning / evening - 1.0).abs() < 0.35, "{morning} vs {evening}");
+        assert!(
+            (morning / evening - 1.0).abs() < 0.35,
+            "{morning} vs {evening}"
+        );
     }
 
     #[test]
@@ -303,6 +422,11 @@ mod tests {
         };
         let hybrid = Generator::new(hybrid_cfg, 17).unwrap().generate();
         let mean = |w: &Workload| w.len() as f64 / w.sessions().len() as f64;
-        assert!(mean(&hybrid) > mean(&zipf) + 0.8, "{} vs {}", mean(&hybrid), mean(&zipf));
+        assert!(
+            mean(&hybrid) > mean(&zipf) + 0.8,
+            "{} vs {}",
+            mean(&hybrid),
+            mean(&zipf)
+        );
     }
 }

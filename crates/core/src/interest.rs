@@ -21,7 +21,9 @@ impl InterestProfile {
     /// Creates a profile over `n_clients` with interest exponent `alpha`
     /// (paper: 0.4704). `alpha = 0` degenerates to uniform interest.
     pub fn new(n_clients: usize, alpha: f64) -> Result<Self, ParamError> {
-        Ok(Self { zipf: ZipfTable::new(n_clients as u64, alpha)? })
+        Ok(Self {
+            zipf: ZipfTable::new(n_clients as u64, alpha)?,
+        })
     }
 
     /// Number of clients.
@@ -79,7 +81,12 @@ mod tests {
         for _ in 0..200_000 {
             counts[p.sample(&mut rng).0 as usize] += 1;
         }
-        assert!(counts[0] > counts[99], "rank 1 {} vs rank 100 {}", counts[0], counts[99]);
+        assert!(
+            counts[0] > counts[99],
+            "rank 1 {} vs rank 100 {}",
+            counts[0],
+            counts[99]
+        );
         let emp = counts[0] as f64 / 200_000.0;
         assert!((emp - p.expected_share(1)).abs() < 0.005);
     }

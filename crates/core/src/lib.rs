@@ -45,6 +45,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(x > 0.0)` in parameter validation is deliberate: unlike `x <= 0.0` it
+// also rejects NaN, which is exactly the point of those guards.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod bandwidth;
 pub mod config;

@@ -88,7 +88,11 @@ impl LiveObjects {
     /// holds a camera for `camera_hold_secs`-long slots; each slot's camera
     /// is a stable hash of (seed, feed, slot).
     pub fn camera_at(&self, object: ObjectId, t: f64) -> u8 {
-        let slot = if t <= 0.0 { 0 } else { (t / self.camera_hold_secs) as u64 };
+        let slot = if t <= 0.0 {
+            0
+        } else {
+            (t / self.camera_hold_secs) as u64
+        };
         let mut z = self
             .schedule_seed
             .wrapping_add(u64::from(object.0).wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -131,12 +135,19 @@ mod tests {
     fn camera_schedule_is_shared_and_stable() {
         let o = objects();
         // Every viewer at the same (feed, time) sees the same camera.
-        assert_eq!(o.camera_at(ObjectId(0), 100.0), o.camera_at(ObjectId(0), 100.0));
+        assert_eq!(
+            o.camera_at(ObjectId(0), 100.0),
+            o.camera_at(ObjectId(0), 100.0)
+        );
         // Within one hold slot the camera stays put.
-        assert_eq!(o.camera_at(ObjectId(0), 100.0), o.camera_at(ObjectId(0), 130.0));
+        assert_eq!(
+            o.camera_at(ObjectId(0), 100.0),
+            o.camera_at(ObjectId(0), 130.0)
+        );
         // Feeds switch independently: schedules differ somewhere.
-        let differs = (0..200)
-            .any(|i| o.camera_at(ObjectId(0), i as f64 * 50.0) != o.camera_at(ObjectId(1), i as f64 * 50.0));
+        let differs = (0..200).any(|i| {
+            o.camera_at(ObjectId(0), i as f64 * 50.0) != o.camera_at(ObjectId(1), i as f64 * 50.0)
+        });
         assert!(differs, "feed schedules identical");
     }
 

@@ -50,7 +50,7 @@ impl Default for StoredConfig {
             n_clients: 10_000,
             n_objects: 500,
             object_popularity_alpha: 0.73,
-            object_duration_mu: 5.3,   // median ≈ 200 s clips
+            object_duration_mu: 5.3, // median ≈ 200 s clips
             object_duration_sigma: 0.8,
             early_stop_fraction: 0.45,
             horizon_secs: 86_400,
@@ -102,7 +102,12 @@ impl StoredGenerator {
             .map_err(|e| e.to_string())?;
         let mut lib_rng = seeds.rng("library");
         let object_durations = dur.sample_n(&mut lib_rng, config.n_objects);
-        Ok(Self { config, seeds, popularity, object_durations })
+        Ok(Self {
+            config,
+            seeds,
+            popularity,
+            object_durations,
+        })
     }
 
     /// The fixed duration of an object in the library.
@@ -148,7 +153,9 @@ impl StoredGenerator {
             };
             let duration = watched.min(horizon - t0);
             let start = (t0 as u32).min(self.config.horizon_secs - 1);
-            let stop = ((t0 + duration) as u32).max(start).min(self.config.horizon_secs);
+            let stop = ((t0 + duration) as u32)
+                .max(start)
+                .min(self.config.horizon_secs);
             spans.push((start, stop - start));
             picks.push((object, client));
         }
@@ -176,8 +183,8 @@ impl StoredGenerator {
                 bytes: (f64::from(duration) * bps / 8.0) as u64,
                 avg_bandwidth: bps as u32,
                 packet_loss: 0.0,
-                cpu_util: (f64::from(concurrency.at(stop)) / CPU_CAPACITY_TRANSFERS)
-                    .min(1.0) as f32,
+                cpu_util: (f64::from(concurrency.at(stop)) / CPU_CAPACITY_TRANSFERS).min(1.0)
+                    as f32,
                 status: 200,
             });
         }
@@ -192,7 +199,10 @@ mod tests {
     use lsw_stats::fit::fit_zipf_rank_frequency;
 
     fn small() -> (StoredGenerator, Trace) {
-        let config = StoredConfig { target_requests: 20_000, ..StoredConfig::default() };
+        let config = StoredConfig {
+            target_requests: 20_000,
+            ..StoredConfig::default()
+        };
         let g = StoredGenerator::new(config, 3).unwrap();
         let t = g.generate();
         (g, t)
@@ -200,11 +210,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_config() {
-        let mut c = StoredConfig::default();
-        c.n_objects = 0;
+        let c = StoredConfig {
+            n_objects: 0,
+            ..Default::default()
+        };
         assert!(StoredGenerator::new(c, 1).is_err());
-        let mut c = StoredConfig::default();
-        c.early_stop_fraction = 2.0;
+        let c = StoredConfig {
+            early_stop_fraction: 2.0,
+            ..Default::default()
+        };
         assert!(StoredGenerator::new(c, 1).is_err());
     }
 
@@ -212,7 +226,10 @@ mod tests {
     fn request_count_near_target() {
         let (_, t) = small();
         let n = t.len() as f64;
-        assert!((n - 20_000.0).abs() < 5.0 * 20_000f64.sqrt(), "requests {n}");
+        assert!(
+            (n - 20_000.0).abs() < 5.0 * 20_000f64.sqrt(),
+            "requests {n}"
+        );
     }
 
     #[test]
@@ -225,7 +242,11 @@ mod tests {
         }
         let rf = RankFrequency::from_counts(counts.into_values().collect());
         let fit = fit_zipf_rank_frequency(&rf, Some(100.0)).unwrap();
-        assert!((fit.alpha - 0.73).abs() < 0.12, "object alpha {}", fit.alpha);
+        assert!(
+            (fit.alpha - 0.73).abs() < 0.12,
+            "object alpha {}",
+            fit.alpha
+        );
     }
 
     #[test]
@@ -252,7 +273,10 @@ mod tests {
             .filter(|e| f64::from(e.duration) < 0.95 * g.object_duration(e.object))
             .count() as f64
             / t.len() as f64;
-        assert!((stopped - 0.45).abs() < 0.1, "early-stop fraction {stopped}");
+        assert!(
+            (stopped - 0.45).abs() < 0.1,
+            "early-stop fraction {stopped}"
+        );
     }
 
     #[test]

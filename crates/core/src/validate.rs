@@ -51,7 +51,11 @@ impl ValidationReport {
 
     /// Names of failed checks.
     pub fn failures(&self) -> Vec<&str> {
-        self.checks.iter().filter(|c| !c.passed()).map(|c| c.name.as_str()).collect()
+        self.checks
+            .iter()
+            .filter(|c| !c.passed())
+            .map(|c| c.name.as_str())
+            .collect()
     }
 }
 
@@ -100,7 +104,11 @@ pub fn validate_workload(w: &Workload) -> ValidationReport {
             .expect("validated config");
         // KS on a subsample: at full scale the test is hypersensitive to
         // the horizon clipping, which is expected, not an error.
-        let sample: Vec<f64> = lengths.iter().step_by((lengths.len() / 2_000).max(1)).copied().collect();
+        let sample: Vec<f64> = lengths
+            .iter()
+            .step_by((lengths.len() / 2_000).max(1))
+            .copied()
+            .collect();
         ks_p = ks_test(&sample, |x| d.cdf(x)).p_value;
     }
 
@@ -113,7 +121,7 @@ pub fn validate_workload(w: &Workload) -> ValidationReport {
             by_session.entry(t.session).or_default().push(t.start);
         }
         for starts in by_session.values_mut() {
-            starts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            starts.sort_unstable_by(f64::total_cmp);
             for w2 in starts.windows(2) {
                 let gap = w2[1] - w2[0];
                 if gap > 0.0 {
@@ -154,8 +162,11 @@ pub fn validate_workload(w: &Workload) -> ValidationReport {
     // Transfers per session (only for the pure-Zipf model; the hybrid's
     // mean is a design choice, not a recovery target).
     if let TransfersPerSession::Zipf { alpha } = cfg.transfers_per_session {
-        let counts: Vec<u64> =
-            w.sessions().iter().map(|s| u64::from(s.n_transfers)).collect();
+        let counts: Vec<u64> = w
+            .sessions()
+            .iter()
+            .map(|s| u64::from(s.n_transfers))
+            .collect();
         // Fit the pmf over k via rank-frequency of counts-of-counts.
         let max = counts.iter().copied().max().unwrap_or(1) as usize;
         let mut hist = vec![0u64; max + 1];
@@ -182,7 +193,10 @@ pub fn validate_workload(w: &Workload) -> ValidationReport {
         }
     }
 
-    ValidationReport { checks, transfer_length_ks_p: ks_p }
+    ValidationReport {
+        checks,
+        transfer_length_ks_p: ks_p,
+    }
 }
 
 #[cfg(test)]
@@ -205,9 +219,19 @@ mod tests {
 
     #[test]
     fn check_passed_logic() {
-        let c = Check { name: "x".into(), target: 1.0, recovered: 1.05, tolerance: 0.1 };
+        let c = Check {
+            name: "x".into(),
+            target: 1.0,
+            recovered: 1.05,
+            tolerance: 0.1,
+        };
         assert!(c.passed());
-        let c = Check { name: "x".into(), target: 1.0, recovered: 1.2, tolerance: 0.1 };
+        let c = Check {
+            name: "x".into(),
+            target: 1.0,
+            recovered: 1.2,
+            tolerance: 0.1,
+        };
         assert!(!c.passed());
     }
 }

@@ -35,7 +35,12 @@ pub struct VbrConfig {
 
 impl Default for VbrConfig {
     fn default() -> Self {
-        Self { mean_bps: 250_000.0, n_sources: 24, alpha: 1.4, period_scale: 2.0 }
+        Self {
+            mean_bps: 250_000.0,
+            n_sources: 24,
+            alpha: 1.4,
+            period_scale: 2.0,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ impl VbrConfig {
             return Err("need at least one ON/OFF source".into());
         }
         if !(self.alpha > 1.0 && self.alpha < 2.0) {
-            return Err(format!("alpha must be in (1, 2) for LRD, got {}", self.alpha));
+            return Err(format!(
+                "alpha must be in (1, 2) for LRD, got {}",
+                self.alpha
+            ));
         }
         if !(self.period_scale > 0.0) {
             return Err("period_scale must be positive".into());
@@ -74,7 +82,10 @@ impl VbrEncoder {
     /// Creates an encoder; all feeds derive from `seed` deterministically.
     pub fn new(config: VbrConfig, seed: u64) -> Result<Self, String> {
         config.validate()?;
-        Ok(Self { config, seeds: SeedStream::new(seed).child("vbr") })
+        Ok(Self {
+            config,
+            seeds: SeedStream::new(seed).child("vbr"),
+        })
     }
 
     /// The configuration in force.
@@ -148,11 +159,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_config() {
-        let mut cfg = VbrConfig::default();
-        cfg.alpha = 2.5;
+        let cfg = VbrConfig {
+            alpha: 2.5,
+            ..Default::default()
+        };
         assert!(VbrEncoder::new(cfg, 1).is_err());
-        let mut cfg = VbrConfig::default();
-        cfg.n_sources = 0;
+        let cfg = VbrConfig {
+            n_sources: 0,
+            ..Default::default()
+        };
         assert!(VbrEncoder::new(cfg, 1).is_err());
     }
 
@@ -176,7 +191,11 @@ mod tests {
         assert!(series.iter().all(|&r| r >= 0.0));
         let mean = series.iter().sum::<f64>() / series.len() as f64;
         let var = series.iter().map(|&r| (r - mean).powi(2)).sum::<f64>() / series.len() as f64;
-        assert!(var.sqrt() / mean > 0.05, "CV too small: {}", var.sqrt() / mean);
+        assert!(
+            var.sqrt() / mean > 0.05,
+            "CV too small: {}",
+            var.sqrt() / mean
+        );
     }
 
     #[test]

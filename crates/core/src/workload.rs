@@ -11,6 +11,7 @@
 
 use crate::bandwidth::BandwidthModel;
 use crate::config::WorkloadConfig;
+use lsw_stats::par::Parallelism;
 use lsw_stats::rng::SeedStream;
 use lsw_topology::ClientPopulation;
 use lsw_trace::concurrency::ConcurrencyProfile;
@@ -72,7 +73,13 @@ impl Workload {
         sessions: Vec<GeneratedSession>,
         transfers: Vec<ScheduledTransfer>,
     ) -> Self {
-        Self { config, seeds, population, sessions, transfers }
+        Self {
+            config,
+            seeds,
+            population,
+            sessions,
+            transfers,
+        }
     }
 
     /// The configuration that produced this workload.
@@ -127,10 +134,9 @@ impl Workload {
         }
 
         // Transfer concurrency drives the logged CPU utilization.
-        let concurrency = ConcurrencyProfile::from_intervals(
-            spans.iter().map(|&(s, d)| (s, s + d)),
-            horizon,
-        );
+        let intervals: Vec<(u32, u32)> = spans.iter().map(|&(s, d)| (s, s + d)).collect();
+        let concurrency =
+            ConcurrencyProfile::from_intervals_par(&intervals, horizon, Parallelism::auto());
 
         let mut entries = Vec::with_capacity(self.transfers.len());
         for (t, &(start, duration)) in self.transfers.iter().zip(&spans) {

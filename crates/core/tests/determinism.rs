@@ -1,0 +1,67 @@
+//! The tentpole guarantee: generation is bit-identical at every thread
+//! count. One worker, two workers, eight workers — same sessions, same
+//! transfers, same rendered log bytes.
+
+use lsw_core::config::WorkloadConfig;
+use lsw_core::generator::Generator;
+use lsw_stats::par::Parallelism;
+use lsw_trace::wms;
+
+fn config() -> WorkloadConfig {
+    WorkloadConfig::paper().scaled(3_000, 86_400, 9_000)
+}
+
+#[test]
+fn workload_identical_across_thread_counts() {
+    let base = Generator::new(config(), 5)
+        .unwrap()
+        .with_parallelism(Parallelism::fixed(1))
+        .generate();
+    assert!(base.len() > 5_000, "fixture too small to exercise chunking");
+    for threads in [2, 3, 8] {
+        let w = Generator::new(config(), 5)
+            .unwrap()
+            .with_parallelism(Parallelism::fixed(threads))
+            .generate();
+        assert_eq!(
+            base.sessions(),
+            w.sessions(),
+            "sessions differ at {threads} threads"
+        );
+        assert_eq!(
+            base.transfers(),
+            w.transfers(),
+            "transfers differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn rendered_log_bytes_identical_across_thread_counts() {
+    let render = |threads: usize| {
+        let w = Generator::new(config(), 17)
+            .unwrap()
+            .with_parallelism(Parallelism::fixed(threads))
+            .generate();
+        wms::format_log(w.render().entries())
+    };
+    let base = render(1);
+    assert_eq!(base, render(2));
+    assert_eq!(base, render(8));
+}
+
+#[test]
+fn more_workers_than_arrivals_is_fine() {
+    // Degenerate chunking: far more workers than sessions.
+    let config = WorkloadConfig::paper().scaled(50, 3_600, 20);
+    let seq = Generator::new(config.clone(), 3)
+        .unwrap()
+        .with_parallelism(Parallelism::fixed(1))
+        .generate();
+    let wide = Generator::new(config, 3)
+        .unwrap()
+        .with_parallelism(Parallelism::fixed(64))
+        .generate();
+    assert_eq!(seq.transfers(), wide.transfers());
+    assert_eq!(seq.sessions(), wide.sessions());
+}

@@ -8,15 +8,19 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
     (
-        50usize..2_000,       // clients
-        3_600u32..172_800,    // horizon
-        100usize..3_000,      // sessions
-        0.0..1.2f64,          // interest alpha
+        50usize..2_000,    // clients
+        3_600u32..172_800, // horizon
+        100usize..3_000,   // sessions
+        0.0..1.2f64,       // interest alpha
         prop_oneof![
             (1.5..4.0f64).prop_map(|alpha| TransfersPerSession::Zipf { alpha }),
             (1.0..8.0f64).prop_map(|mean| TransfersPerSession::Geometric { mean }),
             (1.5..4.0f64, 0.0..1.0f64, 1.0..8.0f64).prop_map(|(alpha, p_tail, body_mean)| {
-                TransfersPerSession::Hybrid { alpha, p_tail, body_mean }
+                TransfersPerSession::Hybrid {
+                    alpha,
+                    p_tail,
+                    body_mean,
+                }
             }),
         ],
     )

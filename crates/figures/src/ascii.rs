@@ -103,18 +103,21 @@ mod tests {
 
     #[test]
     fn empty_input_is_safe() {
-        assert!(scatter(&[], 40, 10, AxisScale::Linear, AxisScale::Linear)
-            .contains("no plottable"));
+        assert!(scatter(&[], 40, 10, AxisScale::Linear, AxisScale::Linear).contains("no plottable"));
         // All non-positive on a log axis ⇒ nothing plottable.
-        assert!(scatter(&[(0.0, -1.0)], 40, 10, AxisScale::Log, AxisScale::Log)
-            .contains("no plottable"));
+        assert!(
+            scatter(&[(0.0, -1.0)], 40, 10, AxisScale::Log, AxisScale::Log)
+                .contains("no plottable")
+        );
     }
 
     #[test]
     fn power_law_descends_on_loglog() {
         // A power law on log-log is a straight descending diagonal: the
         // top-left should be populated and the bottom-left empty.
-        let pts: Vec<(f64, f64)> = (1..=1000).map(|i| (i as f64, (i as f64).powf(-1.0))).collect();
+        let pts: Vec<(f64, f64)> = (1..=1000)
+            .map(|i| (i as f64, (i as f64).powf(-1.0)))
+            .collect();
         let s = scatter(&pts, 40, 10, AxisScale::Log, AxisScale::Log);
         let lines: Vec<&str> = s.lines().collect();
         let first_cols: String = lines[0].chars().skip(11).take(5).collect();

@@ -32,13 +32,10 @@ fn main() {
                 });
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--out" => out_dir = args.next(),
             "--plot" => plot = true,
@@ -120,8 +117,7 @@ fn main() {
         }
     }
     if let Some(dir) = &out_dir {
-        let mut f =
-            std::fs::File::create(format!("{dir}/summary.md")).expect("create summary");
+        let mut f = std::fs::File::create(format!("{dir}/summary.md")).expect("create summary");
         f.write_all(summary.as_bytes()).expect("write summary");
         eprintln!("results written to {dir}/");
     }

@@ -103,7 +103,15 @@ impl ReproContext {
         let (trace, sanitize_report) = sanitize(out.trace.entries().to_vec(), horizon);
         let sessions = Sessions::identify(&trace, SessionConfig::default());
         let report = characterize(&trace, seed ^ 0x9d2c);
-        Self { scale, seed, workload, trace, sanitize_report, sessions, report }
+        Self {
+            scale,
+            seed,
+            workload,
+            trace,
+            sanitize_report,
+            sessions,
+            report,
+        }
     }
 }
 

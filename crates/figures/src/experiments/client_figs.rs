@@ -118,7 +118,11 @@ pub fn fig04(ctx: &ReproContext) -> FigureResult {
     let avg = |lo_h: f64, hi_h: f64| {
         let lo = ((lo_h / 24.0) * nbin as f64) as usize;
         let hi = (((hi_h / 24.0) * nbin as f64) as usize).min(nbin);
-        let vals: Vec<f64> = daily[lo..hi].iter().copied().filter(|v| !v.is_nan()).collect();
+        let vals: Vec<f64> = daily[lo..hi]
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     };
     let trough = avg(4.0, 11.0);
@@ -331,9 +335,7 @@ pub fn fig08(ctx: &ReproContext) -> FigureResult {
     }
     // Decay: the 2-day peak is below the 1-day peak when the trace is long
     // enough to measure it.
-    if let (Some(&d1), Some(&d2)) =
-        (c.acf_minutes.get(1_440), c.acf_minutes.get(2_880))
-    {
+    if let (Some(&d1), Some(&d2)) = (c.acf_minutes.get(1_440), c.acf_minutes.get(2_880)) {
         comparisons.push(Comparison::qualitative(
             "peak correlation decays with lag",
             d1 - d2,

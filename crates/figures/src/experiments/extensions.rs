@@ -136,7 +136,12 @@ pub fn ext_vbr(_ctx: &ReproContext) -> FigureResult {
         title: "Extension: self-similar VBR content encoding".into(),
         series: vec![Series::new(
             "bitrate (first hour)",
-            series.iter().take(3_600).enumerate().map(|(i, &r)| (i as f64, r)).collect(),
+            series
+                .iter()
+                .take(3_600)
+                .enumerate()
+                .map(|(i, &r)| (i as f64, r))
+                .collect(),
         )],
         comparisons,
         notes: format!("theory H = (3 − α)/2 = {theory:.2} for α = 1.4"),
@@ -150,7 +155,9 @@ pub fn ext_admission(ctx: &ReproContext) -> FigureResult {
     let capped = |retry| {
         Simulator::new(SimConfig {
             server: ServerConfig {
-                admission: AdmissionPolicy::RejectAbove { max_concurrent: peak / 2 },
+                admission: AdmissionPolicy::RejectAbove {
+                    max_concurrent: peak / 2,
+                },
                 ..ServerConfig::default()
             },
             retry,
@@ -159,11 +166,18 @@ pub fn ext_admission(ctx: &ReproContext) -> FigureResult {
         .run(&ctx.workload, 0xad31)
     };
     let give_up = capped(RetryPolicy::GiveUp);
-    let retry = capped(RetryPolicy::RetryAfter { delay_secs: 120.0, max_attempts: 5 });
+    let retry = capped(RetryPolicy::RetryAfter {
+        delay_secs: 120.0,
+        max_attempts: 5,
+    });
 
     let intended: f64 = ctx.workload.transfers().iter().map(|t| t.duration).sum();
     let watched = |out: &lsw_sim::SimOutput| {
-        out.trace.entries().iter().map(|e| f64::from(e.duration)).sum::<f64>()
+        out.trace
+            .entries()
+            .iter()
+            .map(|e| f64::from(e.duration))
+            .sum::<f64>()
     };
     let w_open = watched(&base);
     let w_giveup = watched(&give_up);

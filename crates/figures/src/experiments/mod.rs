@@ -52,7 +52,10 @@ pub fn extensions() -> Vec<Experiment> {
 
 /// Looks up one experiment by id (paper set and extensions).
 pub fn by_id(id: &str) -> Option<Experiment> {
-    all().into_iter().chain(extensions()).find(|(eid, _)| *eid == id)
+    all()
+        .into_iter()
+        .chain(extensions())
+        .find(|(eid, _)| *eid == id)
 }
 
 #[cfg(test)]

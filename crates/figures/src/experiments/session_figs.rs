@@ -41,7 +41,11 @@ pub fn fig10(ctx: &ReproContext) -> FigureResult {
     let b = &ctx.report.session.on_by_hour;
     let series = vec![Series::new(
         "mean ON time by start hour",
-        b.points.iter().copied().filter(|(_, v)| !v.is_nan()).collect(),
+        b.points
+            .iter()
+            .copied()
+            .filter(|(_, v)| !v.is_nan())
+            .collect(),
     )];
     let comparisons = vec![Comparison::qualitative(
         "weak correlation with time of day (max relative deviation)",
@@ -144,8 +148,7 @@ pub fn fig12(ctx: &ReproContext) -> FigureResult {
             comparisons.push(Comparison::qualitative(
                 "emergent OFF mean within 3x of paper's 203,150 s",
                 f.mean,
-                f.mean > paper::SESSION_OFF_MEAN / 3.0
-                    && f.mean < paper::SESSION_OFF_MEAN * 3.0,
+                f.mean > paper::SESSION_OFF_MEAN / 3.0 && f.mean < paper::SESSION_OFF_MEAN * 3.0,
                 "Table 2 retains no OFF-time variable; see EXPERIMENTS.md",
             ));
             // The shape claim is exact: exponential beats the lognormal /

@@ -14,8 +14,18 @@ pub fn table1(ctx: &ReproContext) -> FigureResult {
     let s = &ctx.report.summary;
     let cfg = ctx.workload.config();
     let mut comparisons = vec![
-        Comparison::quantitative("log period (days)", cfg.horizon_secs as f64 / 86_400.0, s.days, 0.01),
-        Comparison::quantitative("live objects", paper::NUM_LIVE_OBJECTS as f64, s.objects as f64, 0.0),
+        Comparison::quantitative(
+            "log period (days)",
+            cfg.horizon_secs as f64 / 86_400.0,
+            s.days,
+            0.01,
+        ),
+        Comparison::quantitative(
+            "live objects",
+            paper::NUM_LIVE_OBJECTS as f64,
+            s.objects as f64,
+            0.0,
+        ),
     ];
     if ctx.scale == Scale::Paper {
         comparisons.push(Comparison::quantitative(
@@ -94,7 +104,10 @@ pub fn sanity(ctx: &ReproContext) -> FigureResult {
             spanning as f64,
             // The simulator injects them at a small rate; sanitization must
             // catch every one (kept trace has none).
-            ctx.trace.entries().iter().all(|e| e.duration <= ctx.trace.horizon()),
+            ctx.trace
+                .entries()
+                .iter()
+                .all(|e| e.duration <= ctx.trace.horizon()),
             "no entry in the sanitized trace spans the trace period",
         ),
         Comparison::quantitative(
@@ -197,10 +210,7 @@ pub fn table2(ctx: &ReproContext) -> FigureResult {
 }
 
 /// Helper for experiments: wraps a binned series for plotting.
-pub(crate) fn binned_series(
-    name: &str,
-    series: &lsw_stats::timeseries::BinnedSeries,
-) -> Series {
+pub(crate) fn binned_series(name: &str, series: &lsw_stats::timeseries::BinnedSeries) -> Series {
     Series::new(
         name,
         series

@@ -55,7 +55,11 @@ pub fn fig16(ctx: &ReproContext) -> FigureResult {
     let avg = |lo_h: f64, hi_h: f64| {
         let lo = ((lo_h / 24.0) * nbin as f64) as usize;
         let hi = (((hi_h / 24.0) * nbin as f64) as usize).min(nbin);
-        let vals: Vec<f64> = daily[lo..hi].iter().copied().filter(|v| !v.is_nan()).collect();
+        let vals: Vec<f64> = daily[lo..hi]
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     };
     let trough = avg(4.0, 11.0);
@@ -160,7 +164,11 @@ pub fn fig18(ctx: &ReproContext) -> FigureResult {
     let avg = |lo_h: f64, hi_h: f64| {
         let lo = ((lo_h / 24.0) * nbin as f64) as usize;
         let hi = (((hi_h / 24.0) * nbin as f64) as usize).min(nbin);
-        let vals: Vec<f64> = daily[lo..hi].iter().copied().filter(|v| !v.is_nan()).collect();
+        let vals: Vec<f64> = daily[lo..hi]
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     };
     // The inversion of Fig 4: interarrivals LONG 5–11am, SHORT at peak.

@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { name: name.into(), points }
+        Self {
+            name: name.into(),
+            points,
+        }
     }
 }
 
@@ -37,12 +40,7 @@ pub struct Comparison {
 
 impl Comparison {
     /// Quantitative comparison with a relative tolerance on the paper value.
-    pub fn quantitative(
-        name: impl Into<String>,
-        paper: f64,
-        measured: f64,
-        rel_tol: f64,
-    ) -> Self {
+    pub fn quantitative(name: impl Into<String>, paper: f64, measured: f64, rel_tol: f64) -> Self {
         let holds = if paper != 0.0 {
             ((measured - paper) / paper).abs() <= rel_tol
         } else {
@@ -64,7 +62,13 @@ impl Comparison {
         holds: bool,
         criterion: impl Into<String>,
     ) -> Self {
-        Self { name: name.into(), paper: None, measured, holds, criterion: criterion.into() }
+        Self {
+            name: name.into(),
+            paper: None,
+            measured,
+            holds,
+            criterion: criterion.into(),
+        }
     }
 }
 

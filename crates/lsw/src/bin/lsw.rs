@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! lsw generate  [--days D] [--clients N] [--sessions N] [--seed S]
-//!               [--simulate] [--scale-matched] --out LOG
+//!               [--threads T] [--simulate] [--scale-matched] --out LOG
 //! lsw characterize LOG [--horizon SECS] [--timeout TO] [--json FILE]
 //! lsw summary     LOG [--horizon SECS]
 //! ```
@@ -10,11 +10,16 @@
 //! Logs are the WMS-style text format (`lsw_trace::wms`); `generate`
 //! writes one, the other commands read one. All times are seconds since
 //! the log's epoch.
+//!
+//! `--threads` (or the `LSW_THREADS` environment variable) sets the
+//! worker count; the default is the number of available cores. Output is
+//! bit-identical at every thread count — the setting only changes speed.
 
 use lsw::analysis::characterize_with;
 use lsw::core::config::WorkloadConfig;
 use lsw::core::generator::Generator;
 use lsw::sim::{SimConfig, Simulator};
+use lsw::stats::par::Parallelism;
 use lsw::trace::sanitize::sanitize;
 use lsw::trace::session::SessionConfig;
 use lsw::trace::wms;
@@ -29,7 +34,7 @@ fn main() {
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage:\n  lsw generate [--days D] [--clients N] [--sessions N] [--seed S] \
-                 [--simulate] [--scale-matched] --out LOG\n  lsw characterize LOG \
+                 [--threads T] [--simulate] [--scale-matched] --out LOG\n  lsw characterize LOG \
                  [--horizon SECS] [--timeout TO] [--json FILE]\n  lsw summary LOG [--horizon SECS]"
             );
         }
@@ -75,12 +80,16 @@ fn cmd_generate(args: &[String]) {
     } else {
         WorkloadConfig::paper()
     };
+    let par = match flag_value(args, "--threads") {
+        None => Parallelism::auto(),
+        Some(s) => Parallelism::fixed(parse_or(Some(s), 0usize, "--threads").max(1)),
+    };
     let config = base.scaled(clients, horizon, sessions);
     let workload = Generator::new(config, seed).unwrap_or_else(|e| {
         eprintln!("invalid configuration: {e}");
         exit(2);
     });
-    let workload = workload.generate();
+    let workload = workload.with_parallelism(par).generate();
     eprintln!(
         "generated {} sessions / {} transfers over {days} day(s)",
         workload.sessions().len(),
@@ -123,7 +132,11 @@ fn load(args: &[String]) -> (lsw::trace::trace::Trace, u32) {
     let horizon: u32 = parse_or(flag_value(args, "--horizon"), inferred, "--horizon");
     let (trace, report) = sanitize(entries, horizon);
     if report.rejected() > 0 {
-        eprintln!("sanitized: dropped {} of {} entries", report.rejected(), report.examined);
+        eprintln!(
+            "sanitized: dropped {} of {} entries",
+            report.rejected(),
+            report.examined
+        );
     }
     (trace, horizon)
 }

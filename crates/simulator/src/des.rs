@@ -22,7 +22,7 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -63,12 +63,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Creates an empty queue with capacity for `n` events.
     pub fn with_capacity(n: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(n), seq: 0 }
+        Self {
+            heap: BinaryHeap::with_capacity(n),
+            seq: 0,
+        }
     }
 
     /// Schedules an event at time `t`.
@@ -77,7 +83,8 @@ impl<E> EventQueue<E> {
     /// Panics when `t` is NaN.
     pub fn schedule(&mut self, t: f64, event: E) {
         assert!(!t.is_nan(), "cannot schedule an event at NaN");
-        self.heap.push(Reverse((SimTime(t), self.seq, EventBox(event))));
+        self.heap
+            .push(Reverse((SimTime(t), self.seq, EventBox(event))));
         self.seq += 1;
     }
 

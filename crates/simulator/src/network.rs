@@ -92,8 +92,8 @@ impl FairShareNetwork {
             .collect();
         let demand: f64 = (0..7).map(|i| self.active[i] as f64 * caps[i]).sum();
         if demand <= self.config.uplink_bps {
-            for i in 0..7 {
-                self.rate[i] = if self.active[i] > 0 { caps[i] } else { 0.0 };
+            for ((rate, &cap), &n) in self.rate.iter_mut().zip(&caps).zip(&self.active) {
+                *rate = if n > 0 { cap } else { 0.0 };
             }
             return;
         }
@@ -102,25 +102,25 @@ impl FairShareNetwork {
         let mut remaining = self.config.uplink_bps;
         let mut users_left: f64 = (0..7).map(|i| self.active[i] as f64).sum();
         let mut level = 0.0;
-        for i in 0..7 {
+        for (&cap, &n) in caps.iter().zip(&self.active) {
             if users_left <= 0.0 {
                 break;
             }
             // Can every remaining user get cap_i?
-            let need = caps[i] * users_left;
+            let need = cap * users_left;
             if need <= remaining {
                 // Yes: class i saturates at its cap; pay for it and move on.
-                remaining -= caps[i] * self.active[i] as f64;
-                users_left -= self.active[i] as f64;
-                level = caps[i];
+                remaining -= cap * n as f64;
+                users_left -= n as f64;
+                level = cap;
             } else {
                 // No: the level lands below cap_i.
                 level = remaining / users_left;
                 break;
             }
         }
-        for i in 0..7 {
-            self.rate[i] = if self.active[i] > 0 { caps[i].min(level) } else { 0.0 };
+        for ((rate, &cap), &n) in self.rate.iter_mut().zip(&caps).zip(&self.active) {
+            *rate = if n > 0 { cap.min(level) } else { 0.0 };
         }
     }
 

@@ -83,9 +83,19 @@ pub struct MediaServer {
 impl MediaServer {
     /// Creates an idle server.
     pub fn new(config: ServerConfig) -> Self {
-        assert!(config.cpu_capacity_transfers > 0.0, "cpu capacity must be positive");
-        assert!((0.0..1.0).contains(&config.cpu_baseline), "baseline in [0,1)");
-        Self { config, active: 0, stats: ServerStats::default() }
+        assert!(
+            config.cpu_capacity_transfers > 0.0,
+            "cpu capacity must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.cpu_baseline),
+            "baseline in [0,1)"
+        );
+        Self {
+            config,
+            active: 0,
+            stats: ServerStats::default(),
+        }
     }
 
     /// Handles a transfer request of `duration` seconds; returns whether

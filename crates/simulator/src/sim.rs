@@ -133,7 +133,13 @@ impl Simulator {
         let mut network = FairShareNetwork::new(self.config.network);
         let mut queue = EventQueue::with_capacity(workload.len() * 2);
         for (i, t) in workload.transfers().iter().enumerate() {
-            queue.schedule(t.start, Ev::Start { idx: i as u32, attempt: 1 });
+            queue.schedule(
+                t.start,
+                Ev::Start {
+                    idx: i as u32,
+                    attempt: 1,
+                },
+            );
         }
 
         // Per-transfer state: the class-integral snapshot at admission,
@@ -158,14 +164,19 @@ impl Simulator {
                     }
                     if !server.request(remaining) {
                         // Rejected: maybe retry for the remainder.
-                        if let RetryPolicy::RetryAfter { delay_secs, max_attempts } =
-                            self.config.retry
+                        if let RetryPolicy::RetryAfter {
+                            delay_secs,
+                            max_attempts,
+                        } = self.config.retry
                         {
                             if attempt < max_attempts && now + delay_secs < intended_stop {
                                 retries += 1;
                                 queue.schedule(
                                     now + delay_secs,
-                                    Ev::Start { idx: i, attempt: attempt + 1 },
+                                    Ev::Start {
+                                        idx: i,
+                                        attempt: attempt + 1,
+                                    },
                                 );
                             }
                         }
@@ -289,7 +300,10 @@ mod tests {
             ..SimConfig::default()
         };
         let out = Simulator::new(cfg).run(&w, 1);
-        assert!(out.server_stats.rejected > 0, "expected rejections at cap 20");
+        assert!(
+            out.server_stats.rejected > 0,
+            "expected rejections at cap 20"
+        );
         assert_eq!(
             out.server_stats.accepted as usize,
             out.trace.len(),
@@ -340,7 +354,8 @@ mod tests {
         for e in out.trace.entries().iter().take(1_000) {
             let caps = [28_800, 33_600, 56_000, 128_000, 256_000, 512_000, 1_500_000];
             let ok = caps.iter().any(|&c| {
-                (f64::from(e.avg_bandwidth) - f64::from(c as u32)).abs() < f64::from(c as u32) * 0.02
+                (f64::from(e.avg_bandwidth) - f64::from(c as u32)).abs()
+                    < f64::from(c as u32) * 0.02
             });
             assert!(ok, "bandwidth {} matches no class", e.avg_bandwidth);
         }
@@ -349,7 +364,10 @@ mod tests {
     #[test]
     fn harvest_anomalies_injected_and_sanitized() {
         let w = workload();
-        let cfg = SimConfig { harvest_anomaly_rate: 0.5, ..SimConfig::default() };
+        let cfg = SimConfig {
+            harvest_anomaly_rate: 0.5,
+            ..SimConfig::default()
+        };
         let out = Simulator::new(cfg).run(&w, 1);
         // The 12-hour horizon has no midnight crossing… use a 2-day one.
         let config = WorkloadConfig::paper().scaled(800, 2 * 86_400, 6_000);
@@ -363,8 +381,7 @@ mod tests {
             .filter(|e| e.duration > horizon)
             .count();
         assert!(spanning > 0, "no anomalies injected");
-        let (clean, report) =
-            lsw_trace::sanitize::sanitize(out2.trace.entries().to_vec(), horizon);
+        let (clean, report) = lsw_trace::sanitize::sanitize(out2.trace.entries().to_vec(), horizon);
         assert_eq!(report.rejected(), spanning);
         assert_eq!(clean.len() + spanning, out2.trace.len());
         // And the 12-hour run had none (no boundary to span).
@@ -417,7 +434,12 @@ mod tests {
         // ...but the content moved on: retried viewings are shorter than
         // their intended spans, so viewer time is still lost (the §1
         // argument survives client persistence).
-        let watched: u64 = retry.trace.entries().iter().map(|e| u64::from(e.duration)).sum();
+        let watched: u64 = retry
+            .trace
+            .entries()
+            .iter()
+            .map(|e| u64::from(e.duration))
+            .sum();
         let intended: f64 = w.transfers().iter().map(|t| t.duration).sum();
         assert!(
             (watched as f64) < intended,
@@ -435,7 +457,10 @@ mod tests {
                 admission: AdmissionPolicy::RejectAbove { max_concurrent: 30 },
                 ..ServerConfig::default()
             },
-            retry: RetryPolicy::RetryAfter { delay_secs: 300.0, max_attempts: 10 },
+            retry: RetryPolicy::RetryAfter {
+                delay_secs: 300.0,
+                max_attempts: 10,
+            },
             ..SimConfig::default()
         };
         let out = Simulator::new(cfg).run(&w, 5);

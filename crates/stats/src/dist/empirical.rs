@@ -28,13 +28,18 @@ impl Empirical {
     /// bootstrap resampling of the raw values is used.
     pub fn new(mut values: Vec<f64>, interpolate: bool) -> Result<Self, ParamError> {
         if values.is_empty() {
-            return Err(ParamError::new("Empirical requires at least one observation"));
+            return Err(ParamError::new(
+                "Empirical requires at least one observation",
+            ));
         }
         if values.iter().any(|v| !v.is_finite()) {
             return Err(ParamError::new("Empirical observations must be finite"));
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-        Ok(Self { sorted: values, interpolate })
+        values.sort_unstable_by(f64::total_cmp);
+        Ok(Self {
+            sorted: values,
+            interpolate,
+        })
     }
 
     /// Number of observations backing the distribution.

@@ -17,7 +17,9 @@ impl Exponential {
     /// Creates an exponential with rate `lambda > 0`.
     pub fn new(lambda: f64) -> Result<Self, ParamError> {
         if !(lambda > 0.0) || !lambda.is_finite() {
-            return Err(ParamError::new(format!("Exponential requires lambda > 0, got {lambda}")));
+            return Err(ParamError::new(format!(
+                "Exponential requires lambda > 0, got {lambda}"
+            )));
         }
         Ok(Self { lambda })
     }
@@ -25,7 +27,9 @@ impl Exponential {
     /// Creates an exponential with the given mean (`1/lambda`).
     pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
         if !(mean > 0.0) || !mean.is_finite() {
-            return Err(ParamError::new(format!("Exponential requires mean > 0, got {mean}")));
+            return Err(ParamError::new(format!(
+                "Exponential requires mean > 0, got {mean}"
+            )));
         }
         Ok(Self { lambda: 1.0 / mean })
     }

@@ -93,7 +93,8 @@ impl Continuous for Gamma {
                 0.0
             };
         }
-        ((self.k - 1.0) * (x / self.theta).ln() - x / self.theta
+        ((self.k - 1.0) * (x / self.theta).ln()
+            - x / self.theta
             - ln_gamma(self.k)
             - self.theta.ln())
         .exp()

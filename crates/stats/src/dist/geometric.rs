@@ -20,7 +20,9 @@ impl Geometric {
     /// Creates a geometric with success probability `0 < p <= 1`.
     pub fn new(p: f64) -> Result<Self, ParamError> {
         if !(p > 0.0 && p <= 1.0) {
-            return Err(ParamError::new(format!("Geometric requires 0 < p <= 1, got {p}")));
+            return Err(ParamError::new(format!(
+                "Geometric requires 0 < p <= 1, got {p}"
+            )));
         }
         Ok(Self { p })
     }
@@ -28,7 +30,9 @@ impl Geometric {
     /// Creates a geometric with the given mean `1/p >= 1`.
     pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
         if !(mean >= 1.0) || !mean.is_finite() {
-            return Err(ParamError::new(format!("Geometric requires mean >= 1, got {mean}")));
+            return Err(ParamError::new(format!(
+                "Geometric requires mean >= 1, got {mean}"
+            )));
         }
         Self::new(1.0 / mean)
     }

@@ -31,14 +31,14 @@ impl Mixture {
     /// Creates a mixture from `(weight, component)` pairs.
     ///
     /// Weights must be positive; they are normalized internally.
-    pub fn new(
-        parts: Vec<(f64, Box<dyn Continuous + Send + Sync>)>,
-    ) -> Result<Self, ParamError> {
+    pub fn new(parts: Vec<(f64, Box<dyn Continuous + Send + Sync>)>) -> Result<Self, ParamError> {
         if parts.is_empty() {
             return Err(ParamError::new("Mixture requires at least one component"));
         }
         if parts.iter().any(|(w, _)| !(*w > 0.0) || !w.is_finite()) {
-            return Err(ParamError::new("Mixture weights must be positive and finite"));
+            return Err(ParamError::new(
+                "Mixture weights must be positive and finite",
+            ));
         }
         let total: f64 = parts.iter().map(|(w, _)| w).sum();
         let mut cum = Vec::with_capacity(parts.len());
@@ -52,7 +52,11 @@ impl Mixture {
             components.push(c);
         }
         *cum.last_mut().expect("non-empty") = 1.0;
-        Ok(Self { components, cum_weights: cum, weights })
+        Ok(Self {
+            components,
+            cum_weights: cum,
+            weights,
+        })
     }
 
     /// Number of components.
@@ -68,7 +72,10 @@ impl Mixture {
     /// Samples and also reports which component produced the draw.
     pub fn sample_labeled(&self, rng: &mut dyn Rng) -> (usize, f64) {
         let u = u01(rng);
-        let idx = self.cum_weights.partition_point(|&c| c < u).min(self.components.len() - 1);
+        let idx = self
+            .cum_weights
+            .partition_point(|&c| c < u)
+            .min(self.components.len() - 1);
         (idx, self.components[idx].sample(rng))
     }
 }
@@ -186,14 +193,8 @@ mod tests {
     #[test]
     fn rejects_bad_params() {
         assert!(Mixture::new(vec![]).is_err());
-        assert!(Mixture::new(vec![
-            (0.0, Box::new(Normal::standard()) as _),
-        ])
-        .is_err());
-        assert!(Mixture::new(vec![
-            (-1.0, Box::new(Normal::standard()) as _),
-        ])
-        .is_err());
+        assert!(Mixture::new(vec![(0.0, Box::new(Normal::standard()) as _),]).is_err());
+        assert!(Mixture::new(vec![(-1.0, Box::new(Normal::standard()) as _),]).is_err());
     }
 
     #[test]
@@ -212,10 +213,7 @@ mod tests {
         let m = bimodal();
         let mut rng = SeedStream::new(91).rng("mix");
         const N: usize = 50_000;
-        let low = (0..N)
-            .filter(|_| m.sample_labeled(&mut rng).0 == 1)
-            .count() as f64
-            / N as f64;
+        let low = (0..N).filter(|_| m.sample_labeled(&mut rng).0 == 1).count() as f64 / N as f64;
         assert!((low - 0.1).abs() < 0.01, "congestion fraction {low}");
     }
 

@@ -60,7 +60,9 @@ pub struct ParamError {
 
 impl ParamError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -151,7 +153,9 @@ impl<D: Continuous> Truncated<D> {
     /// zero probability mass.
     pub fn new(inner: D, lo: f64, hi: f64) -> Result<Self, ParamError> {
         if !(lo < hi) {
-            return Err(ParamError::new(format!("truncation interval [{lo}, {hi}] is empty")));
+            return Err(ParamError::new(format!(
+                "truncation interval [{lo}, {hi}] is empty"
+            )));
         }
         let f_lo = inner.cdf(lo);
         let f_hi = inner.cdf(hi);
@@ -160,7 +164,13 @@ impl<D: Continuous> Truncated<D> {
                 "truncation interval [{lo}, {hi}] has zero probability mass"
             )));
         }
-        Ok(Self { inner, lo, hi, f_lo, f_hi })
+        Ok(Self {
+            inner,
+            lo,
+            hi,
+            f_lo,
+            f_hi,
+        })
     }
 
     /// The underlying (untruncated) distribution.

@@ -28,7 +28,10 @@ impl Normal {
 
     /// Standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mu: 0.0, sigma: 1.0 }
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Location parameter.

@@ -22,7 +22,9 @@ impl Poisson {
     /// Creates a Poisson with mean `lambda > 0`.
     pub fn new(lambda: f64) -> Result<Self, ParamError> {
         if !(lambda > 0.0) || !lambda.is_finite() {
-            return Err(ParamError::new(format!("Poisson requires lambda > 0, got {lambda}")));
+            return Err(ParamError::new(format!(
+                "Poisson requires lambda > 0, got {lambda}"
+            )));
         }
         Ok(Self { lambda })
     }
@@ -140,8 +142,14 @@ mod tests {
         let xs: Vec<u64> = (0..N).map(|_| d.sample_k(&mut rng)).collect();
         let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / N as f64;
         let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / N as f64;
-        assert!((mean / lambda - 1.0).abs() < tol, "lambda {lambda}: mean {mean}");
-        assert!((var / lambda - 1.0).abs() < 3.0 * tol, "lambda {lambda}: var {var}");
+        assert!(
+            (mean / lambda - 1.0).abs() < tol,
+            "lambda {lambda}: mean {mean}"
+        );
+        assert!(
+            (var / lambda - 1.0).abs() < 3.0 * tol,
+            "lambda {lambda}: var {var}"
+        );
     }
 
     #[test]
@@ -166,10 +174,8 @@ mod tests {
         let hi = Poisson::new(30.1).unwrap();
         let mut rng = SeedStream::new(87).rng("pois-b");
         const N: usize = 60_000;
-        let f_lo =
-            (0..N).filter(|_| lo.sample_k(&mut rng) <= 30).count() as f64 / N as f64;
-        let f_hi =
-            (0..N).filter(|_| hi.sample_k(&mut rng) <= 30).count() as f64 / N as f64;
+        let f_lo = (0..N).filter(|_| lo.sample_k(&mut rng) <= 30).count() as f64 / N as f64;
+        let f_hi = (0..N).filter(|_| hi.sample_k(&mut rng) <= 30).count() as f64 / N as f64;
         assert!((f_lo - lo.cdf_k(30)).abs() < 0.01, "knuth cdf {f_lo}");
         assert!((f_hi - hi.cdf_k(30)).abs() < 0.01, "atkinson cdf {f_hi}");
     }

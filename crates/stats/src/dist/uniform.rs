@@ -16,7 +16,9 @@ impl Uniform {
     /// finite.
     pub fn new(a: f64, b: f64) -> Result<Self, ParamError> {
         if !(a.is_finite() && b.is_finite() && a < b) {
-            return Err(ParamError::new(format!("Uniform requires finite a < b, got [{a}, {b})")));
+            return Err(ParamError::new(format!(
+                "Uniform requires finite a < b, got [{a}, {b})"
+            )));
         }
         Ok(Self { a, b })
     }

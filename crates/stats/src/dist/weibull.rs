@@ -102,7 +102,11 @@ mod tests {
         let mut rng = SeedStream::new(51).rng("weib");
         let xs = d.sample_n(&mut rng, 200_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        assert!((mean / d.mean() - 1.0).abs() < 0.02, "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean / d.mean() - 1.0).abs() < 0.02,
+            "mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

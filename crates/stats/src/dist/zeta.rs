@@ -22,9 +22,14 @@ impl Zeta {
     /// Creates a zeta distribution with exponent `alpha > 1`.
     pub fn new(alpha: f64) -> Result<Self, ParamError> {
         if !(alpha > 1.0) || !alpha.is_finite() {
-            return Err(ParamError::new(format!("Zeta requires alpha > 1, got {alpha}")));
+            return Err(ParamError::new(format!(
+                "Zeta requires alpha > 1, got {alpha}"
+            )));
         }
-        Ok(Self { alpha, zeta_alpha: riemann_zeta(alpha) })
+        Ok(Self {
+            alpha,
+            zeta_alpha: riemann_zeta(alpha),
+        })
     }
 
     /// Tail exponent.
@@ -49,7 +54,7 @@ impl Discrete for Zeta {
             let x = u.powf(-1.0 / am1).floor();
             // Guard against astronomically large proposals overflowing u64
             // (possible only in the extreme tail for alpha close to 1).
-            if x < 1.0 || x >= 9e18 {
+            if !(1.0..9e18).contains(&x) {
                 continue;
             }
             let t = (1.0 + 1.0 / x).powf(am1);

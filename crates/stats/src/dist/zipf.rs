@@ -33,7 +33,9 @@ impl ZipfTable {
             return Err(ParamError::new("ZipfTable requires n >= 1"));
         }
         if !(s >= 0.0) || !s.is_finite() {
-            return Err(ParamError::new(format!("ZipfTable requires s >= 0, got {s}")));
+            return Err(ParamError::new(format!(
+                "ZipfTable requires s >= 0, got {s}"
+            )));
         }
         let mut cum = Vec::with_capacity(n as usize);
         let mut acc = 0.0;

@@ -67,14 +67,18 @@ impl Summary {
             0.0
         };
         let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        sorted.sort_unstable_by(f64::total_cmp);
         let q = |p: f64| quantile_sorted(&sorted, p);
         Some(Self {
             n,
             mean,
             variance,
             std_dev,
-            cv: if mean != 0.0 { std_dev / mean } else { f64::NAN },
+            cv: if mean != 0.0 {
+                std_dev / mean
+            } else {
+                f64::NAN
+            },
             min,
             max,
             median: q(0.5),
@@ -109,7 +113,7 @@ impl Ecdf {
     /// and sorted to the end otherwise).
     pub fn new(mut data: Vec<f64>) -> Self {
         debug_assert!(data.iter().all(|x| !x.is_nan()), "ECDF input contains NaN");
-        data.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+        data.sort_unstable_by(f64::total_cmp);
         Self { sorted: data }
     }
 
@@ -229,7 +233,10 @@ impl Histogram {
                     .collect::<Vec<f64>>()
             }
             Binning::Log { lo, hi, per_decade } => {
-                assert!(lo > 0.0 && lo < hi && per_decade >= 1, "invalid log binning");
+                assert!(
+                    lo > 0.0 && lo < hi && per_decade >= 1,
+                    "invalid log binning"
+                );
                 let decades = (hi / lo).log10();
                 let nbins = (decades * per_decade as f64).ceil() as usize;
                 let nbins = nbins.max(1);
@@ -476,7 +483,11 @@ mod tests {
     #[test]
     fn linear_histogram_counts() {
         let h = Histogram::from_data(
-            Binning::Linear { lo: 0.0, hi: 10.0, nbins: 5 },
+            Binning::Linear {
+                lo: 0.0,
+                hi: 10.0,
+                nbins: 5,
+            },
             &[0.5, 1.5, 2.5, 2.6, 9.9, 10.0, -1.0, 11.0],
         );
         assert_eq!(h.nbins(), 5);
@@ -488,7 +499,11 @@ mod tests {
 
     #[test]
     fn log_histogram_decades() {
-        let h = Histogram::new(Binning::Log { lo: 1.0, hi: 1_000.0, per_decade: 2 });
+        let h = Histogram::new(Binning::Log {
+            lo: 1.0,
+            hi: 1_000.0,
+            per_decade: 2,
+        });
         assert_eq!(h.nbins(), 6);
         let mut h = h;
         h.add(1.0);
@@ -505,7 +520,11 @@ mod tests {
     #[test]
     fn densities_integrate_to_one() {
         let h = Histogram::from_data(
-            Binning::Linear { lo: 0.0, hi: 1.0, nbins: 10 },
+            Binning::Linear {
+                lo: 0.0,
+                hi: 1.0,
+                nbins: 10,
+            },
             &(0..1000).map(|i| i as f64 / 1000.0).collect::<Vec<_>>(),
         );
         let integral: f64 = h

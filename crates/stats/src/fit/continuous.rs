@@ -37,7 +37,11 @@ pub fn fit_lognormal(data: &[f64]) -> Result<LogNormalFit, FitError> {
     if var <= 0.0 {
         return Err(FitError::new("lognormal fit: zero variance in log-space"));
     }
-    Ok(LogNormalFit { mu, sigma: var.sqrt(), n: data.len() })
+    Ok(LogNormalFit {
+        mu,
+        sigma: var.sqrt(),
+        n: data.len(),
+    })
 }
 
 /// Fitted exponential parameters.
@@ -63,7 +67,11 @@ pub fn fit_exponential(data: &[f64]) -> Result<ExponentialFit, FitError> {
     if !(mean > 0.0) {
         return Err(FitError::new("exponential fit: zero mean"));
     }
-    Ok(ExponentialFit { lambda: 1.0 / mean, mean, n: data.len() })
+    Ok(ExponentialFit {
+        lambda: 1.0 / mean,
+        mean,
+        n: data.len(),
+    })
 }
 
 /// Fitted normal parameters.
@@ -88,7 +96,11 @@ pub fn fit_normal(data: &[f64]) -> Result<NormalFit, FitError> {
     if var <= 0.0 {
         return Err(FitError::new("normal fit: zero variance"));
     }
-    Ok(NormalFit { mu, sigma: var.sqrt(), n: data.len() })
+    Ok(NormalFit {
+        mu,
+        sigma: var.sqrt(),
+        n: data.len(),
+    })
 }
 
 /// Fitted Pareto parameters.
@@ -115,7 +127,11 @@ pub fn fit_pareto(data: &[f64]) -> Result<ParetoFit, FitError> {
     if s <= 0.0 {
         return Err(FitError::new("Pareto fit: degenerate data (all equal)"));
     }
-    Ok(ParetoFit { xm, alpha: data.len() as f64 / s, n: data.len() })
+    Ok(ParetoFit {
+        xm,
+        alpha: data.len() as f64 / s,
+        n: data.len(),
+    })
 }
 
 /// Fitted Weibull parameters.
@@ -167,7 +183,11 @@ pub fn fit_weibull(data: &[f64]) -> Result<WeibullFit, FitError> {
     if !(lambda > 0.0) || !lambda.is_finite() || !k.is_finite() {
         return Err(FitError::new("Weibull fit: non-finite result"));
     }
-    Ok(WeibullFit { lambda, k, n: data.len() })
+    Ok(WeibullFit {
+        lambda,
+        k,
+        n: data.len(),
+    })
 }
 
 /// Fitted gamma parameters.
@@ -197,13 +217,19 @@ pub fn fit_gamma(data: &[f64]) -> Result<GammaFit, FitError> {
     let mean_ln = data.iter().map(|&x| x.ln()).sum::<f64>() / n;
     let s = mean.ln() - mean_ln;
     if !(s > 0.0) {
-        return Err(FitError::new("gamma fit: degenerate data (zero log-spread)"));
+        return Err(FitError::new(
+            "gamma fit: degenerate data (zero log-spread)",
+        ));
     }
     let k = (3.0 - s + ((s - 3.0) * (s - 3.0) + 24.0 * s).sqrt()) / (12.0 * s);
     if !(k > 0.0) || !k.is_finite() {
         return Err(FitError::new("gamma fit: non-finite shape"));
     }
-    Ok(GammaFit { k, theta: mean / k, n: data.len() })
+    Ok(GammaFit {
+        k,
+        theta: mean / k,
+        n: data.len(),
+    })
 }
 
 #[cfg(test)]

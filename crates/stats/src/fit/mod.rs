@@ -11,8 +11,8 @@ mod tail;
 mod zipf;
 
 pub use continuous::{
-    fit_exponential, fit_gamma, fit_lognormal, fit_normal, fit_pareto, fit_weibull,
-    ExponentialFit, GammaFit, LogNormalFit, NormalFit, ParetoFit, WeibullFit,
+    fit_exponential, fit_gamma, fit_lognormal, fit_normal, fit_pareto, fit_weibull, ExponentialFit,
+    GammaFit, LogNormalFit, NormalFit, ParetoFit, WeibullFit,
 };
 pub use tail::{hill_estimator, two_regime_tail, TwoRegimeTail};
 pub use zipf::{fit_zipf_points, fit_zipf_rank_frequency, ZipfFit};
@@ -28,7 +28,9 @@ pub struct FitError {
 
 impl FitError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -69,7 +71,11 @@ pub fn linear_regression(points: &[(f64, f64)]) -> Result<(f64, f64, f64), FitEr
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok((slope, intercept, r2))
 }
 
@@ -140,7 +146,7 @@ pub fn select_model(data: &[f64]) -> Result<ModelChoice, FitError> {
         return Err(FitError::new("model selection needs >= 10 observations"));
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    sorted.sort_unstable_by(f64::total_cmp);
 
     let mut ks: Vec<(Family, f64)> = Vec::new();
     if let Ok(f) = fit_lognormal(data) {
@@ -165,7 +171,7 @@ pub fn select_model(data: &[f64]) -> Result<ModelChoice, FitError> {
     }
     let best = ks
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite KS"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .ok_or_else(|| FitError::new("no family could be fitted"))?;
     // Parsimony band: candidates this close to the minimum are within KS
     // sampling noise of each other on an n-sized sample.
@@ -174,12 +180,15 @@ pub fn select_model(data: &[f64]) -> Result<ModelChoice, FitError> {
         .iter()
         .filter(|(_, d)| d - best.1 <= tolerance)
         .min_by(|a, b| {
-            (a.0.n_params(), a.1)
-                .partial_cmp(&(b.0.n_params(), b.1))
-                .expect("finite KS")
+            a.0.n_params()
+                .cmp(&b.0.n_params())
+                .then_with(|| a.1.total_cmp(&b.1))
         })
         .expect("band contains the minimum");
-    Ok(ModelChoice { family: winner.0, ks_distances: ks.clone() })
+    Ok(ModelChoice {
+        family: winner.0,
+        ks_distances: ks.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -209,7 +218,12 @@ mod tests {
         let mut rng = SeedStream::new(201).rng("select");
         let xs = d.sample_n(&mut rng, 20_000);
         let choice = select_model(&xs).unwrap();
-        assert_eq!(choice.family, Family::LogNormal, "{:?}", choice.ks_distances);
+        assert_eq!(
+            choice.family,
+            Family::LogNormal,
+            "{:?}",
+            choice.ks_distances
+        );
     }
 
     #[test]
@@ -218,6 +232,11 @@ mod tests {
         let mut rng = SeedStream::new(202).rng("select2");
         let xs = d.sample_n(&mut rng, 20_000);
         let choice = select_model(&xs).unwrap();
-        assert_eq!(choice.family, Family::Exponential, "{:?}", choice.ks_distances);
+        assert_eq!(
+            choice.family,
+            Family::Exponential,
+            "{:?}",
+            choice.ks_distances
+        );
     }
 }

@@ -21,10 +21,12 @@ pub fn hill_estimator(data: &[f64], k: usize) -> Result<f64, FitError> {
         )));
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite data")); // descending
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a)); // descending
     let xk = sorted[k];
     if !(xk > 0.0) {
-        return Err(FitError::new("Hill estimator requires positive order statistics"));
+        return Err(FitError::new(
+            "Hill estimator requires positive order statistics",
+        ));
     }
     let mean_log: f64 = sorted[..k].iter().map(|&x| (x / xk).ln()).sum::<f64>() / k as f64;
     if !(mean_log > 0.0) {
@@ -128,7 +130,11 @@ mod tests {
             pts.push((x, c * x.powf(-1.0)));
         }
         let t = two_regime_tail(&pts, 100.0, 1.0).unwrap();
-        assert!((t.alpha_short - 2.8).abs() < 0.01, "short {}", t.alpha_short);
+        assert!(
+            (t.alpha_short - 2.8).abs() < 0.01,
+            "short {}",
+            t.alpha_short
+        );
         assert!((t.alpha_long - 1.0).abs() < 0.01, "long {}", t.alpha_long);
         assert!(t.r2_short > 0.999 && t.r2_long > 0.999);
     }

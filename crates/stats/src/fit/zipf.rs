@@ -36,10 +36,7 @@ impl ZipfFit {
 /// restricts the fit to ranks `<= max_rank` — useful because empirical
 /// rank-frequency tails flatten into ties at count 1, which the paper's
 /// visual fits effectively ignore.
-pub fn fit_zipf_points(
-    points: &[(f64, f64)],
-    max_rank: Option<f64>,
-) -> Result<ZipfFit, FitError> {
+pub fn fit_zipf_points(points: &[(f64, f64)], max_rank: Option<f64>) -> Result<ZipfFit, FitError> {
     let logpts: Vec<(f64, f64)> = points
         .iter()
         .filter(|&&(k, f)| k > 0.0 && f > 0.0 && max_rank.map_or(true, |m| k <= m))

@@ -45,11 +45,14 @@ pub fn ks_distance(sorted: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
 pub fn ks_test(data: &[f64], cdf: impl Fn(f64) -> f64) -> TestResult {
     assert!(!data.is_empty(), "KS test on empty sample");
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    sorted.sort_unstable_by(f64::total_cmp);
     let d = ks_distance(&sorted, cdf);
     let sn = (sorted.len() as f64).sqrt();
     let lambda = (sn + 0.12 + 0.11 / sn) * d;
-    TestResult { statistic: d, p_value: ks_q(lambda) }
+    TestResult {
+        statistic: d,
+        p_value: ks_q(lambda),
+    }
 }
 
 /// Two-sample Kolmogorov–Smirnov test.
@@ -57,11 +60,14 @@ pub fn ks_test(data: &[f64], cdf: impl Fn(f64) -> f64) -> TestResult {
 /// Tests whether `a` and `b` come from the same distribution. This is what
 /// the paper's Fig 5-vs-Fig 6 "surprisingly similar" comparison amounts to.
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
-    assert!(!a.is_empty() && !b.is_empty(), "KS two-sample on empty input");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS two-sample on empty input"
+    );
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite data"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite data"));
+    sa.sort_unstable_by(f64::total_cmp);
+    sb.sort_unstable_by(f64::total_cmp);
     let (na, nb) = (sa.len(), sb.len());
     let mut i = 0;
     let mut j = 0;
@@ -81,7 +87,10 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
     let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
     let sn = ne.sqrt();
     let lambda = (sn + 0.12 + 0.11 / sn) * d;
-    TestResult { statistic: d, p_value: ks_q(lambda) }
+    TestResult {
+        statistic: d,
+        p_value: ks_q(lambda),
+    }
 }
 
 /// Chi-square goodness-of-fit test from observed and expected bin counts.
@@ -89,11 +98,7 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
 /// Bins with expected count below `min_expected` (conventionally 5) are
 /// pooled into their neighbor. `ddof` is the number of parameters estimated
 /// from the data (subtracted from the degrees of freedom along with 1).
-pub fn chi_square_test(
-    observed: &[f64],
-    expected: &[f64],
-    ddof: usize,
-) -> Option<TestResult> {
+pub fn chi_square_test(observed: &[f64], expected: &[f64], ddof: usize) -> Option<TestResult> {
     assert_eq!(observed.len(), expected.len(), "bin count mismatch");
     const MIN_EXPECTED: f64 = 5.0;
     // Pool small-expectation bins left to right.
@@ -131,7 +136,10 @@ pub fn chi_square_test(
         .sum();
     let dof = (k - 1 - ddof) as f64;
     // p-value = Q(dof/2, stat/2).
-    Some(TestResult { statistic: stat, p_value: gamma_q(dof / 2.0, stat / 2.0) })
+    Some(TestResult {
+        statistic: stat,
+        p_value: gamma_q(dof / 2.0, stat / 2.0),
+    })
 }
 
 /// Poisson dispersion test on a set of counts.
@@ -155,7 +163,10 @@ pub fn poisson_dispersion_test(counts: &[u64]) -> Option<TestResult> {
     // Two-sided: both over- and under-dispersion refute Poisson.
     let upper = gamma_q(dof / 2.0, stat / 2.0);
     let lower = 1.0 - upper;
-    Some(TestResult { statistic: stat, p_value: 2.0 * upper.min(lower) })
+    Some(TestResult {
+        statistic: stat,
+        p_value: 2.0 * upper.min(lower),
+    })
 }
 
 #[cfg(test)]
@@ -241,7 +252,13 @@ mod tests {
         let hi = Poisson::new(100.0).unwrap();
         let mut rng = SeedStream::new(606).rng("disp2");
         let counts: Vec<u64> = (0..500)
-            .map(|i| if i % 2 == 0 { lo.sample_k(&mut rng) } else { hi.sample_k(&mut rng) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    lo.sample_k(&mut rng)
+                } else {
+                    hi.sample_k(&mut rng)
+                }
+            })
             .collect();
         let r = poisson_dispersion_test(&counts).unwrap();
         assert!(!r.accepts(0.01), "p = {}", r.p_value);

@@ -22,6 +22,9 @@
 //!   two-sample) and chi-square goodness of fit.
 //! * **Deterministic randomness** ([`rng`]) — a master seed fans out into
 //!   independent named substreams so every experiment is reproducible.
+//! * **Deterministic parallelism** ([`par`]) — worker-count policy plus an
+//!   order-preserving k-way run merge, so multi-core stages produce
+//!   bit-identical output at any thread count.
 //! * **Self-similarity** ([`selfsim`]) — variance-time and R/S Hurst
 //!   estimators, for the long-range-dependence lineage the paper builds
 //!   on (Crovella & Bestavros) and GISMO's self-similar VBR content.
@@ -47,12 +50,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `!(x > 0.0)` in parameter validation is deliberate: unlike `x <= 0.0` it
+// also rejects NaN, which is exactly the point of those guards.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Numeric tables (Lanczos coefficients, paper parameters) are transcribed at
+// their published precision; truncating them would hide the provenance.
+#![allow(clippy::excessive_precision)]
 
 pub mod dist;
 pub mod empirical;
 pub mod fit;
 pub mod hypothesis;
 pub mod paper;
+pub mod par;
 pub mod process;
 pub mod rng;
 pub mod selfsim;

@@ -1,0 +1,290 @@
+//! Parallel-execution policy and deterministic merge primitives.
+//!
+//! The workspace parallelizes generation and characterization without ever
+//! letting thread count change a result: workers own *contiguous* chunks
+//! of a work list, produce locally ordered runs, and the runs are combined
+//! with an order-preserving k-way merge. [`Parallelism`] is the single
+//! knob that says how many workers to use; [`merge_sorted_runs`] is the
+//! combiner whose output is provably identical to a global stable sort of
+//! the concatenated runs — so one worker and sixty-four workers emit the
+//! same bytes.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::ops::Range;
+
+/// Environment variable overriding the automatic worker count.
+pub const THREADS_ENV: &str = "LSW_THREADS";
+
+/// How many worker threads parallel stages may use.
+///
+/// The default ([`Parallelism::auto`]) reads the `LSW_THREADS` environment
+/// variable, falling back to the number of available cores. Worker count
+/// never affects results — only wall-clock time — so `auto` is always
+/// safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Worker count from `LSW_THREADS`, else the number of available
+    /// cores, else 1.
+    pub fn auto() -> Self {
+        let from_env = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Self { threads }
+    }
+
+    /// Exactly `threads` workers (clamped to at least one).
+    pub fn fixed(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single worker: every parallel stage degenerates to the
+    /// sequential path.
+    pub fn sequential() -> Self {
+        Self::fixed(1)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..n` into at most [`threads`](Self::threads) contiguous,
+    /// near-equal, non-empty ranges covering every index exactly once.
+    ///
+    /// Chunks are only a scheduling decision: callers must combine chunk
+    /// results in chunk order (or via [`merge_sorted_runs`]) so the split
+    /// never shows in the output.
+    pub fn chunk_ranges(&self, n: usize) -> Vec<Range<usize>> {
+        let workers = self.threads.min(n).max(1);
+        if n == 0 {
+            // A single empty chunk, so callers always get >= 1 range.
+            #[allow(clippy::single_range_in_vec_init)]
+            return vec![0..0];
+        }
+        let base = n / workers;
+        let extra = n % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        ranges
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// An `f64` sort key ordered by [`f64::total_cmp`], usable wherever an
+/// [`Ord`] key is required (notably [`merge_sorted_runs`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64Key(pub f64);
+
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One run head inside the merge heap. Ordered so the `BinaryHeap`
+/// (a max-heap) pops the smallest `(key, run)` first: equal keys resolve
+/// to the earliest run, which is what makes the merge equivalent to a
+/// *stable* sort of the concatenated runs.
+struct Head<T, K: Ord> {
+    key: K,
+    run: usize,
+    item: T,
+}
+
+impl<T, K: Ord> PartialEq for Head<T, K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+
+impl<T, K: Ord> Eq for Head<T, K> {}
+
+impl<T, K: Ord> PartialOrd for Head<T, K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T, K: Ord> Ord for Head<T, K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap must surface the minimum head.
+        (&other.key, other.run).cmp(&(&self.key, self.run))
+    }
+}
+
+/// K-way merges locally sorted runs into one globally sorted vector.
+///
+/// Each input run must already be sorted (stably) by `key`. The output is
+/// exactly what a *stable* sort by `key` of the concatenated runs would
+/// produce: ties are resolved first by run index, then by position within
+/// the run. A binary heap over the run heads makes the merge
+/// `O(n log k)` for `n` total elements across `k` runs.
+///
+/// This is the combiner behind every chunked parallel stage: because the
+/// result equals the stable sort of the chunk-order concatenation, it is
+/// byte-identical no matter how many chunks the work was split into.
+pub fn merge_sorted_runs<T, K, F>(runs: Vec<Vec<T>>, key: F) -> Vec<T>
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Head<T, K>> = BinaryHeap::with_capacity(iters.len());
+    for (run, it) in iters.iter_mut().enumerate() {
+        if let Some(item) = it.next() {
+            heap.push(Head {
+                key: key(&item),
+                run,
+                item,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Head { run, item, .. }) = heap.pop() {
+        out.push(item);
+        if let Some(next) = iters[run].next() {
+            heap.push(Head {
+                key: key(&next),
+                run,
+                item: next,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_clamps_to_one() {
+        assert_eq!(Parallelism::fixed(0).threads(), 1);
+        assert_eq!(Parallelism::fixed(7).threads(), 7);
+        assert_eq!(Parallelism::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn auto_is_positive() {
+        assert!(Parallelism::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_and_balance() {
+        for (n, workers) in [(10, 3), (3, 10), (1, 1), (100, 7), (8, 8)] {
+            let ranges = Parallelism::fixed(workers).chunk_ranges(n);
+            assert!(ranges.len() <= workers);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "chunks must be contiguous");
+            }
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "chunks must be near-equal: {lens:?}");
+            assert!(*min >= 1, "chunks must be non-empty: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_single_empty_chunk() {
+        assert_eq!(Parallelism::fixed(4).chunk_ranges(0), vec![0..0]);
+    }
+
+    #[test]
+    fn merge_of_sorted_runs_is_sorted() {
+        let runs = vec![vec![1u32, 4, 9], vec![2, 3, 10], vec![], vec![5, 6, 7, 8]];
+        let merged = merge_sorted_runs(runs, |&x| x);
+        assert_eq!(merged, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn merge_ties_resolve_in_run_order() {
+        // Items carry (key, origin) — equal keys must come out in run
+        // order, then position order, i.e. exactly a stable sort of the
+        // concatenation.
+        let runs = vec![
+            vec![(1, "a0"), (1, "a1"), (3, "a2")],
+            vec![(1, "b0"), (2, "b1"), (3, "b2")],
+        ];
+        let merged = merge_sorted_runs(runs, |&(k, _)| k);
+        let tags: Vec<&str> = merged.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec!["a0", "a1", "b0", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn merge_equals_stable_sort_of_concatenation() {
+        // Deterministic pseudo-random runs with many ties.
+        let mut state = 88172645463325252u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut runs: Vec<Vec<(u8, usize)>> = Vec::new();
+        let mut orig = 0usize;
+        for _ in 0..5 {
+            let len = (next() % 40) as usize;
+            let mut run: Vec<(u8, usize)> = (0..len)
+                .map(|_| {
+                    let item = ((next() % 8) as u8, orig);
+                    orig += 1;
+                    item
+                })
+                .collect();
+            run.sort_by_key(|&(k, _)| k);
+            runs.push(run);
+        }
+        let mut expected: Vec<(u8, usize)> = runs.concat();
+        expected.sort_by_key(|&(k, _)| k);
+        assert_eq!(merge_sorted_runs(runs, |&(k, _)| k), expected);
+    }
+
+    #[test]
+    fn f64key_total_order() {
+        let mut keys = [
+            F64Key(1.5),
+            F64Key(-0.0),
+            F64Key(0.0),
+            F64Key(f64::NAN),
+            F64Key(-2.0),
+        ];
+        keys.sort();
+        assert_eq!(keys[0].0, -2.0);
+        assert!(keys[4].0.is_nan());
+    }
+}

@@ -89,7 +89,12 @@ mod tests {
         let ivs = p.generate(&mut rng, 0.0, 2_419_200.0, 1.0);
         assert!(!ivs.is_empty());
         for w in ivs.windows(2) {
-            assert!(w[0].end <= w[1].start, "overlap: {:?} then {:?}", w[0], w[1]);
+            assert!(
+                w[0].end <= w[1].start,
+                "overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
         }
         assert!(ivs.iter().all(|iv| iv.start < iv.end));
         assert!(ivs.last().unwrap().end <= 2_419_200.0);
@@ -116,8 +121,7 @@ mod tests {
         let ivs = p.generate(&mut rng, 0.0, 400_000.0, 0.001);
         let cycles = ivs.len() as f64;
         assert!((cycles - 10_000.0).abs() < 600.0, "cycles {cycles}");
-        let on_frac: f64 =
-            ivs.iter().map(|iv| iv.duration()).sum::<f64>() / 400_000.0;
+        let on_frac: f64 = ivs.iter().map(|iv| iv.duration()).sum::<f64>() / 400_000.0;
         assert!((on_frac - 0.25).abs() < 0.02, "on fraction {on_frac}");
     }
 

@@ -14,7 +14,9 @@ impl PoissonProcess {
     /// Creates a homogeneous Poisson process with `rate > 0`.
     pub fn new(rate: f64) -> Result<Self, ParamError> {
         if !(rate > 0.0) || !rate.is_finite() {
-            return Err(ParamError::new(format!("PoissonProcess requires rate > 0, got {rate}")));
+            return Err(ParamError::new(format!(
+                "PoissonProcess requires rate > 0, got {rate}"
+            )));
         }
         Ok(Self { rate })
     }
@@ -63,15 +65,25 @@ impl PiecewiseRate {
     /// Creates a piecewise-constant rate profile.
     pub fn new(rates: Vec<f64>, window: f64, periodic: bool) -> Result<Self, ParamError> {
         if rates.is_empty() {
-            return Err(ParamError::new("PiecewiseRate requires at least one window"));
+            return Err(ParamError::new(
+                "PiecewiseRate requires at least one window",
+            ));
         }
         if !(window > 0.0) || !window.is_finite() {
-            return Err(ParamError::new(format!("PiecewiseRate window must be > 0, got {window}")));
+            return Err(ParamError::new(format!(
+                "PiecewiseRate window must be > 0, got {window}"
+            )));
         }
         if rates.iter().any(|&r| !(r >= 0.0) || !r.is_finite()) {
-            return Err(ParamError::new("PiecewiseRate rates must be finite and >= 0"));
+            return Err(ParamError::new(
+                "PiecewiseRate rates must be finite and >= 0",
+            ));
         }
-        Ok(Self { rates, window, periodic })
+        Ok(Self {
+            rates,
+            window,
+            periodic,
+        })
     }
 
     /// Window width in seconds.
@@ -156,7 +168,7 @@ impl PiecewisePoisson {
                 for _ in 0..count {
                     out.push(lo + u01(rng) * len);
                 }
-                out[base..].sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                out[base..].sort_unstable_by(f64::total_cmp);
             }
             wstart = wend;
         }
@@ -279,10 +291,14 @@ mod tests {
         let mut rng = SeedStream::new(703).rng("pwp");
         let arrivals = pp.generate(&mut rng, 0.0, 20_000.0);
         let counts = bin_counts(&arrivals, 1_000.0, 20_000.0);
-        let lo_mean =
-            counts.iter().step_by(2).map(|&c| c as f64).sum::<f64>() / 10.0;
-        let hi_mean =
-            counts.iter().skip(1).step_by(2).map(|&c| c as f64).sum::<f64>() / 10.0;
+        let lo_mean = counts.iter().step_by(2).map(|&c| c as f64).sum::<f64>() / 10.0;
+        let hi_mean = counts
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|&c| c as f64)
+            .sum::<f64>()
+            / 10.0;
         assert!((lo_mean - 500.0).abs() < 100.0, "lo {lo_mean}");
         assert!((hi_mean - 5_000.0).abs() < 300.0, "hi {hi_mean}");
         assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "sorted");
@@ -318,10 +334,14 @@ mod tests {
         let mut rng = SeedStream::new(705).rng("thin");
         let arrivals = thin.generate(&mut rng, 0.0, 20_000.0);
         let counts = bin_counts(&arrivals, 1_000.0, 20_000.0);
-        let lo_mean =
-            counts.iter().step_by(2).map(|&c| c as f64).sum::<f64>() / 10.0;
-        let hi_mean =
-            counts.iter().skip(1).step_by(2).map(|&c| c as f64).sum::<f64>() / 10.0;
+        let lo_mean = counts.iter().step_by(2).map(|&c| c as f64).sum::<f64>() / 10.0;
+        let hi_mean = counts
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|&c| c as f64)
+            .sum::<f64>()
+            / 10.0;
         assert!((lo_mean - 500.0).abs() < 100.0, "lo {lo_mean}");
         assert!((hi_mean - 5_000.0).abs() < 300.0, "hi {hi_mean}");
     }

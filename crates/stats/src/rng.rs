@@ -24,8 +24,8 @@
 //! assert_eq!(a2.random::<f64>(), x);
 //! ```
 
-use rand_chacha::ChaCha8Rng;
 use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// The concrete RNG used throughout the workspace.
 ///

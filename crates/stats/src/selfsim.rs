@@ -42,7 +42,9 @@ pub fn hurst_variance_time(series: &[f64], min_m: usize) -> Result<HurstEstimate
     }
     let max_m = series.len() / 8;
     if min_m < 1 || min_m >= max_m {
-        return Err(FitError::new(format!("invalid aggregation range {min_m}..{max_m}")));
+        return Err(FitError::new(format!(
+            "invalid aggregation range {min_m}..{max_m}"
+        )));
     }
     let mut points = Vec::new();
     let mut m = min_m;
@@ -62,7 +64,11 @@ pub fn hurst_variance_time(series: &[f64], min_m: usize) -> Result<HurstEstimate
         return Err(FitError::new("too few usable aggregation scales"));
     }
     let (slope, _, r2) = linear_regression(&points)?;
-    Ok(HurstEstimate { h: (1.0 + slope / 2.0).clamp(0.0, 1.0), r2, n_scales: points.len() })
+    Ok(HurstEstimate {
+        h: (1.0 + slope / 2.0).clamp(0.0, 1.0),
+        r2,
+        n_scales: points.len(),
+    })
 }
 
 /// R/S (rescaled range) Hurst estimator.
@@ -94,7 +100,11 @@ pub fn hurst_rs(series: &[f64]) -> Result<HurstEstimate, FitError> {
         return Err(FitError::new("too few usable window sizes"));
     }
     let (slope, _, r2) = linear_regression(&points)?;
-    Ok(HurstEstimate { h: slope.clamp(0.0, 1.0), r2, n_scales: points.len() })
+    Ok(HurstEstimate {
+        h: slope.clamp(0.0, 1.0),
+        r2,
+        n_scales: points.len(),
+    })
 }
 
 /// Non-overlapping block means at aggregation level `m`.

@@ -39,8 +39,7 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
     if x >= 0.0 {
         ans
@@ -326,7 +325,9 @@ mod tests {
 
     #[test]
     fn inv_norm_cdf_round_trip() {
-        for &p in &[0.001, 0.01, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.99, 0.999] {
+        for &p in &[
+            0.001, 0.01, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.99, 0.999,
+        ] {
             close(norm_cdf(inv_norm_cdf(p)), p, 1e-9);
         }
     }
@@ -361,7 +362,7 @@ mod tests {
     fn gamma_p_exponential_special_case() {
         // P(1, x) = 1 - e^{-x}.
         for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
-            close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-10);
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-10);
         }
     }
 
@@ -377,7 +378,11 @@ mod tests {
         close(gen_harmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
         close(gen_harmonic(10, 0.0), 10.0, 1e-12);
         // H_{4,2} = 1 + 1/4 + 1/9 + 1/16
-        close(gen_harmonic(4, 2.0), 1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0, 1e-12);
+        close(
+            gen_harmonic(4, 2.0),
+            1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0,
+            1e-12,
+        );
     }
 
     #[test]

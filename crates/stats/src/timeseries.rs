@@ -42,7 +42,13 @@ pub fn bin_means(events: &[(f64, f64)], bin_width: f64, horizon: f64) -> Vec<(f6
     }
     sums.iter()
         .zip(&counts)
-        .map(|(&s, &c)| if c > 0 { (s / c as f64, c) } else { (f64::NAN, 0) })
+        .map(|(&s, &c)| {
+            if c > 0 {
+                (s / c as f64, c)
+            } else {
+                (f64::NAN, 0)
+            }
+        })
         .collect()
 }
 
@@ -153,7 +159,10 @@ impl BinnedSeries {
 
     /// Folds modulo `period` seconds (mean across repetitions).
     pub fn fold(&self, period: f64) -> BinnedSeries {
-        BinnedSeries::new(fold_periodic(&self.values, self.bin_width, period), self.bin_width)
+        BinnedSeries::new(
+            fold_periodic(&self.values, self.bin_width, period),
+            self.bin_width,
+        )
     }
 }
 
@@ -224,13 +233,15 @@ mod tests {
         let mut x = 12345u64;
         let series: Vec<f64> = (0..2_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect();
         let acf = autocorrelation(&series, 10);
-        for lag in 1..=10 {
-            assert!(acf[lag].abs() < 0.1, "acf[{lag}] = {}", acf[lag]);
+        for (lag, &a) in acf.iter().enumerate().skip(1) {
+            assert!(a.abs() < 0.1, "acf[{lag}] = {a}");
         }
     }
 

@@ -10,6 +10,7 @@ use lsw_stats::dist::{
 };
 use lsw_stats::empirical::{Binning, Ecdf, Histogram, RankFrequency, Summary};
 use lsw_stats::fit::{fit_exponential, fit_lognormal, linear_regression};
+use lsw_stats::par::{merge_sorted_runs, F64Key};
 use lsw_stats::rng::SeedStream;
 use lsw_stats::timeseries::{autocorrelation, bin_counts, fold_periodic};
 use proptest::prelude::*;
@@ -256,5 +257,54 @@ proptest! {
         let s = SeedStream::new(seed);
         prop_assert_eq!(s.seed(&label), s.seed(&label));
         prop_assert_eq!(s.seed_indexed(&label, 7), s.seed_indexed(&label, 7));
+    }
+
+    // The parallel-generation combiner: a k-way merge of locally sorted
+    // runs must equal a global *stable* sort of the runs' concatenation.
+    // Keys are drawn from a tiny range so ties are pervasive; each element
+    // is tagged with its concatenation position, which a stable sort
+    // preserves and the merge must too.
+    #[test]
+    fn kway_merge_equals_global_stable_sort(
+        raw in prop::collection::vec(prop::collection::vec(0u8..6, 0..40), 0..8),
+    ) {
+        let mut tag = 0usize;
+        let runs: Vec<Vec<(u8, usize)>> = raw
+            .into_iter()
+            .map(|run| {
+                let mut run: Vec<(u8, usize)> = run
+                    .into_iter()
+                    .map(|k| {
+                        tag += 1;
+                        (k, tag)
+                    })
+                    .collect();
+                run.sort_by_key(|&(k, _)| k);
+                run
+            })
+            .collect();
+        let mut expected: Vec<(u8, usize)> = runs.concat();
+        expected.sort_by_key(|&(k, _)| k);
+        let merged = merge_sorted_runs(runs, |&(k, _)| k);
+        prop_assert_eq!(merged, expected);
+    }
+
+    // Same guarantee over f64 keys through F64Key, the exact shape the
+    // generator uses for transfer starts.
+    #[test]
+    fn kway_merge_f64_keys(
+        raw in prop::collection::vec(prop::collection::vec(0.0..10.0f64, 0..40), 1..6),
+    ) {
+        let runs: Vec<Vec<f64>> = raw
+            .into_iter()
+            .map(|mut run| {
+                run.sort_by(f64::total_cmp);
+                run
+            })
+            .collect();
+        let mut expected: Vec<f64> = runs.concat();
+        expected.sort_by(f64::total_cmp);
+        let merged = merge_sorted_runs(runs, |&x| F64Key(x));
+        prop_assert_eq!(merged, expected);
     }
 }

@@ -84,7 +84,10 @@ impl AccessMix {
     /// Panics when the mix is empty or a weight is non-positive.
     pub fn new(mix: &[(AccessClass, f64)]) -> Self {
         assert!(!mix.is_empty(), "access mix must not be empty");
-        assert!(mix.iter().all(|&(_, w)| w > 0.0), "weights must be positive");
+        assert!(
+            mix.iter().all(|&(_, w)| w > 0.0),
+            "weights must be positive"
+        );
         let total: f64 = mix.iter().map(|&(_, w)| w).sum();
         let mut cum = Vec::with_capacity(mix.len());
         let mut acc = 0.0;
@@ -93,7 +96,10 @@ impl AccessMix {
             cum.push(acc);
         }
         *cum.last_mut().expect("non-empty") = 1.0;
-        Self { classes: mix.iter().map(|&(c, _)| c).collect(), cum }
+        Self {
+            classes: mix.iter().map(|&(c, _)| c).collect(),
+            cum,
+        }
     }
 
     /// The default 2002 mix.
@@ -104,7 +110,10 @@ impl AccessMix {
     /// Samples one class.
     pub fn sample(&self, rng: &mut dyn Rng) -> AccessClass {
         let u = u01(rng);
-        let idx = self.cum.partition_point(|&c| c < u).min(self.classes.len() - 1);
+        let idx = self
+            .cum
+            .partition_point(|&c| c < u)
+            .min(self.classes.len() - 1);
         self.classes[idx]
     }
 }
@@ -117,7 +126,10 @@ mod tests {
     #[test]
     fn capacities_ordered() {
         let caps: Vec<u32> = AccessClass::ALL.iter().map(|c| c.capacity_bps()).collect();
-        assert!(caps.windows(2).all(|w| w[0] < w[1]), "capacities must increase");
+        assert!(
+            caps.windows(2).all(|w| w[0] < w[1]),
+            "capacities must increase"
+        );
     }
 
     #[test]

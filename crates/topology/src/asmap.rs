@@ -56,7 +56,11 @@ impl Default for AsRegistryConfig {
                 frac *= 0.22; // ~6 decades over 10 steps
             }
         }
-        Self { n_ases: lsw_stats::paper::NUM_CLIENT_AS, zipf_exponent: 1.6, country_shares: shares }
+        Self {
+            n_ases: lsw_stats::paper::NUM_CLIENT_AS,
+            zipf_exponent: 1.6,
+            country_shares: shares,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ impl AsRegistry {
     /// configured share (the home country takes rank 1).
     pub fn build(config: &AsRegistryConfig, rng: &mut dyn Rng) -> Self {
         assert!(config.n_ases >= 1, "need at least one AS");
-        assert!(!config.country_shares.is_empty(), "need at least one country");
+        assert!(
+            !config.country_shares.is_empty(),
+            "need at least one country"
+        );
         let zipf = ZipfTable::new(config.n_ases as u64, config.zipf_exponent)
             .expect("validated parameters");
 
@@ -93,7 +100,10 @@ impl AsRegistry {
         // Reserve the lowest-weight ranks so every listed country gets at
         // least one AS even when its target share is below the smallest AS
         // weight (the paper's smallest countries sit near 1e-7).
-        let n_reserved = shares.len().saturating_sub(1).min(config.n_ases.saturating_sub(1));
+        let n_reserved = shares
+            .len()
+            .saturating_sub(1)
+            .min(config.n_ases.saturating_sub(1));
         let reserve_from = config.n_ases - n_reserved; // ranks > this are reserved
         let mut assigned = vec![0.0f64; shares.len()];
         let mut ases = Vec::with_capacity(config.n_ases);
@@ -107,7 +117,7 @@ impl AsRegistry {
                     .iter()
                     .enumerate()
                     .map(|(i, &(_, target))| (i, target - assigned[i]))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite deficits"))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("non-empty shares")
                     .0
             };
@@ -173,7 +183,10 @@ impl AsRegistry {
     /// Samples an AS according to popularity weight.
     pub fn sample(&self, rng: &mut dyn Rng) -> &AsInfo {
         let u = u01(rng);
-        let idx = self.cum.partition_point(|&c| c < u).min(self.ases.len() - 1);
+        let idx = self
+            .cum
+            .partition_point(|&c| c < u)
+            .min(self.ases.len() - 1);
         &self.ases[idx]
     }
 
@@ -217,8 +230,12 @@ mod tests {
     fn home_country_dominates() {
         let r = registry();
         let br = CountryCode::new("BR").unwrap();
-        let br_weight: f64 =
-            r.all().iter().filter(|a| a.country == br).map(|a| a.weight).sum();
+        let br_weight: f64 = r
+            .all()
+            .iter()
+            .filter(|a| a.country == br)
+            .map(|a| a.weight)
+            .sum();
         let total: f64 = r.all().iter().map(|a| a.weight).sum();
         let share = br_weight / total;
         assert!(share > 0.9, "BR share {share}");
@@ -247,7 +264,10 @@ mod tests {
         let total_w: f64 = r.all().iter().map(|a| a.weight).sum();
         let expected = r.all()[0].weight / total_w;
         let got = counts[0] as f64 / N as f64;
-        assert!((got - expected).abs() < 0.01, "rank-1 share {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 0.01,
+            "rank-1 share {got} vs {expected}"
+        );
         // Monotone-ish: rank 1 sampled more than rank 100.
         assert!(counts[0] > counts[99]);
     }

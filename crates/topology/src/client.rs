@@ -176,16 +176,14 @@ mod tests {
         let ratio = p.len() as f64 / p.n_ips() as f64;
         assert!((ratio - 1.9).abs() < 0.15, "clients/IP = {ratio}");
         // Distinct IPs in the info records agree with the counter.
-        let distinct: std::collections::HashSet<_> =
-            p.all().iter().map(|c| c.ip).collect();
+        let distinct: std::collections::HashSet<_> = p.all().iter().map(|c| c.ip).collect();
         assert_eq!(distinct.len(), p.n_ips());
     }
 
     #[test]
     fn shared_ips_stay_within_one_as() {
         let p = small_population(30_000);
-        let mut ip_as: std::collections::HashMap<Ipv4Addr, AsId> =
-            std::collections::HashMap::new();
+        let mut ip_as: std::collections::HashMap<Ipv4Addr, AsId> = std::collections::HashMap::new();
         for c in p.all() {
             let entry = ip_as.entry(c.ip).or_insert(c.as_id);
             assert_eq!(*entry, c.as_id, "IP {0} spans two ASes", c.ip);
@@ -211,8 +209,7 @@ mod tests {
     #[test]
     fn popular_ases_get_more_clients() {
         let p = small_population(100_000);
-        let mut per_as: std::collections::HashMap<AsId, usize> =
-            std::collections::HashMap::new();
+        let mut per_as: std::collections::HashMap<AsId, usize> = std::collections::HashMap::new();
         for c in p.all() {
             *per_as.entry(c.as_id).or_insert(0) += 1;
         }

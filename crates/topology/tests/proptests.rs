@@ -1,12 +1,18 @@
 //! Property-based tests for the client-population substrate.
 
 use lsw_topology::access::AccessMix;
-use lsw_topology::{AccessClass, AsRegistry, AsRegistryConfig, ClientPopulation, ClientPopulationConfig};
+use lsw_topology::{
+    AccessClass, AsRegistry, AsRegistryConfig, ClientPopulation, ClientPopulationConfig,
+};
 use lsw_trace::ids::Ipv4Addr;
 use proptest::prelude::*;
 
 fn registry(n_ases: usize, exponent: f64, seed: u64) -> AsRegistry {
-    let config = AsRegistryConfig { n_ases, zipf_exponent: exponent, ..AsRegistryConfig::default() };
+    let config = AsRegistryConfig {
+        n_ases,
+        zipf_exponent: exponent,
+        ..AsRegistryConfig::default()
+    };
     let mut rng = lsw_stats::SeedStream::new(seed).rng("topo-prop");
     AsRegistry::build(&config, &mut rng)
 }

@@ -8,6 +8,7 @@
 
 use crate::event::LogEntry;
 use crate::session::Session;
+use lsw_stats::par::Parallelism;
 use lsw_stats::timeseries::BinnedSeries;
 
 /// A step function: number of active intervals at each whole second.
@@ -47,9 +48,65 @@ impl ConcurrencyProfile {
         Self { counts }
     }
 
+    /// Builds the profile from a slice of `(start, stop)` pairs, sharding
+    /// the sweep across `par` workers.
+    ///
+    /// Addition is associative and commutative, so each worker accumulates
+    /// a private difference array over its interval chunk; the arrays sum
+    /// element-wise and one prefix scan finishes the job. The result is
+    /// identical to [`from_intervals`](Self::from_intervals) at every
+    /// worker count.
+    pub fn from_intervals_par(intervals: &[(u32, u32)], horizon: u32, par: Parallelism) -> Self {
+        let h = horizon as usize;
+        let ranges = par.chunk_ranges(intervals.len());
+        if ranges.len() == 1 {
+            return Self::from_intervals(intervals.iter().copied(), horizon);
+        }
+        let deltas: Vec<Vec<i32>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let chunk = &intervals[r.clone()];
+                    s.spawn(move || {
+                        let mut delta = vec![0i32; h + 1];
+                        for &(start, stop) in chunk {
+                            let lo = (start as usize).min(h);
+                            if lo >= h {
+                                continue;
+                            }
+                            let hi = ((stop as usize) + 1).min(h);
+                            delta[lo] += 1;
+                            delta[hi] -= 1;
+                        }
+                        delta
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|hd| hd.join().expect("concurrency worker panicked"))
+                .collect()
+        });
+        let mut total = vec![0i32; h + 1];
+        for delta in deltas {
+            for (t, d) in total.iter_mut().zip(delta) {
+                *t += d;
+            }
+        }
+        let mut counts = Vec::with_capacity(h);
+        let mut acc = 0i32;
+        for d in total.iter().take(h) {
+            acc += d;
+            debug_assert!(acc >= 0, "sweep went negative");
+            counts.push(acc as u32);
+        }
+        Self { counts }
+    }
+
     /// Concurrent **transfers** over time (Figs 15/16).
     pub fn transfers(entries: &[LogEntry], horizon: u32) -> Self {
-        Self::from_intervals(entries.iter().map(|e| (e.start, e.stop())), horizon)
+        let spans: Vec<(u32, u32)> = entries.iter().map(|e| (e.start, e.stop())).collect();
+        Self::from_intervals_par(&spans, horizon, Parallelism::auto())
     }
 
     /// Concurrent **clients with an active session** over time (Figs 3/4).
@@ -96,10 +153,7 @@ mod tests {
     #[test]
     fn basic_overlap_counting() {
         // Intervals: [0,5], [3,8], [10,10] (a zero-length one).
-        let p = ConcurrencyProfile::from_intervals(
-            vec![(0, 5), (3, 8), (10, 10)].into_iter(),
-            15,
-        );
+        let p = ConcurrencyProfile::from_intervals(vec![(0, 5), (3, 8), (10, 10)].into_iter(), 15);
         assert_eq!(p.at(0), 1);
         assert_eq!(p.at(3), 2);
         assert_eq!(p.at(5), 2);
@@ -146,12 +200,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_at_every_worker_count() {
+        // A messy interval soup, including clipped and zero-length spans.
+        let intervals: Vec<(u32, u32)> = (0..500u32)
+            .map(|i| {
+                let start = (i * 37) % 400;
+                (start, start + (i * 13) % 90)
+            })
+            .collect();
+        let seq = ConcurrencyProfile::from_intervals(intervals.iter().copied(), 450);
+        for workers in [1, 2, 3, 8, 64] {
+            let par = ConcurrencyProfile::from_intervals_par(
+                &intervals,
+                450,
+                Parallelism::fixed(workers),
+            );
+            assert_eq!(par.per_second(), seq.per_second(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_empty_input() {
+        let p = ConcurrencyProfile::from_intervals_par(&[], 5, Parallelism::fixed(4));
+        assert_eq!(p.samples(), vec![0.0; 5]);
+    }
+
+    #[test]
     fn heavy_overlap() {
         // 1000 identical intervals — peak must be exactly 1000.
-        let p = ConcurrencyProfile::from_intervals(
-            std::iter::repeat((2u32, 4u32)).take(1000),
-            6,
-        );
+        let p = ConcurrencyProfile::from_intervals(std::iter::repeat((2u32, 4u32)).take(1000), 6);
         assert_eq!(p.peak(), 1000);
         assert_eq!(p.at(1), 0);
         assert_eq!(p.at(2), 1000);

@@ -9,9 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A client, identified by its media-player ID (one per user install).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ClientId(pub u32);
 
 impl ClientId {
@@ -40,9 +38,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// A live streaming object (feed). The paper's trace has exactly two.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectId(pub u16);
 
 impl ObjectId {
@@ -53,15 +49,11 @@ impl ObjectId {
 }
 
 /// An autonomous system (AS) number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AsId(pub u16);
 
 /// An IPv4 address stored as a host-order u32.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ipv4Addr(pub u32);
 
 impl Ipv4Addr {
@@ -104,7 +96,9 @@ impl std::str::FromStr for Ipv4Addr {
         if parts.next().is_some() {
             return Err(format!("bad IPv4 address: {s}"));
         }
-        Ok(Self::from_octets(octets[0], octets[1], octets[2], octets[3]))
+        Ok(Self::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
     }
 }
 
@@ -112,9 +106,7 @@ impl std::str::FromStr for Ipv4Addr {
 ///
 /// The paper's client population spans 11 countries (Fig 2 right):
 /// BR, US, AR, JP, DE, CH, AU, BE, BO, SG, SV.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CountryCode(pub [u8; 2]);
 
 impl CountryCode {
@@ -122,7 +114,9 @@ impl CountryCode {
     pub fn new(code: &str) -> Result<Self, String> {
         let bytes = code.as_bytes();
         if bytes.len() != 2 || !bytes.iter().all(|b| b.is_ascii_uppercase()) {
-            return Err(format!("country code must be two uppercase ASCII letters, got {code:?}"));
+            return Err(format!(
+                "country code must be two uppercase ASCII letters, got {code:?}"
+            ));
         }
         Ok(Self([bytes[0], bytes[1]]))
     }
@@ -134,8 +128,9 @@ impl CountryCode {
 
     /// The 11 countries observed in the paper's trace (Fig 2 right),
     /// ordered by transfer share (Brazil first, overwhelmingly).
-    pub const PAPER_COUNTRIES: [&'static str; 11] =
-        ["BR", "US", "AR", "JP", "DE", "CH", "AU", "BE", "BO", "SG", "SV"];
+    pub const PAPER_COUNTRIES: [&'static str; 11] = [
+        "BR", "US", "AR", "JP", "DE", "CH", "AU", "BE", "BO", "SG", "SV",
+    ];
 }
 
 impl std::fmt::Display for CountryCode {

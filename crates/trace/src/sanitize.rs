@@ -83,8 +83,7 @@ pub fn sanitize(entries: Vec<LogEntry>, horizon: u32) -> (Trace, SanitizeReport)
 
     // CPU audit: average readings per 1-second bin over bins that have
     // readings, then measure the below-threshold fraction (§2.4).
-    let mut bin_sum: std::collections::HashMap<u32, (f64, u32)> =
-        std::collections::HashMap::new();
+    let mut bin_sum: std::collections::HashMap<u32, (f64, u32)> = std::collections::HashMap::new();
     let mut under_transfers = 0usize;
     for e in &kept {
         let slot = bin_sum.entry(e.timestamp).or_insert((0.0, 0));
@@ -151,7 +150,10 @@ mod tests {
     const DAY: u32 = 86_400;
 
     fn ok_entry(start: u32, dur: u32) -> LogEntry {
-        LogEntryBuilder::new().span(start, dur).client(ClientId(1)).build()
+        LogEntryBuilder::new()
+            .span(start, dur)
+            .client(ClientId(1))
+            .build()
     }
 
     #[test]
@@ -202,7 +204,10 @@ mod tests {
         let mut bad = ok_entry(5, 10);
         bad.timestamp = 7;
         let (_, report) = sanitize(vec![bad], DAY);
-        assert_eq!(report.rejects, vec![(RejectReason::InconsistentTimestamps, 1)]);
+        assert_eq!(
+            report.rejects,
+            vec![(RejectReason::InconsistentTimestamps, 1)]
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::event::LogEntry;
 use crate::ids::ClientId;
 use crate::trace::Trace;
+use lsw_stats::par::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Sessionization parameters.
@@ -23,7 +24,9 @@ pub struct SessionConfig {
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        Self { timeout: lsw_stats::paper::SESSION_TIMEOUT_SECS }
+        Self {
+            timeout: lsw_stats::paper::SESSION_TIMEOUT_SECS,
+        }
     }
 }
 
@@ -62,59 +65,75 @@ pub struct Sessions {
 }
 
 impl Sessions {
-    /// Identifies sessions in a trace.
+    /// Identifies sessions in a trace, using the automatic worker count.
     ///
     /// Two transfers of the same client belong to the same session when the
     /// silent gap between them (previous session end to next transfer
     /// start) does not exceed `config.timeout`. Overlapping transfers (a
     /// client watching both feeds, Fig 1) always share a session.
     pub fn identify(trace: &Trace, config: SessionConfig) -> Self {
+        Self::identify_with(trace, config, Parallelism::auto())
+    }
+
+    /// Identifies sessions with an explicit worker count. The result is
+    /// identical at every worker count: transfers are ordered by the
+    /// canonical total key `(client, start, stop, index)`, the ordered
+    /// index list is partitioned at client boundaries, and each worker
+    /// sessionizes whole clients independently.
+    pub fn identify_with(trace: &Trace, config: SessionConfig, par: Parallelism) -> Self {
         assert!(config.timeout >= 0.0, "negative session timeout");
         let entries = trace.entries();
-        // Order transfer indices by (client, start, stop) so each client's
-        // timeline is contiguous.
+        // Canonical order: (client, start, stop, index) is a total key, so
+        // the unstable sort is deterministic even on duplicate entries.
         let mut order: Vec<u32> = (0..entries.len() as u32).collect();
         order.sort_unstable_by_key(|&i| {
             let e = &entries[i as usize];
-            (e.client, e.start, e.timestamp)
+            (e.client, e.start, e.timestamp, i)
         });
 
+        // Partition the ordered list into contiguous shards, nudging each
+        // boundary forward to the next client boundary so no client's run
+        // is split across workers.
+        let shards = client_shards(&order, entries, par.threads());
+        let parts: Vec<(Vec<Session>, Vec<u32>)> = if shards.len() == 1 {
+            vec![sessionize_run(&order, entries, config.timeout)]
+        } else {
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|r| {
+                        let run = &order[r.clone()];
+                        s.spawn(move || sessionize_run(run, entries, config.timeout))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sessionizer worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Concatenate in shard order: shards are contiguous slices of the
+        // canonical order, so the joined entry_order equals the sequential
+        // one exactly; session `first` offsets shift by the prefix length.
         let mut sessions = Vec::new();
         let mut entry_order = Vec::with_capacity(entries.len());
-        let mut i = 0usize;
-        while i < order.len() {
-            let client = entries[order[i] as usize].client;
-            // The run of this client's transfers.
-            let mut j = i;
-            while j < order.len() && entries[order[j] as usize].client == client {
-                j += 1;
+        for (mut shard_sessions, mut shard_order) in parts {
+            let offset = entry_order.len() as u32;
+            for s in &mut shard_sessions {
+                s.first += offset;
             }
-            // Split the run into sessions.
-            let mut s_start = entries[order[i] as usize].start;
-            let mut s_end = entries[order[i] as usize].stop();
-            let mut first = entry_order.len() as u32;
-            let mut count = 1u32;
-            entry_order.push(order[i]);
-            for &idx in &order[i + 1..j] {
-                let e = &entries[idx as usize];
-                let gap = e.start as f64 - s_end as f64;
-                if gap > config.timeout {
-                    sessions.push(Session { client, start: s_start, end: s_end, first, transfers: count });
-                    s_start = e.start;
-                    s_end = e.stop();
-                    first = entry_order.len() as u32;
-                    count = 1;
-                } else {
-                    s_end = s_end.max(e.stop());
-                    count += 1;
-                }
-                entry_order.push(idx);
-            }
-            sessions.push(Session { client, start: s_start, end: s_end, first, transfers: count });
-            i = j;
+            sessions.append(&mut shard_sessions);
+            entry_order.append(&mut shard_order);
         }
+        // (start, end, client) is unique across sessions — one client's
+        // sessions are time-disjoint — so this sort is deterministic too.
         sessions.sort_by_key(|s| (s.start, s.end, s.client));
-        Self { config, sessions, entry_order }
+        Self {
+            config,
+            sessions,
+            entry_order,
+        }
     }
 
     /// The configuration used.
@@ -159,8 +178,11 @@ impl Sessions {
     /// sessions `i, j` of the *same* client, `t(j) − t(i) − l(i)`.
     pub fn off_times(&self) -> Vec<f64> {
         // Group by client: collect (client, start, end) and sort.
-        let mut by_client: Vec<(ClientId, u32, u32)> =
-            self.sessions.iter().map(|s| (s.client, s.start, s.end)).collect();
+        let mut by_client: Vec<(ClientId, u32, u32)> = self
+            .sessions
+            .iter()
+            .map(|s| (s.client, s.start, s.end))
+            .collect();
         by_client.sort_unstable();
         let mut out = Vec::new();
         for w in by_client.windows(2) {
@@ -175,7 +197,10 @@ impl Sessions {
 
     /// Transfers per session (Fig 13).
     pub fn transfers_per_session(&self) -> Vec<u64> {
-        self.sessions.iter().map(|s| u64::from(s.transfers)).collect()
+        self.sessions
+            .iter()
+            .map(|s| u64::from(s.transfers))
+            .collect()
     }
 
     /// Interarrival times between transfers *within* the same session
@@ -214,13 +239,101 @@ impl Sessions {
 
     /// Sessions per client, as counts keyed by client (Fig 7 right).
     pub fn session_counts_per_client(&self) -> Vec<u64> {
-        let mut counts: std::collections::HashMap<ClientId, u64> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<ClientId, u64> = std::collections::HashMap::new();
         for s in &self.sessions {
             *counts.entry(s.client).or_insert(0) += 1;
         }
         counts.into_values().collect()
     }
+}
+
+/// Splits the canonically ordered index list into at most `workers`
+/// contiguous shards whose boundaries always coincide with client
+/// boundaries (a client's whole run lands in exactly one shard).
+fn client_shards(
+    order: &[u32],
+    entries: &[LogEntry],
+    workers: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let n = order.len();
+    let workers = workers.min(n).max(1);
+    let mut shards = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 1..=workers {
+        if start >= n {
+            break;
+        }
+        let mut end = if w == workers {
+            n
+        } else {
+            (n * w / workers).max(start + 1)
+        };
+        // Advance to the next client boundary.
+        while end < n
+            && entries[order[end] as usize].client == entries[order[end - 1] as usize].client
+        {
+            end += 1;
+        }
+        shards.push(start..end);
+        start = end;
+    }
+    if shards.is_empty() {
+        shards.push(0..0);
+    }
+    shards
+}
+
+/// Sessionizes one canonical-order run of transfer indices (whole clients
+/// only). Returns sessions in client-run order plus the run's entry order;
+/// `Session::first` offsets are local to the returned entry order.
+fn sessionize_run(order: &[u32], entries: &[LogEntry], timeout: f64) -> (Vec<Session>, Vec<u32>) {
+    let mut sessions = Vec::new();
+    let mut entry_order = Vec::with_capacity(order.len());
+    let mut i = 0usize;
+    while i < order.len() {
+        let client = entries[order[i] as usize].client;
+        // The run of this client's transfers.
+        let mut j = i;
+        while j < order.len() && entries[order[j] as usize].client == client {
+            j += 1;
+        }
+        // Split the run into sessions.
+        let mut s_start = entries[order[i] as usize].start;
+        let mut s_end = entries[order[i] as usize].stop();
+        let mut first = entry_order.len() as u32;
+        let mut count = 1u32;
+        entry_order.push(order[i]);
+        for &idx in &order[i + 1..j] {
+            let e = &entries[idx as usize];
+            let gap = e.start as f64 - s_end as f64;
+            if gap > timeout {
+                sessions.push(Session {
+                    client,
+                    start: s_start,
+                    end: s_end,
+                    first,
+                    transfers: count,
+                });
+                s_start = e.start;
+                s_end = e.stop();
+                first = entry_order.len() as u32;
+                count = 1;
+            } else {
+                s_end = s_end.max(e.stop());
+                count += 1;
+            }
+            entry_order.push(idx);
+        }
+        sessions.push(Session {
+            client,
+            start: s_start,
+            end: s_end,
+            first,
+            transfers: count,
+        });
+        i = j;
+    }
+    (sessions, entry_order)
 }
 
 /// Transfers per client, as counts (Fig 7 left). Lives here (not on
@@ -239,7 +352,10 @@ mod tests {
     use crate::event::LogEntryBuilder;
 
     fn entry(client: u32, start: u32, dur: u32) -> LogEntry {
-        LogEntryBuilder::new().span(start, dur).client(ClientId(client)).build()
+        LogEntryBuilder::new()
+            .span(start, dur)
+            .client(ClientId(client))
+            .build()
     }
 
     fn cfg(timeout: f64) -> SessionConfig {
@@ -295,7 +411,12 @@ mod tests {
     #[test]
     fn clients_sessionized_independently() {
         let t = Trace::from_entries(
-            vec![entry(1, 0, 10), entry(2, 5, 10), entry(1, 100, 10), entry(2, 5000, 1)],
+            vec![
+                entry(1, 0, 10),
+                entry(2, 5, 10),
+                entry(1, 100, 10),
+                entry(2, 5000, 1),
+            ],
             86_400,
         );
         let s = Sessions::identify(&t, cfg(1500.0));
@@ -368,13 +489,34 @@ mod tests {
 
     #[test]
     fn transfer_counts_per_client_totals() {
-        let t = Trace::from_entries(
-            vec![entry(1, 0, 1), entry(1, 5, 1), entry(2, 9, 1)],
-            86_400,
-        );
+        let t = Trace::from_entries(vec![entry(1, 0, 1), entry(1, 5, 1), entry(2, 9, 1)], 86_400);
         let mut counts = transfer_counts_per_client(&t);
         counts.sort_unstable();
         assert_eq!(counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn sharded_identify_matches_sequential() {
+        // Many interleaved clients with multi-session timelines, so the
+        // shard boundaries land mid-list and must snap to client runs.
+        let mut entries = Vec::new();
+        for c in 0..37u32 {
+            for k in 0..12u32 {
+                entries.push(entry(c, k * 1_600 + c * 7, 25 + (k % 5)));
+            }
+        }
+        let t = Trace::from_entries(entries, 86_400);
+        let seq = Sessions::identify_with(&t, cfg(1500.0), Parallelism::fixed(1));
+        assert!(seq.len() > 37, "fixture must split sessions");
+        for workers in [2, 3, 8, 64] {
+            let par = Sessions::identify_with(&t, cfg(1500.0), Parallelism::fixed(workers));
+            assert_eq!(par.all(), seq.all(), "sessions differ at {workers} workers");
+            assert_eq!(
+                par.entry_order(),
+                seq.entry_order(),
+                "entry order differs at {workers} workers"
+            );
+        }
     }
 
     #[test]

@@ -143,7 +143,11 @@ mod tests {
     #[test]
     fn entries_sorted_by_start() {
         let t = Trace::from_entries(
-            vec![entry(50, 5, 1, 1, 1, 0), entry(10, 5, 2, 2, 1, 0), entry(30, 5, 3, 3, 2, 1)],
+            vec![
+                entry(50, 5, 1, 1, 1, 0),
+                entry(10, 5, 2, 2, 1, 0),
+                entry(30, 5, 3, 3, 2, 1),
+            ],
             100,
         );
         let starts: Vec<u32> = t.entries().iter().map(|e| e.start).collect();

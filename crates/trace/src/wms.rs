@@ -36,7 +36,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WMS log parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "WMS log parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -85,7 +89,10 @@ pub fn format_log(entries: &[LogEntry]) -> BytesMut {
 
 /// Parses one (non-comment) log line.
 pub fn parse_line(line: &str) -> Result<LogEntry, ParseError> {
-    let err = |msg: String| ParseError { line: 0, message: msg };
+    let err = |msg: String| ParseError {
+        line: 0,
+        message: msg,
+    };
     let mut it = line.split_ascii_whitespace();
     let mut next = |name: &str| {
         it.next()
@@ -106,11 +113,10 @@ pub fn parse_line(line: &str) -> Result<LogEntry, ParseError> {
     let start: u32 = num(next("c-start")?, "c-start")?;
     let duration: u32 = num(next("x-duration")?, "x-duration")?;
     let client = ClientId(num(next("c-playerid")?, "c-playerid")?);
-    let ip = Ipv4Addr::from_str(next("c-ip")?)
-        .map_err(|e| err(format!("bad c-ip: {e}")))?;
+    let ip = Ipv4Addr::from_str(next("c-ip")?).map_err(|e| err(format!("bad c-ip: {e}")))?;
     let as_id = AsId(num(next("c-as")?, "c-as")?);
-    let country = CountryCode::new(next("c-country")?)
-        .map_err(|e| err(format!("bad c-country: {e}")))?;
+    let country =
+        CountryCode::new(next("c-country")?).map_err(|e| err(format!("bad c-country: {e}")))?;
     let uri = next("cs-uri-stem")?;
     let object = parse_uri(uri).ok_or_else(|| err(format!("bad cs-uri-stem {uri:?}")))?;
     let camera: u8 = num(next("x-camera")?, "x-camera")?;
@@ -176,7 +182,11 @@ mod tests {
         LogEntryBuilder::new()
             .span(100, 50)
             .client(ClientId(7))
-            .origin(Ipv4Addr::from_octets(200, 17, 34, 5), AsId(42), CountryCode(*b"BR"))
+            .origin(
+                Ipv4Addr::from_octets(200, 17, 34, 5),
+                AsId(42),
+                CountryCode(*b"BR"),
+            )
             .object(ObjectId(1), 12)
             .transfer_stats(500_000, 34_000, 0.01)
             .server(0.05, 200)
@@ -237,7 +247,9 @@ mod tests {
     fn rejects_bad_uri() {
         let mut buf = BytesMut::new();
         format_entry(&sample_entry(), &mut buf);
-        let line = std::str::from_utf8(&buf).unwrap().replace("/live/feed1.asf", "/evil.mp4");
+        let line = std::str::from_utf8(&buf)
+            .unwrap()
+            .replace("/live/feed1.asf", "/evil.mp4");
         assert!(parse_line(&line).is_err());
     }
 

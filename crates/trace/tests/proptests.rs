@@ -12,28 +12,30 @@ use proptest::prelude::*;
 /// Strategy producing a random but valid log entry within a 1-day horizon.
 fn arb_entry() -> impl Strategy<Value = LogEntry> {
     (
-        0u32..80_000,  // start
-        0u32..5_000,   // duration
-        0u32..50,      // client
-        0u32..1_000,   // ip
-        0u16..30,      // as
-        0u16..2,       // object
-        0u8..48,       // camera
+        0u32..80_000, // start
+        0u32..5_000,  // duration
+        0u32..50,     // client
+        0u32..1_000,  // ip
+        0u16..30,     // as
+        0u16..2,      // object
+        0u8..48,      // camera
         0u64..10_000_000,
         0u32..1_000_000,
         0.0f32..1.0,
         0.0f32..1.0,
     )
-        .prop_map(|(start, dur, client, ip, asn, obj, cam, bytes, bw, loss, cpu)| {
-            LogEntryBuilder::new()
-                .span(start, dur)
-                .client(ClientId(client))
-                .origin(Ipv4Addr(ip), AsId(asn), CountryCode(*b"BR"))
-                .object(ObjectId(obj), cam)
-                .transfer_stats(bytes, bw, loss)
-                .server(cpu, 200)
-                .build()
-        })
+        .prop_map(
+            |(start, dur, client, ip, asn, obj, cam, bytes, bw, loss, cpu)| {
+                LogEntryBuilder::new()
+                    .span(start, dur)
+                    .client(ClientId(client))
+                    .origin(Ipv4Addr(ip), AsId(asn), CountryCode(*b"BR"))
+                    .object(ObjectId(obj), cam)
+                    .transfer_stats(bytes, bw, loss)
+                    .server(cpu, 200)
+                    .build()
+            },
+        )
 }
 
 proptest! {

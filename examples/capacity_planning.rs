@@ -17,7 +17,9 @@ use lsw::sim::{AdmissionPolicy, NetworkConfig, ServerConfig, SimConfig, Simulato
 fn main() {
     // A 3-day slice at moderate scale.
     let config = WorkloadConfig::paper().scaled(40_000, 3 * 86_400, 120_000);
-    let workload = Generator::new(config, 2024).expect("valid config").generate();
+    let workload = Generator::new(config, 2024)
+        .expect("valid config")
+        .generate();
     println!(
         "workload: {} sessions, {} transfers over 3 days\n",
         workload.sessions().len(),
@@ -39,12 +41,17 @@ fn main() {
     // content it is a denied viewing. Sweep caps below the peak and count
     // the damage.
     println!("admission cap sweep (cap as fraction of peak):");
-    println!("{:>10} {:>12} {:>16} {:>20}", "cap", "rejected", "rejection rate", "denied viewer-hours");
+    println!(
+        "{:>10} {:>12} {:>16} {:>20}",
+        "cap", "rejected", "rejection rate", "denied viewer-hours"
+    );
     for frac in [0.25, 0.5, 0.75, 0.9, 1.0] {
         let cap = ((peak as f64) * frac).ceil() as u64;
         let sim = Simulator::new(SimConfig {
             server: ServerConfig {
-                admission: AdmissionPolicy::RejectAbove { max_concurrent: cap },
+                admission: AdmissionPolicy::RejectAbove {
+                    max_concurrent: cap,
+                },
                 ..ServerConfig::default()
             },
             ..SimConfig::default()
@@ -63,10 +70,15 @@ fn main() {
     // Instead of rejecting, provision bandwidth. Sweep the uplink and
     // watch congestion fall off; the knee is the provisioning answer.
     println!("\nuplink sweep:");
-    println!("{:>12} {:>22} {:>18}", "uplink", "uplink-congested xfers", "delivered GB");
+    println!(
+        "{:>12} {:>22} {:>18}",
+        "uplink", "uplink-congested xfers", "delivered GB"
+    );
     for uplink_mbps in [5.0, 10.0, 20.0, 40.0, 80.0] {
         let sim = Simulator::new(SimConfig {
-            network: NetworkConfig { uplink_bps: uplink_mbps * 1e6 },
+            network: NetworkConfig {
+                uplink_bps: uplink_mbps * 1e6,
+            },
             path_congestion_rate: 0.0, // isolate the uplink effect
             ..SimConfig::default()
         });

@@ -73,9 +73,7 @@ fn main() {
     println!("--- session layer ---");
     println!(
         "sessions: {}; ON-time p95 = {:.0}s; OFF ripples at days {:?}",
-        rep.session.n_sessions,
-        rep.session.on_times.summary.p95,
-        rep.session.off_ripple_days
+        rep.session.n_sessions, rep.session.on_times.summary.p95, rep.session.off_ripple_days
     );
     println!("--- transfer layer ---");
     println!(

@@ -25,7 +25,9 @@ fn object_popularity_alpha(trace: &Trace) -> Option<f64> {
         *counts.entry(e.object).or_insert(0u64) += 1;
     }
     let rf = RankFrequency::from_counts(counts.into_values().collect());
-    fit_zipf_rank_frequency(&rf, Some(100.0)).ok().map(|f| f.alpha)
+    fit_zipf_rank_frequency(&rf, Some(100.0))
+        .ok()
+        .map(|f| f.alpha)
 }
 
 fn client_interest_alpha(trace: &Trace) -> Option<f64> {
@@ -38,7 +40,9 @@ fn client_interest_alpha(trace: &Trace) -> Option<f64> {
             break;
         }
     }
-    fit_zipf_rank_frequency(&rf, Some(body.max(20) as f64)).ok().map(|f| f.alpha)
+    fit_zipf_rank_frequency(&rf, Some(body.max(20) as f64))
+        .ok()
+        .map(|f| f.alpha)
 }
 
 fn main() {
@@ -46,7 +50,10 @@ fn main() {
 
     // --- Live: the paper's workload ---
     let live_cfg = WorkloadConfig::paper().scaled(25_000, horizon, 60_000);
-    let live = Generator::new(live_cfg, 5).expect("valid config").generate().render();
+    let live = Generator::new(live_cfg, 5)
+        .expect("valid config")
+        .generate()
+        .render();
 
     // --- Stored: the classic GISMO baseline ---
     let stored_cfg = StoredConfig {
@@ -56,10 +63,17 @@ fn main() {
         target_requests: 60_000,
         ..StoredConfig::default()
     };
-    let stored = StoredGenerator::new(stored_cfg, 5).expect("valid config").generate();
+    let stored = StoredGenerator::new(stored_cfg, 5)
+        .expect("valid config")
+        .generate();
 
     println!("{:<44} {:>12} {:>12}", "", "LIVE", "STORED");
-    println!("{:<44} {:>12} {:>12}", "transfers", live.len(), stored.len());
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "transfers",
+        live.len(),
+        stored.len()
+    );
 
     // Duality 1 (§3.5): where does the Zipf skew live?
     // Live: only 2 objects exist — object popularity is meaningless; the
@@ -67,7 +81,10 @@ fn main() {
     // a Zipf popularity; clients are uniform.
     let live_objects = live.summary().objects;
     let stored_objects = stored.summary().objects;
-    println!("{:<44} {:>12} {:>12}", "distinct objects", live_objects, stored_objects);
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "distinct objects", live_objects, stored_objects
+    );
     let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |a| format!("{a:.3}"));
     println!(
         "{:<44} {:>12} {:>12}",

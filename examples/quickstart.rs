@@ -13,7 +13,8 @@ fn main() {
     // One day of the reality show, 20k clients, ~30k viewing sessions —
     // every distributional parameter is the paper's Table 2.
     let config = WorkloadConfig::paper().scaled(20_000, 86_400, 30_000);
-    println!("generating: {} clients, {} target sessions, {} hours of live content",
+    println!(
+        "generating: {} clients, {} target sessions, {} hours of live content",
         config.n_clients,
         config.target_sessions,
         config.horizon_secs / 3_600
@@ -36,5 +37,8 @@ fn main() {
 
     // The first few log lines, in the on-disk format.
     let text = lsw::trace::wms::format_log(&trace.entries()[..3.min(trace.len())]);
-    println!("--- first log lines ---\n{}", String::from_utf8_lossy(&text));
+    println!(
+        "--- first log lines ---\n{}",
+        String::from_utf8_lossy(&text)
+    );
 }

@@ -29,21 +29,13 @@ fn soccer_shape() -> Vec<f64> {
         shape[b] = 50.0 + 200.0 * i as f64;
     }
     // First half: full crowd.
-    for b in bin_of(20.0)..bin_of(20.75) {
-        shape[b] = 2_000.0;
-    }
+    shape[bin_of(20.0)..bin_of(20.75)].fill(2_000.0);
     // Halftime dip.
-    for b in bin_of(20.75)..bin_of(21.0) {
-        shape[b] = 1_200.0;
-    }
+    shape[bin_of(20.75)..bin_of(21.0)].fill(1_200.0);
     // Second half.
-    for b in bin_of(21.0)..bin_of(21.83) {
-        shape[b] = 2_200.0;
-    }
+    shape[bin_of(21.0)..bin_of(21.83)].fill(2_200.0);
     // Final whistle cliff, short post-game lingering.
-    for b in bin_of(21.83)..bin_of(22.5) {
-        shape[b] = 150.0;
-    }
+    shape[bin_of(21.83)..bin_of(22.5)].fill(150.0);
     shape
 }
 
@@ -52,8 +44,7 @@ fn main() {
 
     // Reality show (the paper's diurnal profile) vs match day.
     let tv = Generator::new(config.clone(), 11).expect("valid config");
-    let soccer_profile = DiurnalProfile::new(soccer_shape(), [1.0; 7], 0)
-        .expect("valid shape");
+    let soccer_profile = DiurnalProfile::new(soccer_shape(), [1.0; 7], 0).expect("valid shape");
     let soccer = Generator::with_profile(config, 11, soccer_profile).expect("valid config");
 
     for (name, generator) in [("reality show", tv), ("soccer match", soccer)] {
@@ -75,7 +66,10 @@ fn main() {
             .map(|(t, v)| (t / 3_600.0, v))
             .collect();
         println!("concurrent transfers vs hour of day:");
-        print!("{}", scatter(&pts, 72, 12, AxisScale::Linear, AxisScale::Linear));
+        print!(
+            "{}",
+            scatter(&pts, 72, 12, AxisScale::Linear, AxisScale::Linear)
+        );
         println!();
     }
 

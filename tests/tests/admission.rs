@@ -14,7 +14,9 @@ fn workload() -> Workload {
 fn with_cap(cap: u64) -> SimConfig {
     SimConfig {
         server: ServerConfig {
-            admission: AdmissionPolicy::RejectAbove { max_concurrent: cap },
+            admission: AdmissionPolicy::RejectAbove {
+                max_concurrent: cap,
+            },
             ..ServerConfig::default()
         },
         ..SimConfig::default()
@@ -32,8 +34,16 @@ fn accounting_is_conserved_under_any_cap() {
             w.len(),
             "cap {cap}: every request must be accepted or rejected"
         );
-        assert_eq!(s.accepted as usize, out.trace.len(), "cap {cap}: accepted == logged");
-        assert!(s.peak_concurrent <= cap, "cap {cap} violated: {}", s.peak_concurrent);
+        assert_eq!(
+            s.accepted as usize,
+            out.trace.len(),
+            "cap {cap}: accepted == logged"
+        );
+        assert!(
+            s.peak_concurrent <= cap,
+            "cap {cap} violated: {}",
+            s.peak_concurrent
+        );
     }
 }
 
@@ -61,10 +71,16 @@ fn uncapped_peak_bounds_all_capped_runs() {
     assert_eq!(base.server_stats.rejected, 0);
     // A cap at the uncapped peak rejects nothing.
     let out = Simulator::new(with_cap(peak)).run(&w, 1);
-    assert_eq!(out.server_stats.rejected, 0, "cap at peak must admit everything");
+    assert_eq!(
+        out.server_stats.rejected, 0,
+        "cap at peak must admit everything"
+    );
     // A cap below it rejects something.
     let out = Simulator::new(with_cap(peak / 2)).run(&w, 1);
-    assert!(out.server_stats.rejected > 0, "cap at half peak must reject");
+    assert!(
+        out.server_stats.rejected > 0,
+        "cap at half peak must reject"
+    );
 }
 
 #[test]

@@ -15,7 +15,10 @@ const HORIZON: u32 = 2 * 86_400;
 
 fn live_trace() -> Trace {
     let config = WorkloadConfig::paper().scaled(25_000, HORIZON, 60_000);
-    Generator::new(config, 55).expect("valid config").generate().render()
+    Generator::new(config, 55)
+        .expect("valid config")
+        .generate()
+        .render()
 }
 
 fn stored_trace() -> Trace {
@@ -26,7 +29,9 @@ fn stored_trace() -> Trace {
         target_requests: 60_000,
         ..StoredConfig::default()
     };
-    StoredGenerator::new(config, 55).expect("valid config").generate()
+    StoredGenerator::new(config, 55)
+        .expect("valid config")
+        .generate()
 }
 
 fn object_alpha(trace: &Trace) -> f64 {
@@ -35,7 +40,9 @@ fn object_alpha(trace: &Trace) -> f64 {
         *counts.entry(e.object).or_insert(0u64) += 1;
     }
     let rf = RankFrequency::from_counts(counts.into_values().collect());
-    fit_zipf_rank_frequency(&rf, Some(100.0)).map(|f| f.alpha).unwrap_or(f64::NAN)
+    fit_zipf_rank_frequency(&rf, Some(100.0))
+        .map(|f| f.alpha)
+        .unwrap_or(f64::NAN)
 }
 
 fn client_alpha(trace: &Trace) -> f64 {
@@ -58,7 +65,10 @@ fn stored_objects_are_zipf_but_clients_are_not() {
     let obj = object_alpha(&t);
     let cli = client_alpha(&t);
     assert!((obj - 0.73).abs() < 0.15, "stored object alpha {obj}");
-    assert!(cli < 0.3, "stored client alpha should be near-uniform, got {cli}");
+    assert!(
+        cli < 0.3,
+        "stored client alpha should be near-uniform, got {cli}"
+    );
 }
 
 #[test]

@@ -15,15 +15,24 @@ const HORIZON: u32 = 2 * 86_400;
 
 fn pipeline(seed: u64) -> (Trace, lsw::trace::sanitize::SanitizeReport) {
     let config = WorkloadConfig::paper().scaled(12_000, HORIZON, 35_000);
-    let workload = Generator::new(config, seed).expect("valid config").generate();
-    let sim = Simulator::new(SimConfig { harvest_anomaly_rate: 5e-4, ..SimConfig::default() });
+    let workload = Generator::new(config, seed)
+        .expect("valid config")
+        .generate();
+    let sim = Simulator::new(SimConfig {
+        harvest_anomaly_rate: 5e-4,
+        ..SimConfig::default()
+    });
     let out = sim.run(&workload, seed);
 
     // Round-trip the log through the on-disk text format.
     let text = wms::format_log(out.trace.entries());
-    let parsed = wms::parse_log(std::str::from_utf8(&text).expect("UTF-8 log"))
-        .expect("own log parses");
-    assert_eq!(parsed.len(), out.trace.len(), "wire format must be lossless in count");
+    let parsed =
+        wms::parse_log(std::str::from_utf8(&text).expect("UTF-8 log")).expect("own log parses");
+    assert_eq!(
+        parsed.len(),
+        out.trace.len(),
+        "wire format must be lossless in count"
+    );
 
     sanitize(parsed, HORIZON)
 }
@@ -38,7 +47,11 @@ fn closed_loop_recovers_table2_parameters() {
     // Transfer length (Fig 19 / Table 2).
     let f = rep.transfer.lengths.fit.expect("length fit");
     assert!((f.mu - 4.383921).abs() < 0.15, "length mu {}", f.mu);
-    assert!((f.sigma - 1.427247).abs() < 0.10, "length sigma {}", f.sigma);
+    assert!(
+        (f.sigma - 1.427247).abs() < 0.10,
+        "length sigma {}",
+        f.sigma
+    );
 
     // Intra-session interarrival (Fig 14 / Table 2).
     let f = rep.session.intra_iat_fit.expect("iat fit");
@@ -98,7 +111,10 @@ fn session_off_anomaly_region_exists() {
         .iter()
         .filter(|&&t| (1_500.0..3_000.0).contains(&t))
         .count();
-    assert!(in_region > 50, "only {in_region} OFF times in the anomaly region");
+    assert!(
+        in_region > 50,
+        "only {in_region} OFF times in the anomaly region"
+    );
 }
 
 #[test]

@@ -17,12 +17,19 @@ fn every_experiment_holds_at_small_scale() {
     for (id, run) in experiments::all() {
         let result = run(&ctx);
         assert_eq!(result.id, id, "experiment id mismatch");
-        assert!(!result.comparisons.is_empty(), "{id} produced no comparisons");
+        assert!(
+            !result.comparisons.is_empty(),
+            "{id} produced no comparisons"
+        );
         if !result.all_hold() {
             failures.push(format!("{id}: {}", result.render_text()));
         }
     }
-    assert!(failures.is_empty(), "failed experiments:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "failed experiments:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

@@ -21,7 +21,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with at least `capacity` bytes reserved.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { inner: Vec::with_capacity(capacity) }
+        Self {
+            inner: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of bytes written.

@@ -48,12 +48,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A `function_name/parameter` id.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id that is just the parameter.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -107,7 +111,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { iters: self.sample_size as u64, samples: Vec::new() };
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            samples: Vec::new(),
+        };
         f(&mut bencher);
         self.report(&id.into_id(), &bencher.samples);
         self
@@ -123,7 +130,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher { iters: self.sample_size as u64, samples: Vec::new() };
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            samples: Vec::new(),
+        };
         f(&mut bencher, input);
         self.report(&id.into_id(), &bencher.samples);
         self

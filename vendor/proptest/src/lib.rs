@@ -96,13 +96,19 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: r.end().saturating_add(1) }
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end().saturating_add(1),
+            }
         }
     }
 
@@ -121,7 +127,10 @@ pub mod collection {
 
     /// Generates vectors with lengths drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

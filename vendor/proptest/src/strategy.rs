@@ -202,7 +202,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Builds a union; `variants` must be non-empty.
     pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof! needs at least one strategy");
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
         Union { variants }
     }
 }

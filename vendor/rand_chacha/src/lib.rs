@@ -57,14 +57,15 @@ impl ChaCha8Rng {
             quarter_round(&mut working, 2, 7, 8, 13);
             quarter_round(&mut working, 3, 4, 9, 14);
         }
-        for (out, (&w, &s)) in
-            self.block.iter_mut().zip(working.iter().zip(self.state.iter()))
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
         {
             *out = w.wrapping_add(s);
         }
         // 64-bit block counter in words 12..14.
-        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12]))
-            .wrapping_add(1);
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
         self.state[12] = counter as u32;
         self.state[13] = (counter >> 32) as u32;
         self.word_pos = 0;
@@ -93,7 +94,11 @@ impl SeedableRng for ChaCha8Rng {
             state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
         // Counter and stream id start at zero.
-        Self { state, block: [0; 16], word_pos: 16 }
+        Self {
+            state,
+            block: [0; 16],
+            word_pos: 16,
+        }
     }
 }
 

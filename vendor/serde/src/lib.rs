@@ -87,9 +87,7 @@ impl Value {
         match *self {
             Value::U64(n) => Some(n),
             Value::I64(n) if n >= 0 => Some(n as u64),
-            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
-                Some(f as u64)
-            }
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
             _ => None,
         }
     }
@@ -99,9 +97,7 @@ impl Value {
         match *self {
             Value::I64(n) => Some(n),
             Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
-            Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => {
-                Some(f as i64)
-            }
+            Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
             _ => None,
         }
     }

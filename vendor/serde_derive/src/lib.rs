@@ -24,17 +24,30 @@ enum VariantKind {
 
 /// The parsed shape of the deriving item.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives the value-tree `Serialize` impl.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse(input) {
-        Ok(shape) => gen_serialize(&shape).parse().expect("generated impl parses"),
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
         Err(e) => error(&e),
     }
 }
@@ -43,13 +56,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse(input) {
-        Ok(shape) => gen_deserialize(&shape).parse().expect("generated impl parses"),
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
         Err(e) => error(&e),
     }
 }
 
 fn error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("error token parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -73,20 +90,25 @@ fn parse(input: TokenStream) -> Result<Shape, String> {
     match keyword.as_str() {
         "struct" => match iter.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Shape::NamedStruct { name, fields: named_fields(&g)? })
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: named_fields(&g)?,
+                })
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Ok(Shape::TupleStruct { name, arity: tuple_arity(&g) })
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: tuple_arity(&g),
+                })
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Ok(Shape::UnitStruct { name })
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
             other => Err(format!("unsupported struct body: {other:?}")),
         },
         "enum" => match iter.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Shape::Enum { name, variants: variants(&g)? })
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: variants(&g)?,
+            }),
             other => Err(format!("expected enum body, got {other:?}")),
         },
         other => Err(format!("cannot derive for `{other}` items")),
@@ -95,9 +117,7 @@ fn parse(input: TokenStream) -> Result<Shape, String> {
 
 /// Skips leading `#[...]` attributes (including doc comments) and a
 /// `pub` / `pub(...)` visibility qualifier.
-fn skip_attrs_and_vis(
-    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
-) {
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
     loop {
         match iter.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
@@ -245,7 +265,10 @@ fn gen_serialize(shape: &Shape) -> String {
             let items: String = (0..*arity)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
                 .collect();
-            impl_serialize(name, &format!("::serde::Value::Array(::std::vec![{items}])"))
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Array(::std::vec![{items}])"),
+            )
         }
         Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
         Shape::Enum { name, variants } => {
@@ -277,16 +300,13 @@ fn gen_serialize(shape: &Shape) -> String {
                             )
                         }
                         VariantKind::Tuple(arity) => {
-                            let binds: Vec<String> =
-                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
                             let inner = if *arity == 1 {
                                 "::serde::Serialize::to_value(f0)".to_string()
                             } else {
                                 let items: String = binds
                                     .iter()
-                                    .map(|b| {
-                                        format!("::serde::Serialize::to_value({b}),")
-                                    })
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
                                     .collect();
                                 format!("::serde::Value::Array(::std::vec![{items}])")
                             };
@@ -319,9 +339,7 @@ fn gen_deserialize(shape: &Shape) -> String {
         Shape::NamedStruct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,")
-                })
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"))
                 .collect();
             impl_deserialize(
                 name,
@@ -335,9 +353,7 @@ fn gen_deserialize(shape: &Shape) -> String {
                  ::serde::Deserialize::from_value(v)?))"
             ),
         ),
-        Shape::TupleStruct { name, arity } => {
-            impl_deserialize(name, &tuple_body(name, *arity))
-        }
+        Shape::TupleStruct { name, arity } => impl_deserialize(name, &tuple_body(name, *arity)),
         Shape::UnitStruct { name } => {
             impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
         }
@@ -347,9 +363,7 @@ fn gen_deserialize(shape: &Shape) -> String {
                 .filter(|v| matches!(v.kind, VariantKind::Unit))
                 .map(|v| {
                     let vname = &v.name;
-                    format!(
-                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
-                    )
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
                 })
                 .collect();
             let tagged_arms: String = variants

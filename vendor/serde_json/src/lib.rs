@@ -47,7 +47,10 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
 
 /// Parses JSON text into any `Deserialize` type.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -247,23 +250,15 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos..end)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| {
-                                    Error("truncated \\u escape".to_string())
-                                })?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
-                                Error(format!("bad \\u escape `{hex}`"))
-                            })?;
+                                .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
                             self.pos = end;
                             // Surrogate pairs are not produced by our writer;
                             // map lone surrogates to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
-                        other => {
-                            return Err(Error(format!(
-                                "bad escape `\\{}`",
-                                other as char
-                            )))
-                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 _ => {
@@ -295,8 +290,7 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ascii number");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
         if !float {
             if text.starts_with('-') {
                 if let Ok(n) = text.parse::<i64>() {
@@ -383,7 +377,10 @@ mod tests {
     fn compact_round_trip() {
         let v = Value::Object(vec![
             ("a".to_string(), Value::U64(1)),
-            ("b".to_string(), Value::Array(vec![Value::F64(1.5), Value::Null])),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::F64(1.5), Value::Null]),
+            ),
             ("s".to_string(), Value::Str("x \"y\"\n".to_string())),
         ]);
         let s = to_string(&v).unwrap();

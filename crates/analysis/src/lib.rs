@@ -33,6 +33,7 @@ pub mod client_layer;
 pub mod marginal;
 pub mod report;
 pub mod session_layer;
+pub mod stream_compare;
 pub mod transfer_layer;
 
 pub use report::{characterize, characterize_with, CharacterizationReport};

@@ -7,6 +7,7 @@
 use crate::client_layer::{self, ClientLayer};
 use crate::session_layer::{self, SessionLayer};
 use crate::transfer_layer::{self, TransferLayer};
+use lsw_trace::sanitize::SanitizeReport;
 use lsw_trace::session::{SessionConfig, Sessions};
 use lsw_trace::trace::{Trace, TraceSummary};
 use serde::{Deserialize, Serialize};
@@ -18,6 +19,10 @@ pub struct CharacterizationReport {
     pub summary: TraceSummary,
     /// Session timeout used.
     pub session_timeout: f64,
+    /// §2.4 ingest accounting (discarded pathologies + overload audit),
+    /// when the caller sanitized a raw log. Present so batch and streamed
+    /// reports account for their input identically.
+    pub ingest: Option<SanitizeReport>,
     /// §3.
     pub client: ClientLayer,
     /// §4.
@@ -36,10 +41,35 @@ impl CharacterizationReport {
         serde_json::to_string_pretty(self).expect("report serializes")
     }
 
+    /// Attaches the §2.4 sanitization accounting to the report.
+    pub fn with_ingest(mut self, ingest: SanitizeReport) -> Self {
+        self.ingest = Some(ingest);
+        self
+    }
+
     /// Renders the headline numbers as text (Table 2 style).
     pub fn headline(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        if let Some(ingest) = &self.ingest {
+            let _ = writeln!(out, "=== Ingest accounting (2.4) ===");
+            let _ = writeln!(
+                out,
+                "Entries examined        {}  (kept {}, rejected {})",
+                ingest.examined,
+                ingest.kept,
+                ingest.rejected()
+            );
+            for (reason, n) in &ingest.rejects {
+                let _ = writeln!(out, "  discarded {n:>8}  {reason:?}");
+            }
+            let _ = writeln!(
+                out,
+                "Server underload        {:.4} of time, {:.4} of transfers  (paper > 0.9999)",
+                ingest.underload_time_fraction, ingest.underload_transfer_fraction
+            );
+            let _ = writeln!(out);
+        }
         let _ = writeln!(out, "=== Trace summary (Table 1) ===");
         let _ = writeln!(out, "{}", self.summary);
         let _ = writeln!(out, "Total # of sessions     {}", self.session.n_sessions);
@@ -140,6 +170,7 @@ pub fn characterize_with(
     CharacterizationReport {
         summary: trace.summary(),
         session_timeout: config.timeout,
+        ingest: None,
         client,
         session,
         transfer,

@@ -55,6 +55,8 @@ struct Stage {
     threads: usize,
     elements: usize,
     secs: f64,
+    /// Resident sketch bytes, for bounded-memory stages.
+    sketch_bytes: Option<u64>,
 }
 
 impl Stage {
@@ -63,14 +65,18 @@ impl Stage {
     }
 
     fn json(&self) -> String {
+        let sketch = self
+            .sketch_bytes
+            .map_or(String::new(), |b| format!(", \"sketch_bytes\": {b}"));
         format!(
             "    {{ \"stage\": \"{}\", \"threads\": {}, \"elements\": {}, \
-             \"secs\": {:.6}, \"elements_per_sec\": {:.1} }}",
+             \"secs\": {:.6}, \"elements_per_sec\": {:.1}{} }}",
             self.name,
             self.threads,
             self.elements,
             self.secs,
-            self.rate()
+            self.rate(),
+            sketch
         )
     }
 }
@@ -118,30 +124,56 @@ fn main() {
         ConcurrencyProfile::from_intervals_par(&intervals, horizon, Parallelism::fixed(par_threads))
     });
 
+    // One-pass streaming characterization over the rendered log text:
+    // lines/sec through parse + sketches + look-ahead reorder + online
+    // sessionization, plus the resident sketch footprint.
+    let log_text =
+        String::from_utf8(lsw_trace::wms::format_log(trace.entries()).to_vec()).expect("ASCII log");
+    let n_lines = log_text.lines().count();
+    let (stream_report, stream_secs) = time(|| {
+        let mut engine = lsw_stream::StreamAnalyzer::new(lsw_stream::StreamConfig {
+            shards: par_threads,
+            ..lsw_stream::StreamConfig::default()
+        });
+        engine.ingest_str(&log_text);
+        engine.finalize()
+    });
+
     let stages = [
         Stage {
             name: "generate",
             threads: 1,
             elements: n_transfers,
             secs: secs_1,
+            sketch_bytes: None,
         },
         Stage {
             name: "generate",
             threads: par_threads,
             elements: n_transfers,
             secs: secs_n,
+            sketch_bytes: None,
         },
         Stage {
             name: "sessionize",
             threads: par_threads,
             elements: trace.len(),
             secs: sess_secs,
+            sketch_bytes: None,
         },
         Stage {
             name: "concurrency",
             threads: par_threads,
             elements: intervals.len(),
             secs: conc_secs,
+            sketch_bytes: None,
+        },
+        Stage {
+            name: "stream_ingest",
+            threads: par_threads,
+            elements: n_lines,
+            secs: stream_secs,
+            sketch_bytes: Some(stream_report.memory.sketch_bytes),
         },
     ];
     let speedup = stages[1].rate() / stages[0].rate();

@@ -4,8 +4,19 @@
 //! lsw generate  [--days D] [--clients N] [--sessions N] [--seed S]
 //!               [--threads T] [--simulate] [--scale-matched] --out LOG
 //! lsw characterize LOG [--horizon SECS] [--timeout TO] [--json FILE]
+//! lsw analyze     LOG [--stream] [--compare] [--shards N]
+//!                 [--memory-budget BYTES] [--horizon SECS] [--timeout TO]
+//!                 [--json FILE]
 //! lsw summary     LOG [--horizon SECS]
 //! ```
+//!
+//! `analyze` is the streaming front end: with `--stream` the log is
+//! consumed one chunk at a time through the bounded-memory sketch engine
+//! (`lsw_stream`), so arbitrarily long logs never have to fit in RAM;
+//! `--memory-budget` scales the sketches to a byte budget. With
+//! `--compare` both pipelines run and a per-estimator relative-error
+//! table is printed. Without either flag it behaves like `characterize`
+//! plus the §2.4 ingest accounting.
 //!
 //! Logs are the WMS-style text format (`lsw_trace::wms`); `generate`
 //! writes one, the other commands read one. All times are seconds since
@@ -20,6 +31,7 @@ use lsw::core::config::WorkloadConfig;
 use lsw::core::generator::Generator;
 use lsw::sim::{SimConfig, Simulator};
 use lsw::stats::par::Parallelism;
+use lsw::stream::{StreamAnalyzer, StreamConfig};
 use lsw::trace::sanitize::sanitize;
 use lsw::trace::session::SessionConfig;
 use lsw::trace::wms;
@@ -30,12 +42,15 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("characterize") => cmd_characterize(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage:\n  lsw generate [--days D] [--clients N] [--sessions N] [--seed S] \
                  [--threads T] [--simulate] [--scale-matched] --out LOG\n  lsw characterize LOG \
-                 [--horizon SECS] [--timeout TO] [--json FILE]\n  lsw summary LOG [--horizon SECS]"
+                 [--horizon SECS] [--timeout TO] [--json FILE]\n  lsw analyze LOG [--stream] \
+                 [--compare] [--shards N] [--memory-budget BYTES] [--horizon SECS] [--timeout TO] \
+                 [--json FILE]\n  lsw summary LOG [--horizon SECS]"
             );
         }
         Some(other) => {
@@ -114,7 +129,13 @@ fn cmd_generate(args: &[String]) {
     eprintln!("wrote {} entries to {out}", trace.len());
 }
 
-fn load(args: &[String]) -> (lsw::trace::trace::Trace, u32) {
+fn load(
+    args: &[String],
+) -> (
+    lsw::trace::trace::Trace,
+    u32,
+    lsw::trace::sanitize::SanitizeReport,
+) {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("expected a LOG file argument");
         exit(2);
@@ -138,17 +159,17 @@ fn load(args: &[String]) -> (lsw::trace::trace::Trace, u32) {
             report.examined
         );
     }
-    (trace, horizon)
+    (trace, horizon, report)
 }
 
 fn cmd_characterize(args: &[String]) {
-    let (trace, _) = load(args);
+    let (trace, _, ingest) = load(args);
     let timeout: f64 = parse_or(
         flag_value(args, "--timeout"),
         lsw::stats::paper::SESSION_TIMEOUT_SECS,
         "--timeout",
     );
-    let report = characterize_with(&trace, SessionConfig { timeout }, 0);
+    let report = characterize_with(&trace, SessionConfig { timeout }, 0).with_ingest(ingest);
     println!("{}", report.headline());
     if let Some(json_path) = flag_value(args, "--json") {
         std::fs::write(json_path, report.to_json()).unwrap_or_else(|e| {
@@ -159,7 +180,103 @@ fn cmd_characterize(args: &[String]) {
     }
 }
 
+fn stream_config(args: &[String]) -> StreamConfig {
+    let mut cfg = StreamConfig {
+        timeout: parse_or(
+            flag_value(args, "--timeout"),
+            lsw::stats::paper::SESSION_TIMEOUT_SECS,
+            "--timeout",
+        ),
+        ..StreamConfig::default()
+    };
+    if let Some(h) = flag_value(args, "--horizon") {
+        cfg.horizon = Some(parse_or(Some(h), 0u32, "--horizon"));
+    }
+    if let Some(s) = flag_value(args, "--shards") {
+        cfg.shards = parse_or(Some(s), 1usize, "--shards").max(1);
+    }
+    if let Some(b) = flag_value(args, "--memory-budget") {
+        cfg = cfg.with_memory_budget(parse_or(Some(b), usize::MAX, "--memory-budget"));
+    }
+    cfg
+}
+
+fn run_stream(path: &str, cfg: StreamConfig) -> lsw::stream::StreamReport {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    let mut engine = StreamAnalyzer::new(cfg);
+    engine
+        .ingest_read(std::io::BufReader::new(file))
+        .unwrap_or_else(|e| {
+            eprintln!("read error on {path}: {e}");
+            exit(1);
+        });
+    engine.finalize()
+}
+
+fn cmd_analyze(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("analyze expects a LOG file argument");
+        exit(2);
+    };
+    let path = path.clone();
+    let streaming = args.iter().any(|a| a == "--stream");
+    let comparing = args.iter().any(|a| a == "--compare");
+    // Parse up front so a bad stream flag exits 2 in every analyze mode.
+    let stream_cfg = stream_config(args);
+
+    if streaming && !comparing {
+        // One pass, bounded memory: the log never has to fit in RAM.
+        let report = run_stream(&path, stream_cfg);
+        println!("{}", report.headline());
+        if let Some(json_path) = flag_value(args, "--json") {
+            std::fs::write(json_path, report.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {json_path}: {e}");
+                exit(1);
+            });
+            eprintln!("stream report written to {json_path}");
+        }
+        return;
+    }
+
+    let (trace, horizon, ingest) = load(args);
+    let timeout: f64 = parse_or(
+        flag_value(args, "--timeout"),
+        lsw::stats::paper::SESSION_TIMEOUT_SECS,
+        "--timeout",
+    );
+    let batch = characterize_with(&trace, SessionConfig { timeout }, 0).with_ingest(ingest);
+
+    if comparing {
+        // Pin the streaming horizon to the batch one so both pipelines
+        // apply identical rejection rules.
+        let mut cfg = stream_cfg;
+        cfg.horizon = Some(horizon);
+        let stream = run_stream(&path, cfg);
+        println!("{}", lsw::analysis::stream_compare::render(&batch, &stream));
+        if let Some(json_path) = flag_value(args, "--json") {
+            std::fs::write(json_path, stream.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {json_path}: {e}");
+                exit(1);
+            });
+            eprintln!("stream report written to {json_path}");
+        }
+        return;
+    }
+
+    println!("{}", batch.headline());
+    if let Some(json_path) = flag_value(args, "--json") {
+        std::fs::write(json_path, batch.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {json_path}: {e}");
+            exit(1);
+        });
+        eprintln!("full report written to {json_path}");
+    }
+}
+
 fn cmd_summary(args: &[String]) {
-    let (trace, _) = load(args);
+    let (trace, _, _) = load(args);
     println!("{}", trace.summary());
 }

@@ -15,6 +15,8 @@
 //!   stored-media baseline ([`lsw_core`]).
 //! * [`analysis`] — the three-layer hierarchical characterizer
 //!   ([`lsw_analysis`]).
+//! * [`stream`] — the one-pass, bounded-memory streaming characterizer
+//!   ([`lsw_stream`]).
 //! * [`sim`] — the discrete-event media-server simulator ([`lsw_sim`]).
 //! * [`figures`] — per-table/figure reproduction experiments
 //!   ([`lsw_figures`]).
@@ -47,6 +49,7 @@ pub use lsw_core as core;
 pub use lsw_figures as figures;
 pub use lsw_sim as sim;
 pub use lsw_stats as stats;
+pub use lsw_stream as stream;
 pub use lsw_topology as topology;
 pub use lsw_trace as trace;
 

@@ -1,0 +1,460 @@
+//! The sequential coordinator behind the look-ahead heap.
+//!
+//! Order-insensitive per-entry statistics live in the parallel shard
+//! sketches; everything whose definition depends on *stream order* —
+//! sessionization, transfer interarrival gaps, the concurrency sweep, the
+//! per-second CPU audit — is computed here, on the single deterministic
+//! entry sequence the look-ahead heap releases (sorted by `(start,
+//! timestamp, line)`). One consumer, one order: shard count cannot touch
+//! these results, and memory stays bounded by the look-ahead window.
+
+use crate::fixed::LogMoments;
+use crate::quantile::LogQuantileSketch;
+use crate::sample::ClientSample;
+use crate::session::{ClosedSession, StreamSessionizer};
+use lsw_trace::event::LogEntry;
+use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
+
+/// Fixed-point scale for CPU-audit sums (2^-32 per unit).
+const CPU_SCALE: f64 = 4_294_967_296.0;
+
+/// Per-second CPU-load audit in a sliding window (§2.4).
+///
+/// The batch sanitizer averages CPU readings into one-second bins over the
+/// whole trace; here bins are kept only while entries can still land in
+/// them. A bin at second `t` receives readings from entries with
+/// `timestamp == t`, and every entry satisfies `timestamp >= start`, so
+/// once the released stream reaches start `s` all bins below `s` are
+/// final and fold into two counters.
+#[derive(Debug, Default)]
+pub struct CpuAudit {
+    bins: BTreeMap<u32, (i64, u32)>,
+    done_bins: u64,
+    done_under: u64,
+    transfers: u64,
+    under_transfers: u64,
+}
+
+impl CpuAudit {
+    /// Observes one kept entry's CPU reading.
+    pub fn observe(&mut self, timestamp: u32, cpu: f32) {
+        self.transfers += 1;
+        if cpu < lsw_trace::sanitize::CPU_THRESHOLD {
+            self.under_transfers += 1;
+        }
+        let slot = self.bins.entry(timestamp).or_insert((0, 0));
+        slot.0 += (f64::from(cpu) * CPU_SCALE).round() as i64;
+        slot.1 += 1;
+    }
+
+    /// Folds every bin strictly below `watermark` into the totals.
+    pub fn flush_below(&mut self, watermark: u32) {
+        while let Some((&t, _)) = self.bins.first_key_value() {
+            if t >= watermark {
+                break;
+            }
+            let (_, (sum, n)) = self.bins.pop_first().expect("checked non-empty");
+            self.done_bins += 1;
+            let avg = sum as f64 / CPU_SCALE / f64::from(n);
+            if avg < f64::from(lsw_trace::sanitize::CPU_THRESHOLD) {
+                self.done_under += 1;
+            }
+        }
+    }
+
+    /// Final underload fractions `(time, transfers)`, batch conventions:
+    /// empty audits count as fully underloaded.
+    pub fn finish(&mut self) -> (f64, f64) {
+        self.flush_below(u32::MAX);
+        self.flush_last();
+        let time = if self.done_bins == 0 {
+            1.0
+        } else {
+            self.done_under as f64 / self.done_bins as f64
+        };
+        let transfers = if self.transfers == 0 {
+            1.0
+        } else {
+            self.under_transfers as f64 / self.transfers as f64
+        };
+        (time, transfers)
+    }
+
+    fn flush_last(&mut self) {
+        // flush_below(u32::MAX) leaves a possible bin at exactly u32::MAX.
+        while let Some((_, (sum, n))) = self.bins.pop_first() {
+            self.done_bins += 1;
+            let avg = sum as f64 / CPU_SCALE / f64::from(n);
+            if avg < f64::from(lsw_trace::sanitize::CPU_THRESHOLD) {
+                self.done_under += 1;
+            }
+        }
+    }
+
+    /// Live window size (bins currently held).
+    pub fn window_bins(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+/// Number of 15-minute bins in a day (the paper's piecewise window).
+pub const DAILY_BINS: usize = 96;
+
+/// Online transfer-concurrency sweep over the released stream.
+///
+/// Equivalent to the batch difference-array profile but without the
+/// per-second array: the stream arrives start-ordered, a min-heap holds
+/// pending removal times (`stop + 1`), and time advances piecewise —
+/// each constant-concurrency segment is accumulated into a level → seconds
+/// marginal, a time-weighted total, and a 96-bin time-of-day fold.
+#[derive(Debug)]
+pub struct OnlineConcurrency {
+    removals: BinaryHeap<std::cmp::Reverse<u32>>,
+    level: u32,
+    t_cur: u32,
+    peak: u32,
+    marginal: BTreeMap<u32, u64>,
+    weighted: u128,
+    fold_secs: [u64; DAILY_BINS],
+    fold_weighted: [u64; DAILY_BINS],
+    peak_pending: usize,
+}
+
+impl Default for OnlineConcurrency {
+    fn default() -> Self {
+        Self {
+            removals: BinaryHeap::new(),
+            level: 0,
+            t_cur: 0,
+            peak: 0,
+            marginal: BTreeMap::new(),
+            weighted: 0,
+            fold_secs: [0; DAILY_BINS],
+            fold_weighted: [0; DAILY_BINS],
+            peak_pending: 0,
+        }
+    }
+}
+
+impl OnlineConcurrency {
+    /// The empty sweep (time starts at second 0, level 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one kept transfer active over `[start, stop]`, in released
+    /// order. Late entries (start below the sweep clock, possible only
+    /// after a look-ahead miss) are clamped to the clock.
+    pub fn observe(&mut self, start: u32, stop: u32) {
+        let s = start.max(self.t_cur);
+        self.advance(s);
+        self.level += 1;
+        self.peak = self.peak.max(self.level);
+        let removal = stop.max(s).saturating_add(1);
+        self.removals.push(std::cmp::Reverse(removal));
+        self.peak_pending = self.peak_pending.max(self.removals.len());
+    }
+
+    /// Runs the sweep clock forward to `t`, retiring due removals.
+    fn advance(&mut self, t: u32) {
+        while let Some(&std::cmp::Reverse(r)) = self.removals.peek() {
+            if r > t {
+                break;
+            }
+            self.removals.pop();
+            self.account(r);
+            self.level -= 1;
+        }
+        self.account(t);
+    }
+
+    /// Accounts the constant segment `[t_cur, until)` at the current level.
+    fn account(&mut self, until: u32) {
+        if until <= self.t_cur {
+            return;
+        }
+        let dur = u64::from(until - self.t_cur);
+        *self.marginal.entry(self.level).or_insert(0) += dur;
+        self.weighted += u128::from(self.level) * u128::from(dur);
+        // Time-of-day fold over 15-minute bins.
+        let mut t = u64::from(self.t_cur);
+        let end = u64::from(until);
+        while t < end {
+            let bin = ((t % 86_400) / 900) as usize;
+            let next = ((t / 900) + 1) * 900;
+            let seg = next.min(end) - t;
+            self.fold_secs[bin] += seg;
+            self.fold_weighted[bin] += u64::from(self.level) * seg;
+            t = next.min(end);
+        }
+        self.t_cur = until;
+    }
+
+    /// Ends the sweep at `horizon` seconds, accounting the tail.
+    pub fn finish(&mut self, horizon: u32) {
+        self.advance(horizon);
+        // Removals beyond the horizon are clamped (batch behaviour: an
+        // entry is active through `stop.min(horizon - 1)`).
+        self.removals.clear();
+        self.level = 0;
+    }
+
+    /// Peak concurrency.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Time-weighted mean concurrency over `[0, horizon)`.
+    pub fn mean(&self, horizon: u32) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.weighted as f64 / f64::from(horizon)
+        }
+    }
+
+    /// Marginal distribution: `(level, seconds spent at that level)`.
+    pub fn marginal(&self) -> Vec<(u32, u64)> {
+        self.marginal.iter().map(|(&l, &s)| (l, s)).collect()
+    }
+
+    /// Mean concurrency per 15-minute time-of-day bin (Fig 15's shape).
+    pub fn daily_fold(&self) -> Vec<f64> {
+        (0..DAILY_BINS)
+            .map(|b| {
+                if self.fold_secs[b] == 0 {
+                    0.0
+                } else {
+                    self.fold_weighted[b] as f64 / self.fold_secs[b] as f64
+                }
+            })
+            .collect()
+    }
+
+    /// High-water mark of pending removals (the sweep's memory bound).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+}
+
+/// Everything the coordinator accumulates from the released stream.
+#[derive(Debug)]
+pub struct Coordinator {
+    sessionizer: StreamSessionizer,
+    /// Bottom-k client sample (transfers, sessions, OFF gaps per client).
+    pub sample: ClientSample,
+    closed: Vec<ClosedSession>,
+    /// Sessions closed so far.
+    pub n_sessions: u64,
+    /// ON-time log-moments (display-transformed).
+    pub on_moments: LogMoments,
+    /// ON-time quantile sketch (display-transformed).
+    pub on_quant: LogQuantileSketch,
+    /// Exact transfers-per-session histogram.
+    pub tps: BTreeMap<u32, u64>,
+    /// Intra-session interarrival log-moments (display-transformed).
+    pub intra_moments: LogMoments,
+    /// Transfer interarrival quantile sketch (display-transformed gaps
+    /// between consecutive released starts).
+    pub iat_quant: LogQuantileSketch,
+    prev_start: Option<u32>,
+    /// Concurrency sweep.
+    pub conc: OnlineConcurrency,
+    /// §2.4 CPU audit.
+    pub cpu: CpuAudit,
+    /// Entries that arrived below the sweep clock (look-ahead misses).
+    pub late_entries: u64,
+    released: u64,
+}
+
+impl Coordinator {
+    /// Creates a coordinator with the given session timeout and client
+    /// sample capacity.
+    pub fn new(timeout: f64, sample_k: usize) -> Self {
+        Self {
+            sessionizer: StreamSessionizer::new(timeout),
+            sample: ClientSample::new(sample_k),
+            closed: Vec::new(),
+            n_sessions: 0,
+            on_moments: LogMoments::new(),
+            on_quant: LogQuantileSketch::new(),
+            tps: BTreeMap::new(),
+            intra_moments: LogMoments::new(),
+            iat_quant: LogQuantileSketch::new(),
+            prev_start: None,
+            conc: OnlineConcurrency::new(),
+            cpu: CpuAudit::default(),
+            late_entries: 0,
+            released: 0,
+        }
+    }
+
+    /// Consumes one released (start-ordered) kept entry.
+    pub fn process(&mut self, e: &LogEntry) {
+        self.released += 1;
+        if e.start < self.prev_start.unwrap_or(0) {
+            self.late_entries += 1;
+        }
+
+        // Transfer interarrival gap (consecutive released starts).
+        if let Some(prev) = self.prev_start {
+            let gap = e.start.saturating_sub(prev);
+            self.iat_quant
+                .insert_value(lsw_stats::paper::log_display_time(f64::from(gap)));
+        }
+        self.prev_start = Some(self.prev_start.unwrap_or(0).max(e.start));
+
+        self.conc.observe(e.start, e.stop());
+        self.cpu.observe(e.timestamp, e.cpu_util);
+        self.cpu.flush_below(e.start);
+        self.sample.observe_transfer(e.client.0);
+
+        let intra = self
+            .sessionizer
+            .observe(e.client.0, e.start, e.stop(), &mut self.closed);
+        if let Some(gap) = intra {
+            self.intra_moments
+                .insert(lsw_stats::paper::log_display_time(f64::from(gap)));
+        }
+        // Periodic eager close keeps the active map inside one timeout
+        // window of the sweep clock.
+        if self.released % 4096 == 0 {
+            self.sessionizer.prune_before(e.start, &mut self.closed);
+        }
+        self.drain_closed();
+    }
+
+    /// Ends the stream: closes open sessions and the sweep.
+    pub fn finish(&mut self, horizon: u32) -> (f64, f64) {
+        self.sessionizer.finish(&mut self.closed);
+        self.drain_closed();
+        self.conc.finish(horizon);
+        self.cpu.finish()
+    }
+
+    fn drain_closed(&mut self) {
+        while let Some(c) = self.closed.pop() {
+            self.n_sessions += 1;
+            let on_disp = f64::from(c.on_time()) + 1.0;
+            self.on_moments.insert(on_disp);
+            self.on_quant.insert_value(on_disp);
+            *self.tps.entry(c.transfers).or_insert(0) += 1;
+            self.sample.observe_session(c.client, c.start, c.end);
+        }
+    }
+
+    /// Transfers-per-session frequency points `(k, P[K = k])`, identical
+    /// to the batch layer's construction (the histogram is exact).
+    pub fn tps_points(&self) -> Vec<(f64, f64)> {
+        let total: u64 = self.tps.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.tps
+            .iter()
+            .map(|(&k, &n)| (f64::from(k), n as f64 / total as f64))
+            .collect()
+    }
+
+    /// Currently open sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.sessionizer.active_len()
+    }
+
+    /// High-water mark of open sessions.
+    pub fn peak_active_sessions(&self) -> usize {
+        self.sessionizer.peak_active()
+    }
+
+    /// Approximate resident bytes of coordinator state.
+    pub fn bytes(&self) -> usize {
+        use crate::sketch::Sketch as _;
+        self.sessionizer.bytes()
+            + self.sample.bytes()
+            + self.on_quant.bytes()
+            + self.iat_quant.bytes()
+            + self.tps.len() * 2 * 12
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_matches_batch_profile() {
+        use lsw_trace::concurrency::ConcurrencyProfile;
+
+        // Deterministic pseudo-random intervals, fed in start order.
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut intervals: Vec<(u32, u32)> = (0..3_000)
+            .map(|_| {
+                let start = (next() % 50_000) as u32;
+                let stop = start + (next() % 2_000) as u32;
+                (start, stop)
+            })
+            .collect();
+        intervals.sort_unstable();
+        let horizon = 60_000;
+
+        let batch = ConcurrencyProfile::from_intervals(intervals.iter().copied(), horizon);
+        let mut sweep = OnlineConcurrency::new();
+        for &(s, e) in &intervals {
+            sweep.observe(s, e);
+        }
+        sweep.finish(horizon);
+
+        assert_eq!(sweep.peak(), batch.peak());
+        // Marginal must match the batch per-second histogram exactly.
+        let mut batch_marginal: BTreeMap<u32, u64> = BTreeMap::new();
+        for &c in batch.per_second() {
+            *batch_marginal.entry(c).or_insert(0) += 1;
+        }
+        let batch_points: Vec<(u32, u64)> = batch_marginal.into_iter().collect();
+        assert_eq!(sweep.marginal(), batch_points);
+        let batch_mean = batch
+            .per_second()
+            .iter()
+            .map(|&c| u64::from(c))
+            .sum::<u64>() as f64
+            / f64::from(horizon);
+        assert!((sweep.mean(horizon) - batch_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_audit_matches_batch_fractions() {
+        let mut audit = CpuAudit::default();
+        // (timestamp, cpu): two cool bins, one hot bin.
+        for (ts, cpu) in [(5u32, 0.5f32), (100, 0.01), (100, 0.02), (200, 0.03)] {
+            audit.observe(ts, cpu);
+        }
+        let (time, transfers) = audit.finish();
+        assert!((time - 2.0 / 3.0).abs() < 1e-9);
+        assert!((transfers - 3.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_entries_are_counted_not_fatal() {
+        let mut c = Coordinator::new(1500.0, 1024);
+        let mk = |start: u32, dur: u32| {
+            lsw_trace::event::LogEntryBuilder::new()
+                .span(start, dur)
+                .client(lsw_trace::ids::ClientId(1))
+                .build()
+        };
+        c.process(&mk(1000, 10));
+        c.process(&mk(500, 10)); // out of order
+        c.process(&mk(2000, 10));
+        assert_eq!(c.late_entries, 1);
+        let _ = c.finish(3000);
+        assert!(c.n_sessions >= 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Bottom-k distinct sampling over clients, with exact per-client tallies.
+//!
+//! Client-interest Zipf slopes (Figs 4–5) and OFF-time means need
+//! *per-client* statistics, but the client population is the one key space
+//! that genuinely does not fit a fixed budget (692k users in the paper's
+//! trace). A KMV/bottom-k sample keeps the `k` clients whose deterministic
+//! 64-bit hash is smallest — a uniform random subset of the *distinct*
+//! client set, with a threshold that adapts as new clients appear.
+//!
+//! The property that makes per-key tallies sound is monotonicity: the
+//! hash of a client never changes, so a client inside the final bottom-k
+//! was inside the bottom-k from its very first appearance (prefixes have
+//! fewer distinct keys, hence a looser threshold). Every sampled client's
+//! transfer count, session count and OFF-time total is therefore
+//! *complete*, not clipped — the sample is a full-resolution sub-trace of
+//! a random client subset. A Zipf slope fitted on the sampled
+//! rank-frequency equals the population slope in expectation because
+//! uniform client sampling scales ranks by the sampling fraction, and
+//! `log(rank) → log(rank) - log(f)` only shifts the regression intercept.
+//!
+//! Merging takes the union of tallies (sums per key — entry streams are
+//! disjoint) and re-truncates to the k smallest hashes; since SplitMix64
+//! is a bijection on `u64`, distinct 32-bit client ids never collide and
+//! the merged state is independent of how the stream was sharded.
+
+use crate::sketch::{hash64, Sketch};
+use lsw_stats::empirical::RankFrequency;
+use lsw_stats::fit::{fit_zipf_rank_frequency, ZipfFit};
+use std::collections::BTreeMap;
+
+/// Complete per-sampled-client tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientTally {
+    /// Transfers observed for this client.
+    pub transfers: u64,
+    /// Sessions closed for this client.
+    pub sessions: u64,
+    /// Sum of OFF gaps (seconds between consecutive sessions).
+    pub off_sum: u64,
+    /// Number of OFF gaps observed.
+    pub off_n: u64,
+    /// End of the most recently closed session, for the next OFF gap.
+    pub last_end: Option<u32>,
+}
+
+/// Bottom-k distinct sample keyed by hashed client id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSample {
+    k: usize,
+    /// hash -> (client id, tallies); the map never exceeds `k` entries
+    /// and holds the k smallest hashes seen.
+    keys: BTreeMap<u64, (u32, ClientTally)>,
+}
+
+impl ClientSample {
+    /// Creates a sample of at most `k` clients (min 16).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(16),
+            keys: BTreeMap::new(),
+        }
+    }
+
+    /// The sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of sampled clients.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no client has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Observes one transfer by `client`; tallies it if sampled.
+    pub fn observe_transfer(&mut self, client: u32) {
+        let h = hash64(u64::from(client));
+        if let Some((_, t)) = self.keys.get_mut(&h) {
+            t.transfers += 1;
+            return;
+        }
+        if self.keys.len() < self.k {
+            self.keys.insert(
+                h,
+                (
+                    client,
+                    ClientTally {
+                        transfers: 1,
+                        ..ClientTally::default()
+                    },
+                ),
+            );
+            return;
+        }
+        let (&max_h, _) = self.keys.last_key_value().expect("non-empty at capacity");
+        if h < max_h {
+            self.keys.pop_last();
+            self.keys.insert(
+                h,
+                (
+                    client,
+                    ClientTally {
+                        transfers: 1,
+                        ..ClientTally::default()
+                    },
+                ),
+            );
+        }
+    }
+
+    /// Records a closed session `[start, end]` for `client` (no-op when
+    /// the client is not sampled). Sessions must arrive in per-client
+    /// chronological order, which the sessionizer guarantees.
+    pub fn observe_session(&mut self, client: u32, start: u32, end: u32) {
+        let h = hash64(u64::from(client));
+        if let Some((_, t)) = self.keys.get_mut(&h) {
+            t.sessions += 1;
+            if let Some(prev_end) = t.last_end {
+                t.off_sum += u64::from(start.saturating_sub(prev_end));
+                t.off_n += 1;
+            }
+            t.last_end = Some(end);
+        }
+    }
+
+    /// KMV estimate of the number of distinct clients seen.
+    pub fn distinct_estimate(&self) -> f64 {
+        if self.keys.len() < self.k {
+            return self.keys.len() as f64; // exhaustive: exact
+        }
+        let (&kth, _) = self.keys.last_key_value().expect("at capacity");
+        // P(hash < kth) ≈ kth / 2^64; (k-1)/U is the unbiased KMV estimator.
+        let u = kth as f64 / 18_446_744_073_709_551_616.0;
+        (self.k as f64 - 1.0) / u
+    }
+
+    /// Fraction of distinct clients present in the sample.
+    pub fn sample_fraction(&self) -> f64 {
+        let d = self.distinct_estimate();
+        if d <= 0.0 {
+            1.0
+        } else {
+            (self.keys.len() as f64 / d).min(1.0)
+        }
+    }
+
+    /// Mean OFF time over sampled clients' gaps, with the gap count.
+    pub fn off_mean(&self) -> Option<(f64, u64)> {
+        let (sum, n) = self
+            .keys
+            .values()
+            .fold((0u64, 0u64), |(s, n), (_, t)| (s + t.off_sum, n + t.off_n));
+        (n > 0).then(|| (sum as f64 / n as f64, n))
+    }
+
+    /// Zipf fit of the sampled transfers-per-client rank-frequency, using
+    /// the same fit-body rule as the batch client layer (ranks while the
+    /// count stays >= 10, at least 20 ranks). Slope is invariant under the
+    /// rank scaling induced by uniform client sampling.
+    pub fn transfers_zipf(&self) -> Option<ZipfFit> {
+        self.zipf_of(|t| t.transfers)
+    }
+
+    /// Zipf fit of the sampled sessions-per-client rank-frequency.
+    pub fn sessions_zipf(&self) -> Option<ZipfFit> {
+        self.zipf_of(|t| t.sessions)
+    }
+
+    fn zipf_of(&self, field: impl Fn(&ClientTally) -> u64) -> Option<ZipfFit> {
+        let counts: Vec<u64> = self.keys.values().map(|(_, t)| field(t)).collect();
+        let rf = RankFrequency::from_counts(counts);
+        if rf.n() < 2 {
+            return None;
+        }
+        // Fit body: keep ranks while the raw count stays >= 10 (mirrors
+        // the batch layer's cut), floor 20 ranks, cap at what exists.
+        let mut k = rf.n();
+        for rank in 1..=rf.n() {
+            if rf.count_at(rank).is_some_and(|c| c < 10) {
+                k = rank - 1;
+                break;
+            }
+        }
+        let body = (k.max(20) as f64).min(rf.n() as f64);
+        fit_zipf_rank_frequency(&rf, Some(body)).ok()
+    }
+}
+
+impl Sketch for ClientSample {
+    type Item = u32;
+    type Estimate = f64;
+
+    fn insert(&mut self, item: &u32) {
+        self.observe_transfer(*item);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "cannot merge samples of different k");
+        for (&h, &(id, t)) in &other.keys {
+            let e = self.keys.entry(h).or_insert((id, ClientTally::default()));
+            e.1.transfers += t.transfers;
+            e.1.sessions += t.sessions;
+            e.1.off_sum += t.off_sum;
+            e.1.off_n += t.off_n;
+            e.1.last_end = e.1.last_end.max(t.last_end);
+        }
+        while self.keys.len() > self.k {
+            self.keys.pop_last();
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.distinct_estimate()
+    }
+
+    fn bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.keys.len() * 2 * (8 + std::mem::size_of::<(u32, ClientTally)>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_sample_is_exact() {
+        let mut s = ClientSample::new(1024);
+        for c in 0..500u32 {
+            for _ in 0..=(c % 7) {
+                s.observe_transfer(c);
+            }
+        }
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.distinct_estimate(), 500.0);
+        assert_eq!(s.sample_fraction(), 1.0);
+    }
+
+    #[test]
+    fn kmv_estimate_within_bounds() {
+        let mut s = ClientSample::new(4096);
+        for c in 0..100_000u32 {
+            s.observe_transfer(c);
+        }
+        let est = s.distinct_estimate();
+        let err = (est - 100_000.0).abs() / 100_000.0;
+        assert!(err < 0.05, "KMV estimate {est} off by {err}");
+    }
+
+    #[test]
+    fn sampled_tallies_are_complete() {
+        // Interleave two passes; every sampled client must have both.
+        let mut s = ClientSample::new(64);
+        for pass in 0..2 {
+            let _ = pass;
+            for c in 0..10_000u32 {
+                s.observe_transfer(c);
+            }
+        }
+        for (_, t) in s.keys.values() {
+            assert_eq!(t.transfers, 2, "sampled tallies must be complete");
+        }
+    }
+
+    #[test]
+    fn off_gaps_accumulate() {
+        let mut s = ClientSample::new(64);
+        s.observe_transfer(7);
+        s.observe_session(7, 100, 200);
+        s.observe_session(7, 1000, 1100);
+        s.observe_session(7, 5000, 5200);
+        let (mean, n) = s.off_mean().unwrap();
+        assert_eq!(n, 2);
+        assert!((mean - (800.0 + 3900.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut whole = ClientSample::new(128);
+        let mut a = ClientSample::new(128);
+        let mut b = ClientSample::new(128);
+        for i in 0..30_000u32 {
+            let c = i % 4_000;
+            whole.observe_transfer(c);
+            if i % 2 == 0 {
+                a.observe_transfer(c);
+            } else {
+                b.observe_transfer(c);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

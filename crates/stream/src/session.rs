@@ -1,0 +1,260 @@
+//! Online sessionization with the paper's timeout rule.
+//!
+//! The batch sessionizer sorts all transfers per client and splits at idle
+//! gaps above the timeout (1500 s, §4). Streaming gets the same result in
+//! one pass because the ingest coordinator feeds entries in `(start,
+//! timestamp, line)` order: for each client that is a prefix-preserving
+//! subsequence of the batch engine's canonical order, so applying the
+//! identical gap rule yields the identical session set.
+//!
+//! Memory is bounded by the number of clients *active within one timeout
+//! window*: once the released-stream watermark passes `session end +
+//! timeout`, no future entry can extend that session (future starts are >=
+//! the watermark, so their gap already exceeds the timeout) and it is
+//! closed eagerly by [`StreamSessionizer::prune_before`].
+
+use std::collections::HashMap;
+
+/// A completed session, emitted exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedSession {
+    /// Owning client id.
+    pub client: u32,
+    /// First transfer start (seconds).
+    pub start: u32,
+    /// Latest transfer stop (seconds).
+    pub end: u32,
+    /// Transfers in the session.
+    pub transfers: u32,
+}
+
+impl ClosedSession {
+    /// ON time in seconds (`end - start`), as the batch layer defines it.
+    pub fn on_time(&self) -> u32 {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    start: u32,
+    end: u32,
+    last_start: u32,
+    transfers: u32,
+}
+
+/// One-pass sessionizer over the re-ordered entry stream.
+#[derive(Debug)]
+pub struct StreamSessionizer {
+    timeout: f64,
+    active: HashMap<u32, Active>,
+    peak_active: usize,
+}
+
+impl StreamSessionizer {
+    /// Creates a sessionizer with the given idle timeout (seconds).
+    pub fn new(timeout: f64) -> Self {
+        Self {
+            timeout,
+            active: HashMap::new(),
+            peak_active: 0,
+        }
+    }
+
+    /// Observes one transfer `[start, stop]` by `client`, in released
+    /// (start-ordered) sequence. Any session this closes is pushed onto
+    /// `closed`; the return value is the intra-session interarrival gap
+    /// (start minus previous transfer start) when the transfer continues
+    /// an existing session.
+    pub fn observe(
+        &mut self,
+        client: u32,
+        start: u32,
+        stop: u32,
+        closed: &mut Vec<ClosedSession>,
+    ) -> Option<u32> {
+        match self.active.entry(client) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let a = o.get_mut();
+                let gap = f64::from(start) - f64::from(a.end);
+                if gap > self.timeout {
+                    closed.push(ClosedSession {
+                        client,
+                        start: a.start,
+                        end: a.end,
+                        transfers: a.transfers,
+                    });
+                    *a = Active {
+                        start,
+                        end: stop,
+                        last_start: start,
+                        transfers: 1,
+                    };
+                    None
+                } else {
+                    // Released order guarantees start >= last_start.
+                    let iat = start.saturating_sub(a.last_start);
+                    a.last_start = start;
+                    a.end = a.end.max(stop);
+                    a.transfers += 1;
+                    Some(iat)
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Active {
+                    start,
+                    end: stop,
+                    last_start: start,
+                    transfers: 1,
+                });
+                self.peak_active = self.peak_active.max(self.active.len());
+                None
+            }
+        }
+    }
+
+    /// Eagerly closes sessions no future entry can extend: every upcoming
+    /// released entry has `start >= watermark`, so a session whose idle
+    /// gap to the watermark already exceeds the timeout is final.
+    pub fn prune_before(&mut self, watermark: u32, closed: &mut Vec<ClosedSession>) {
+        let timeout = self.timeout;
+        self.active.retain(|&client, a| {
+            if f64::from(watermark) - f64::from(a.end) > timeout {
+                closed.push(ClosedSession {
+                    client,
+                    start: a.start,
+                    end: a.end,
+                    transfers: a.transfers,
+                });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Closes every remaining session (end of stream).
+    pub fn finish(&mut self, closed: &mut Vec<ClosedSession>) {
+        for (&client, a) in &self.active {
+            closed.push(ClosedSession {
+                client,
+                start: a.start,
+                end: a.end,
+                transfers: a.transfers,
+            });
+        }
+        self.active.clear();
+    }
+
+    /// Currently open sessions.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// High-water mark of simultaneously open sessions.
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Approximate resident bytes of the active-session map.
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.active.capacity() * 2 * (4 + std::mem::size_of::<Active>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(entries: &[(u32, u32, u32)], timeout: f64) -> Vec<ClosedSession> {
+        let mut s = StreamSessionizer::new(timeout);
+        let mut closed = Vec::new();
+        for &(client, start, stop) in entries {
+            s.observe(client, start, stop, &mut closed);
+        }
+        s.finish(&mut closed);
+        closed.sort_by_key(|c| (c.start, c.end, c.client));
+        closed
+    }
+
+    #[test]
+    fn splits_on_timeout_gap() {
+        // Gap of exactly `timeout` does NOT split (rule is strictly >).
+        let sessions = run(&[(1, 0, 10), (1, 1510, 1520), (1, 4000, 4010)], 1500.0);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(
+            sessions[0],
+            ClosedSession {
+                client: 1,
+                start: 0,
+                end: 1520,
+                transfers: 2,
+            }
+        );
+        assert_eq!(sessions[1].start, 4000);
+    }
+
+    #[test]
+    fn overlapping_transfers_extend() {
+        let sessions = run(&[(1, 0, 100), (1, 10, 20), (1, 50, 300)], 1500.0);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].end, 300);
+        assert_eq!(sessions[0].transfers, 3);
+    }
+
+    #[test]
+    fn matches_batch_sessionizer() {
+        use lsw_trace::event::LogEntryBuilder;
+        use lsw_trace::ids::ClientId;
+        use lsw_trace::session::{SessionConfig, Sessions};
+        use lsw_trace::trace::Trace;
+
+        // Deterministic pseudo-random entries across a few clients.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut entries = Vec::new();
+        for _ in 0..2_000 {
+            let client = (next() % 37) as u32;
+            let start = (next() % 200_000) as u32;
+            let dur = (next() % 900) as u32;
+            entries.push(
+                LogEntryBuilder::new()
+                    .span(start, dur)
+                    .client(ClientId(client))
+                    .build(),
+            );
+        }
+        let trace = Trace::from_entries(entries, 300_000);
+        let batch = Sessions::identify(&trace, SessionConfig { timeout: 1500.0 });
+
+        // Stream in the trace's canonical (start-sorted) order, with
+        // periodic pruning to exercise eager closes.
+        let mut s = StreamSessionizer::new(1500.0);
+        let mut closed = Vec::new();
+        for (i, e) in trace.entries().iter().enumerate() {
+            s.observe(e.client.0, e.start, e.stop(), &mut closed);
+            if i % 97 == 0 {
+                s.prune_before(e.start, &mut closed);
+            }
+        }
+        s.finish(&mut closed);
+        closed.sort_by_key(|c| (c.start, c.end, c.client));
+
+        let batch_keys: Vec<(u32, u32, u32, u32)> = batch
+            .all()
+            .iter()
+            .map(|b| (b.start, b.end, b.client.0, b.transfers))
+            .collect();
+        let stream_keys: Vec<(u32, u32, u32, u32)> = closed
+            .iter()
+            .map(|c| (c.start, c.end, c.client, c.transfers))
+            .collect();
+        assert_eq!(stream_keys, batch_keys);
+    }
+}

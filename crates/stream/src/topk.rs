@@ -1,0 +1,192 @@
+//! SpaceSaving heavy-hitter counting (Metwally et al. 2005).
+//!
+//! Tracks the most frequent keys — autonomous systems, countries, objects
+//! — in a fixed number of counters. Within the paper's workload every one
+//! of those key spaces is small (1 010 ASes, 11 countries, a handful of
+//! cameras), so with the default capacity the sketch never evicts and is
+//! *exact*; the SpaceSaving eviction rule only engages on adversarial key
+//! spaces, where each reported count overestimates by at most the
+//! counter's recorded `error`.
+//!
+//! Determinism: counters live in a `BTreeMap` and every eviction or
+//! truncation picks its victim by `(count, error, key)`, so identical
+//! input multisets produce identical state. Merging is exact (count and
+//! error add per key) while the union fits in `capacity`; beyond that the
+//! merged sketch keeps the top `capacity` counters by `(count desc, key
+//! asc)` — still deterministic, with the dropped mass bounded by the
+//! smallest kept count. The shard-invariance guarantee of this crate
+//! therefore holds unconditionally in the exact regime and the proptests
+//! exercise exactly that envelope.
+
+use crate::sketch::Sketch;
+use std::collections::BTreeMap;
+
+/// One SpaceSaving counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Estimated occurrences (an overestimate by at most `error`).
+    pub count: u64,
+    /// Maximum overestimation inherited from evicted keys.
+    pub error: u64,
+}
+
+/// SpaceSaving top-k sketch over ordered keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSaving<K: Ord + Clone> {
+    capacity: usize,
+    counters: BTreeMap<K, Counter>,
+    /// True once any key has been evicted or truncated away; while false,
+    /// every reported count is exact.
+    saturated: bool,
+}
+
+impl<K: Ord + Clone> SpaceSaving<K> {
+    /// Creates a sketch holding at most `capacity` counters (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            counters: BTreeMap::new(),
+            saturated: false,
+        }
+    }
+
+    /// Observes one key occurrence.
+    pub fn insert_key(&mut self, key: &K) {
+        if let Some(c) = self.counters.get_mut(key) {
+            c.count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters
+                .insert(key.clone(), Counter { count: 1, error: 0 });
+            return;
+        }
+        // Evict the deterministic minimum by (count, error, key).
+        self.saturated = true;
+        let victim = self
+            .counters
+            .iter()
+            .min_by(|a, b| (a.1.count, a.1.error, a.0).cmp(&(b.1.count, b.1.error, b.0)))
+            .map(|(k, c)| (k.clone(), *c))
+            .expect("capacity >= 1 so a victim exists");
+        self.counters.remove(&victim.0);
+        self.counters.insert(
+            key.clone(),
+            Counter {
+                count: victim.1.count + 1,
+                error: victim.1.count,
+            },
+        );
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when no keys have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// True while no eviction has occurred, i.e. all counts are exact.
+    pub fn is_exact(&self) -> bool {
+        !self.saturated
+    }
+
+    /// Counters sorted by `(count desc, key asc)`.
+    pub fn top(&self) -> Vec<(K, Counter)> {
+        let mut v: Vec<(K, Counter)> = self.counters.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total of all live counts.
+    pub fn total(&self) -> u64 {
+        self.counters.values().map(|c| c.count).sum()
+    }
+}
+
+impl<K: Ord + Clone> Sketch for SpaceSaving<K> {
+    type Item = K;
+    type Estimate = Vec<(K, u64)>;
+
+    fn insert(&mut self, item: &K) {
+        self.insert_key(item);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.saturated |= other.saturated;
+        for (k, c) in &other.counters {
+            let e = self.counters.entry(k.clone()).or_default();
+            e.count += c.count;
+            e.error += c.error;
+        }
+        if self.counters.len() > self.capacity {
+            self.saturated = true;
+            let keep = self.top();
+            self.counters = keep.into_iter().take(self.capacity).collect();
+        }
+    }
+
+    fn estimate(&self) -> Vec<(K, u64)> {
+        self.top().into_iter().map(|(k, c)| (k, c.count)).collect()
+    }
+
+    fn bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.counters.len() * 2 * (std::mem::size_of::<K>() + std::mem::size_of::<Counter>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::<u16>::new(16);
+        for k in 0..8u16 {
+            for _ in 0..=k {
+                ss.insert_key(&k);
+            }
+        }
+        assert!(ss.is_exact());
+        let top = ss.top();
+        assert_eq!(top[0], (7, Counter { count: 8, error: 0 }));
+        assert_eq!(top.last().unwrap().0, 0);
+    }
+
+    #[test]
+    fn eviction_preserves_heavy_hitter() {
+        let mut ss = SpaceSaving::<u32>::new(4);
+        for _ in 0..100 {
+            ss.insert_key(&1);
+        }
+        for k in 10..30u32 {
+            ss.insert_key(&k);
+        }
+        assert!(!ss.is_exact());
+        let top = ss.top();
+        assert_eq!(top[0].0, 1, "heavy hitter must survive eviction");
+        assert!(top[0].1.count >= 100);
+    }
+
+    #[test]
+    fn merge_exact_regime_equals_single_stream() {
+        let keys: Vec<u16> = (0..200).map(|i| i % 13).collect();
+        let mut whole = SpaceSaving::<u16>::new(64);
+        let mut a = SpaceSaving::<u16>::new(64);
+        let mut b = SpaceSaving::<u16>::new(64);
+        for (i, k) in keys.iter().enumerate() {
+            whole.insert_key(k);
+            if i < 71 {
+                a.insert_key(k);
+            } else {
+                b.insert_key(k);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the sketch algebra: every sketch must be a
+//! commutative monoid under `merge` (order- and grouping-independent),
+//! and the end-to-end engine must produce byte-identical reports at any
+//! shard count — the determinism contract the whole crate is built on.
+
+use lsw_stream::hll::HyperLogLog;
+use lsw_stream::quantile::LogQuantileSketch;
+use lsw_stream::sample::ClientSample;
+use lsw_stream::topk::SpaceSaving;
+use lsw_stream::{Sketch, StreamAnalyzer, StreamConfig};
+use proptest::prelude::*;
+
+fn hll_of(keys: &[u64]) -> HyperLogLog {
+    let mut h = HyperLogLog::new(10);
+    for &k in keys {
+        h.insert_key(k);
+    }
+    h
+}
+
+fn quant_of(vals: &[f64]) -> LogQuantileSketch {
+    let mut q = LogQuantileSketch::new();
+    for &v in vals {
+        q.insert_value(v);
+    }
+    q
+}
+
+fn topk_of(keys: &[u16]) -> SpaceSaving<u16> {
+    let mut t = SpaceSaving::new(64);
+    for k in keys {
+        t.insert_key(k);
+    }
+    t
+}
+
+fn sample_of(clients: &[u32]) -> ClientSample {
+    let mut s = ClientSample::new(32);
+    for &c in clients {
+        s.observe_transfer(c);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hll_merge_is_commutative(
+        a in prop::collection::vec(0u64..50_000, 0..200),
+        b in prop::collection::vec(0u64..50_000, 0..200),
+    ) {
+        let (ha, hb) = (hll_of(&a), hll_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // And equal to the single-stream union.
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &hll_of(&both));
+    }
+
+    #[test]
+    fn hll_merge_is_associative(
+        a in prop::collection::vec(0u64..50_000, 0..120),
+        b in prop::collection::vec(0u64..50_000, 0..120),
+        c in prop::collection::vec(0u64..50_000, 0..120),
+    ) {
+        let (ha, hb, hc) = (hll_of(&a), hll_of(&b), hll_of(&c));
+        let mut left = ha.clone(); // (a ∪ b) ∪ c
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone(); // a ∪ (b ∪ c)
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn quantile_merge_equals_single_stream(
+        a in prop::collection::vec(1.0f64..1e6, 0..200),
+        b in prop::collection::vec(1.0f64..1e6, 0..200),
+    ) {
+        let mut merged = quant_of(&a);
+        merged.merge(&quant_of(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(&merged, &quant_of(&both));
+        // Commutativity.
+        let mut flipped = quant_of(&b);
+        flipped.merge(&quant_of(&a));
+        prop_assert_eq!(&merged, &flipped);
+    }
+
+    #[test]
+    fn topk_merge_matches_single_stream_in_exact_regime(
+        a in prop::collection::vec(0u16..48, 0..300),
+        b in prop::collection::vec(0u16..48, 0..300),
+    ) {
+        // Key space (48) fits the capacity (64), so SpaceSaving is exact
+        // and merge must equal the single-stream sketch.
+        let mut merged = topk_of(&a);
+        merged.merge(&topk_of(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged.top(), topk_of(&both).top());
+    }
+
+    #[test]
+    fn client_sample_merge_matches_single_stream(
+        a in prop::collection::vec(0u32..10_000, 0..300),
+        b in prop::collection::vec(0u32..10_000, 0..300),
+    ) {
+        // Bottom-k membership is a pure function of the key set, and
+        // tallies sum — so any split of the stream merges to the same
+        // sample.
+        let mut merged = sample_of(&a);
+        merged.merge(&sample_of(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(&merged, &sample_of(&both));
+    }
+
+    #[test]
+    fn engine_reports_are_shard_count_invariant(
+        n in 20usize..120,
+        seed in 0u64..1_000,
+    ) {
+        // A deterministic pseudo-random log, streamed at 1/2/8 shards,
+        // must produce byte-identical JSON reports.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let entries: Vec<_> = (0..n)
+            .map(|_| {
+                lsw_trace::event::LogEntryBuilder::new()
+                    .span((next() % 50_000) as u32, (next() % 600) as u32)
+                    .client(lsw_trace::ids::ClientId((next() % 40) as u32))
+                    .transfer_stats(next() % 1_000_000, 15_000 + (next() % 40_000) as u32, 0.0)
+                    .build()
+            })
+            .collect();
+        let text = String::from_utf8(lsw_trace::wms::format_log(&entries).to_vec()).unwrap();
+
+        let mut reports = Vec::new();
+        for shards in [1usize, 2, 8] {
+            let mut engine = StreamAnalyzer::new(StreamConfig {
+                shards,
+                ..StreamConfig::default()
+            });
+            engine.ingest_str(&text);
+            let mut r = engine.finalize();
+            r.shards = 0; // neutralize the config echo, compare the numbers
+            reports.push(r.to_json());
+        }
+        prop_assert_eq!(&reports[0], &reports[1]);
+        prop_assert_eq!(&reports[0], &reports[2]);
+    }
+}

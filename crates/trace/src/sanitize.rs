@@ -121,8 +121,12 @@ pub fn sanitize(entries: Vec<LogEntry>, horizon: u32) -> (Trace, SanitizeReport)
     (Trace::from_entries(kept, horizon), report)
 }
 
-/// Classifies an entry; `None` means it is clean.
-fn classify(e: &LogEntry, horizon: u32) -> Option<RejectReason> {
+/// Classifies an entry against the §2.4 rules; `None` means it is clean.
+///
+/// Public so the streaming engine (`lsw-stream`) can apply the *same*
+/// per-entry rejection rules at ingest time and report the same
+/// accounting as this batch path.
+pub fn classify(e: &LogEntry, horizon: u32) -> Option<RejectReason> {
     if e.duration as u64 > horizon as u64 {
         return Some(RejectReason::SpansTracePeriod);
     }

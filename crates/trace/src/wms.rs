@@ -153,24 +153,159 @@ fn parse_uri(uri: &str) -> Option<ObjectId> {
     digits.parse::<u16>().ok().map(ObjectId)
 }
 
-/// Parses a whole log (headers + lines). Comment lines start with `#`.
-pub fn parse_log(text: &str) -> Result<Vec<LogEntry>, ParseError> {
-    let mut out = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+/// Streaming line parser: yields one `Result` per non-comment line.
+///
+/// Unlike [`parse_log`] this iterator *recovers* from malformed lines:
+/// an `Err` item carries the 1-based line number and the iterator keeps
+/// going, so callers can skip-and-count bad lines instead of aborting.
+/// Comment (`#`) and blank lines are silently skipped (they still advance
+/// the line numbering).
+#[derive(Debug, Clone)]
+pub struct ParsedLines<'a> {
+    inner: std::str::Lines<'a>,
+    /// 1-based number of the *next* line `inner` will yield.
+    next_line: usize,
+}
+
+impl Iterator for ParsedLines<'_> {
+    /// The line number and entry on success, a numbered error otherwise.
+    type Item = Result<(usize, LogEntry), ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for raw in self.inner.by_ref() {
+            let line_no = self.next_line;
+            self.next_line += 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Some(match parse_line(line) {
+                Ok(e) => Ok((line_no, e)),
+                Err(mut e) => {
+                    e.line = line_no;
+                    Err(e)
+                }
+            });
         }
-        let mut e = parse_line(line).map_err(|mut e| {
-            e.line = i + 1;
-            e
-        })?;
-        // Preserve the parsed entry exactly; validation is the caller's
-        // (sanitizer's) job, not the parser's.
-        let _ = &mut e;
-        out.push(e);
+        None
     }
-    Ok(out)
+}
+
+/// Streams `text` line by line with per-line error recovery.
+pub fn parse_lines(text: &str) -> ParsedLines<'_> {
+    parse_lines_from(text, 1)
+}
+
+/// Like [`parse_lines`] but numbering lines from `first_line` — for
+/// callers feeding chunks of a larger stream (see [`LineChunks`]).
+pub fn parse_lines_from(text: &str, first_line: usize) -> ParsedLines<'_> {
+    ParsedLines {
+        inner: text.lines(),
+        next_line: first_line.max(1),
+    }
+}
+
+/// Parses a whole log (headers + lines). Comment lines start with `#`.
+///
+/// Thin strict wrapper over [`parse_lines`]: stops at the first malformed
+/// line and returns its error (with the line number filled in).
+pub fn parse_log(text: &str) -> Result<Vec<LogEntry>, ParseError> {
+    parse_lines(text).map(|r| r.map(|(_, e)| e)).collect()
+}
+
+/// One batch of complete lines from a [`LineChunks`] reader.
+#[derive(Debug, Clone)]
+pub struct LineChunk {
+    /// The chunk text; every line in it is complete.
+    pub text: String,
+    /// 1-based number of the chunk's first line within the whole stream.
+    pub first_line: usize,
+}
+
+/// Reads a byte stream as chunks of whole lines, in bounded memory.
+///
+/// Each yielded [`LineChunk`] contains only complete lines: a partial
+/// trailing line is carried into the next chunk, and the final chunk
+/// flushes whatever remains at EOF. This is the streaming replacement for
+/// the whole-file `read_to_string` + [`parse_log`] path — memory use is
+/// `chunk_bytes` plus one carried line, independent of file size.
+/// Non-UTF-8 bytes are replaced (the replacement character then fails
+/// field parsing, surfacing as a counted malformed line downstream).
+#[derive(Debug)]
+pub struct LineChunks<R> {
+    reader: R,
+    carry: Vec<u8>,
+    chunk_bytes: usize,
+    next_line: usize,
+    done: bool,
+}
+
+impl<R: std::io::Read> LineChunks<R> {
+    /// Wraps `reader`, yielding chunks of roughly `chunk_bytes` (min 4 KiB).
+    pub fn new(reader: R, chunk_bytes: usize) -> Self {
+        Self {
+            reader,
+            carry: Vec::new(),
+            chunk_bytes: chunk_bytes.max(4096),
+            next_line: 1,
+            done: false,
+        }
+    }
+
+    fn emit(&mut self, bytes: Vec<u8>) -> LineChunk {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let first_line = self.next_line;
+        let mut lines = text.as_bytes().iter().filter(|&&b| b == b'\n').count();
+        if !text.ends_with('\n') && !text.is_empty() {
+            lines += 1; // final unterminated line (EOF flush)
+        }
+        self.next_line += lines;
+        LineChunk { text, first_line }
+    }
+}
+
+impl<R: std::io::Read> Iterator for LineChunks<R> {
+    type Item = std::io::Result<LineChunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut buf = std::mem::take(&mut self.carry);
+        loop {
+            let mut filled = buf.len();
+            buf.resize(filled + self.chunk_bytes, 0);
+            loop {
+                match self.reader.read(&mut buf[filled..]) {
+                    Ok(0) => {
+                        // EOF: flush everything that remains.
+                        buf.truncate(filled);
+                        self.done = true;
+                        return (!buf.is_empty()).then(|| Ok(self.emit(buf)));
+                    }
+                    Ok(n) => {
+                        filled += n;
+                        if filled == buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            buf.truncate(filled);
+            // Split at the last newline; carry the partial tail line. A
+            // chunk with no newline at all keeps growing `buf` until one
+            // arrives (pathological single-line input stays correct).
+            if let Some(pos) = buf.iter().rposition(|&b| b == b'\n') {
+                self.carry = buf.split_off(pos + 1);
+                return Some(Ok(self.emit(buf)));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +386,61 @@ mod tests {
             .unwrap()
             .replace("/live/feed1.asf", "/evil.mp4");
         assert!(parse_line(&line).is_err());
+    }
+
+    #[test]
+    fn parse_lines_recovers_and_numbers() {
+        let mut good = BytesMut::new();
+        format_entry(&sample_entry(), &mut good);
+        let good = std::str::from_utf8(&good).unwrap();
+        let text = format!("#header\n{good}\ngarbage line\n\n{good}\n");
+        let items: Vec<_> = parse_lines(&text).collect();
+        assert_eq!(items.len(), 3, "two entries and one recoverable error");
+        assert_eq!(items[0].as_ref().unwrap().0, 2);
+        assert_eq!(items[1].as_ref().unwrap_err().line, 3);
+        assert_eq!(items[2].as_ref().unwrap().0, 5);
+    }
+
+    #[test]
+    fn parse_log_is_thin_wrapper() {
+        let text = "#header\n1 2 3 not-a-number\n";
+        assert_eq!(parse_log(text).unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn line_chunks_reassemble_stream() {
+        let entries: Vec<LogEntry> = (0..57)
+            .map(|i| {
+                LogEntryBuilder::new()
+                    .span(i * 10, (i % 7) + 1)
+                    .client(ClientId(i % 13))
+                    .transfer_stats(u64::from(i) * 1_000, 34_000, 0.0)
+                    .build()
+            })
+            .collect();
+        let text = format_log(&entries);
+        // Tiny chunks force many carry splits.
+        let mut parsed = Vec::new();
+        let mut next_expected_line = 1usize;
+        for chunk in LineChunks::new(&text[..], 64) {
+            let chunk = chunk.unwrap();
+            assert_eq!(chunk.first_line, next_expected_line);
+            for item in parse_lines_from(&chunk.text, chunk.first_line) {
+                parsed.push(item.unwrap().1);
+            }
+            next_expected_line += chunk.text.lines().count();
+        }
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn line_chunks_flush_unterminated_tail() {
+        let data = b"line one\nline two without newline";
+        let chunks: Vec<LineChunk> = LineChunks::new(&data[..], 4096)
+            .map(|c| c.unwrap())
+            .collect();
+        let all: String = chunks.iter().map(|c| c.text.as_str()).collect();
+        assert_eq!(all.as_bytes(), data);
     }
 
     #[test]

@@ -64,6 +64,57 @@ proptest! {
     }
 
     #[test]
+    fn streaming_parser_never_panics(input in ".*") {
+        for item in wms::parse_lines(&input) {
+            let _ = item; // Err per line is fine; panic is not.
+        }
+    }
+
+    #[test]
+    fn streaming_parser_recovers_past_noise(
+        noise in "[ -~]{1,40}",
+        at_line in 0usize..5,
+    ) {
+        // Unlike strict parse_log, the streaming iterator must keep going
+        // after a bad line and number every line correctly.
+        prop_assume!(!noise.trim().is_empty() && !noise.trim_start().starts_with('#'));
+        prop_assume!(wms::parse_line(&noise).is_err());
+        let valid = valid_line();
+        let at = at_line.min(4);
+        let mut lines: Vec<String> = (0..4).map(|_| valid.clone()).collect();
+        lines.insert(at, noise.clone());
+        let text = lines.join("\n");
+
+        let mut ok = 0usize;
+        let mut errs = Vec::new();
+        for item in wms::parse_lines(&text) {
+            match item {
+                Ok((line_no, _)) => { prop_assert_ne!(line_no, at + 1); ok += 1; }
+                Err(e) => errs.push(e.line),
+            }
+        }
+        prop_assert_eq!(ok, 4);
+        prop_assert_eq!(errs, vec![at + 1]);
+    }
+
+    #[test]
+    fn line_chunks_match_whole_text(chunk_bytes in 1usize..200, n_lines in 1usize..12) {
+        // Reassembling LineChunks must reproduce the text and keep line
+        // numbering continuous at any chunk size.
+        let valid = valid_line();
+        let text = vec![valid; n_lines].join("\n");
+        let mut rebuilt = String::new();
+        let mut expect_line = 1usize;
+        for chunk in wms::LineChunks::new(std::io::Cursor::new(text.as_bytes()), chunk_bytes) {
+            let chunk = chunk.expect("in-memory read");
+            prop_assert_eq!(chunk.first_line, expect_line);
+            expect_line += chunk.text.matches('\n').count();
+            rebuilt.push_str(&chunk.text);
+        }
+        prop_assert_eq!(rebuilt, text);
+    }
+
+    #[test]
     fn valid_logs_with_noise_lines_fail_with_line_numbers(
         noise in "[ -~]{1,40}",
         at_line in 0usize..5,

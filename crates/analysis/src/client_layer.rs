@@ -18,7 +18,7 @@ use lsw_trace::ids::{AsId, Ipv4Addr};
 use lsw_trace::session::{transfer_counts_per_client, Sessions};
 use lsw_trace::trace::Trace;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Client diversity over ASes and countries (Fig 2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -112,9 +112,12 @@ pub fn analyze(trace: &Trace, sessions: &Sessions, seed: u64) -> ClientLayer {
 
 /// Fig 2: AS and country popularity.
 pub fn analyze_geo(trace: &Trace) -> GeoAnalysis {
-    let mut transfers_per_as: HashMap<AsId, u64> = HashMap::new();
-    let mut ips_per_as: HashMap<AsId, std::collections::HashSet<Ipv4Addr>> = HashMap::new();
-    let mut transfers_per_country: HashMap<[u8; 2], u64> = HashMap::new();
+    // BTreeMaps: RankFrequency::from_counts sorts by count only, so equal
+    // counts keep insertion order — iteration order must not depend on the
+    // process-random hash seed.
+    let mut transfers_per_as: BTreeMap<AsId, u64> = BTreeMap::new();
+    let mut ips_per_as: BTreeMap<AsId, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+    let mut transfers_per_country: BTreeMap<[u8; 2], u64> = BTreeMap::new();
     for e in trace.entries() {
         *transfers_per_as.entry(e.as_id).or_insert(0) += 1;
         ips_per_as.entry(e.as_id).or_default().insert(e.ip);
@@ -151,8 +154,7 @@ pub fn analyze_geo(trace: &Trace) -> GeoAnalysis {
 pub fn analyze_concurrency(sessions: &Sessions, horizon: u32) -> ClientConcurrency {
     let profile = ConcurrencyProfile::clients(sessions.all(), horizon);
     let samples = profile.samples();
-    let marginal =
-        Marginal::linear_binned(&samples, 100).expect("horizon >= 1 gives at least one sample");
+    let marginal = Marginal::linear_binned(&samples, 100).unwrap_or_else(empty_marginal);
     let over_trace = profile.binned_mean(900);
     let weekly = over_trace.fold(7.0 * 86_400.0);
     let daily = over_trace.fold(86_400.0);
@@ -210,32 +212,34 @@ pub fn analyze_arrivals(sessions: &Sessions, horizon: u32, seed: u64) -> Arrival
     let window = lsw_stats::paper::PIECEWISE_WINDOW_SECS;
     let counts = lsw_stats::timeseries::bin_counts(&arrivals, window, f64::from(horizon));
     let rates: Vec<f64> = counts.iter().map(|&c| c as f64 / window).collect();
-    let synthetic_iats: Vec<f64> = if rates.iter().any(|&r| r > 0.0) {
-        let profile = PiecewiseRate::new(rates, window, false).expect("validated rates");
-        let process = PiecewisePoisson::new(profile);
-        let mut rng = SeedStream::new(seed).rng("fig6-synthetic");
-        let synth = process.generate(&mut rng, 0.0, f64::from(horizon));
-        // Quantize to whole seconds first: the actual arrivals went through
-        // the server's 1-second log resolution, so the synthetic process
-        // must see the same measurement pipeline to be comparable.
-        synth
-            .windows(2)
-            .map(|w| w[1].floor() - w[0].floor())
-            .collect()
-    } else {
-        Vec::new()
+    let has_arrivals = rates.iter().any(|&r| r > 0.0);
+    let synthetic_iats: Vec<f64> = match PiecewiseRate::new(rates, window, false) {
+        Ok(profile) if has_arrivals => {
+            let process = PiecewisePoisson::new(profile);
+            let mut rng = SeedStream::new(seed).rng("fig6-synthetic");
+            let synth = process.generate(&mut rng, 0.0, f64::from(horizon));
+            // Quantize to whole seconds first: the actual arrivals went
+            // through the server's 1-second log resolution, so the synthetic
+            // process must see the same measurement pipeline to be
+            // comparable.
+            synth
+                .windows(2)
+                .map(|w| w[1].floor() - w[0].floor())
+                .collect()
+        }
+        // Empty or all-zero windows: no synthetic sample to compare.
+        _ => Vec::new(),
     };
     let synthetic_display = display_transform(&synthetic_iats);
     let synthetic_interarrivals =
         Marginal::log_binned(&synthetic_display, 10).unwrap_or_else(empty_marginal);
-    let ks_actual_vs_synthetic = if !actual_iats.is_empty() && !synthetic_iats.is_empty() {
-        ks_two_sample(&display_transform(&actual_iats), &synthetic_display)
-    } else {
-        TestResult {
+    // ks_two_sample reports an error on empty input; surface that as NaN
+    // (the report renders it as "no comparison possible").
+    let ks_actual_vs_synthetic =
+        ks_two_sample(&display_transform(&actual_iats), &synthetic_display).unwrap_or(TestResult {
             statistic: f64::NAN,
             p_value: f64::NAN,
-        }
-    };
+        });
 
     // §3.4: within each 15-minute window, are per-minute counts Poisson?
     let per_minute = lsw_stats::timeseries::bin_counts(&arrivals, 60.0, f64::from(horizon));
@@ -249,7 +253,7 @@ pub fn analyze_arrivals(sessions: &Sessions, horizon: u32, seed: u64) -> Arrival
         if mean < 3.0 {
             continue; // too sparse for the chi-square approximation
         }
-        if let Some(r) = poisson_dispersion_test(chunk) {
+        if let Ok(r) = poisson_dispersion_test(chunk) {
             tested += 1;
             if r.accepts(0.01) {
                 passed += 1;
@@ -299,6 +303,7 @@ pub fn analyze_interest(trace: &Trace, sessions: &Sessions) -> InterestAnalysis 
 
 fn empty_marginal() -> Marginal {
     Marginal {
+        // lsw::allow(L005): literal one-element slice is never empty
         summary: lsw_stats::empirical::Summary::from_data(&[0.0]).expect("non-empty"),
         frequency: Vec::new(),
         cdf: Vec::new(),

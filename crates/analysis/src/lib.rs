@@ -26,7 +26,6 @@
 //! measurements (the artifact of 1-second log resolution) are displayable
 //! and fits see the same data the paper's fits saw.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client_layer;

@@ -38,6 +38,7 @@ impl CharacterizationReport {
     /// JSON `null`; the report is therefore not round-trippable into the
     /// typed struct, only into a generic JSON value.
     pub fn to_json(&self) -> String {
+        // lsw::allow(L005): plain struct of numbers/strings always serializes
         serde_json::to_string_pretty(self).expect("report serializes")
     }
 
@@ -140,6 +141,15 @@ impl CharacterizationReport {
     }
 }
 
+/// Joins a layer thread, re-raising any panic with its original payload
+/// rather than wrapping it in a second panic site here.
+fn join_layer<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Runs the full hierarchical characterization with the paper's default
 /// session timeout. `seed` feeds only the Fig 6 synthetic regeneration.
 pub fn characterize(trace: &Trace, seed: u64) -> CharacterizationReport {
@@ -162,9 +172,9 @@ pub fn characterize_with(
         let session = s.spawn(|| session_layer::analyze(trace, &sessions));
         let transfer = s.spawn(|| transfer_layer::analyze(trace));
         (
-            client.join().expect("client layer panicked"),
-            session.join().expect("session layer panicked"),
-            transfer.join().expect("transfer layer panicked"),
+            join_layer(client),
+            join_layer(session),
+            join_layer(transfer),
         )
     });
     CharacterizationReport {

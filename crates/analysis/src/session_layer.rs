@@ -144,7 +144,10 @@ pub fn sweep_timeouts(trace: &Trace, timeouts: &[f64]) -> TimeoutSweep {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| match h.join() {
+                Ok(point) => point,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     TimeoutSweep { points }
@@ -231,6 +234,7 @@ fn off_ripples(off_times: &[f64]) -> Vec<f64> {
 
 fn empty_marginal() -> Marginal {
     Marginal {
+        // lsw::allow(L005): literal one-element slice is never empty
         summary: lsw_stats::empirical::Summary::from_data(&[0.0]).expect("non-empty"),
         frequency: Vec::new(),
         cdf: Vec::new(),

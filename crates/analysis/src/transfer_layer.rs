@@ -104,7 +104,7 @@ pub fn analyze(trace: &Trace) -> TransferLayer {
 pub fn analyze_concurrency(trace: &Trace) -> TransferConcurrency {
     let profile = ConcurrencyProfile::transfers(trace.entries(), trace.horizon());
     let samples = profile.samples();
-    let marginal = Marginal::linear_binned(&samples, 100).expect("horizon >= 1 gives samples");
+    let marginal = Marginal::linear_binned(&samples, 100).unwrap_or_else(empty_marginal);
     let over_trace = profile.binned_mean(900);
     let weekly = over_trace.fold(7.0 * 86_400.0);
     let daily = over_trace.fold(86_400.0);
@@ -161,7 +161,10 @@ pub fn analyze_lengths(trace: &Trace) -> TransferLengths {
     let fit = fit_lognormal(&lengths).ok();
 
     // Variance decomposition of log-lengths by object.
-    let mut by_object: std::collections::HashMap<u16, Vec<f64>> = std::collections::HashMap::new();
+    // BTreeMap: the within/total variance sums below accumulate floats in
+    // iteration order, which must not depend on the process hash seed.
+    let mut by_object: std::collections::BTreeMap<u16, Vec<f64>> =
+        std::collections::BTreeMap::new();
     for e in trace.entries() {
         by_object
             .entry(e.object.0)
@@ -234,6 +237,7 @@ pub fn analyze_bandwidth(trace: &Trace) -> TransferBandwidth {
 
 fn empty_marginal() -> Marginal {
     Marginal {
+        // lsw::allow(L005): literal one-element slice is never empty
         summary: lsw_stats::empirical::Summary::from_data(&[0.0]).expect("non-empty"),
         frequency: Vec::new(),
         cdf: Vec::new(),

@@ -11,6 +11,11 @@
 //! cargo run --release -p lsw-bench --bin bench-json [-- OUT.json]
 //! ```
 
+// Benchmarks exist to measure wall-clock time; the workspace-wide ban on
+// ambient clocks (clippy disallowed-methods mirroring xtask L002) targets
+// the deterministic pipeline, not the harness timing it.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use lsw_core::config::WorkloadConfig;

@@ -11,7 +11,6 @@
 //! * `ablations` — design-choice sensitivity: session timeout, arrival
 //!   process, interest skew, transfers-per-session model, live vs stored.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use lsw_core::config::WorkloadConfig;
@@ -24,7 +23,7 @@ use lsw_trace::trace::Trace;
 pub fn bench_workload() -> Workload {
     let config = WorkloadConfig::paper().scaled(15_000, 86_400, 25_000);
     Generator::new(config, 9001)
-        .expect("valid config")
+        .expect("valid config") // lsw::allow(L005): static preset config
         .generate()
 }
 

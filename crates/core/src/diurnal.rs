@@ -133,12 +133,13 @@ impl DiurnalProfile {
     /// The paper profile with the given weekday modulation.
     pub fn paper(weekday_weights: [f64; 7], start_weekday: u8) -> Self {
         Self::new(Self::paper_shape(), weekday_weights, start_weekday)
-            .expect("static shape is valid")
+            .expect("static shape is valid") // lsw::allow(L005): fixed valid table
     }
 
     /// A flat (stationary) profile — the §3.4 null model and the classic
     /// stored-media GISMO default.
     pub fn flat() -> Self {
+        // lsw::allow(L005): a constant positive shape is always valid
         Self::new(vec![1.0; BINS_PER_DAY], [1.0; 7], 0).expect("static shape is valid")
     }
 
@@ -206,6 +207,7 @@ impl DiurnalProfile {
         let rates: Vec<f64> = (0..nbins)
             .map(|i| self.relative_rate((i as f64 + 0.5) * 900.0) * scale)
             .collect();
+        // lsw::allow(L005): rates are finite non-negative by construction
         let profile = PiecewiseRate::new(rates, 900.0, false).expect("validated rates");
         PiecewisePoisson::new(profile)
     }
@@ -217,7 +219,7 @@ impl DiurnalProfile {
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty shape");
+            .map_or((0, &0.0), |x| x);
         bin as f64 * 24.0 / BINS_PER_DAY as f64
     }
 
@@ -228,7 +230,7 @@ impl DiurnalProfile {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty shape");
+            .map_or((0, &0.0), |x| x);
         bin as f64 * 24.0 / BINS_PER_DAY as f64
     }
 }

@@ -190,7 +190,10 @@ impl Generator {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("generator worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(chunk) => chunk,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
         };

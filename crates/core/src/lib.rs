@@ -43,7 +43,6 @@
 //! assert!(!trace.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // `!(x > 0.0)` in parameter validation is deliberate: unlike `x <= 0.0` it
 // also rejects NaN, which is exactly the point of those guards.

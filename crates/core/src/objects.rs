@@ -52,7 +52,9 @@ impl LiveObjects {
             acc += w / total;
             cum.push(acc);
         }
-        *cum.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
         Ok(Self {
             cum_weights: cum,
             n_cameras: n_cameras as u16,

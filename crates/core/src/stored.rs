@@ -125,6 +125,7 @@ impl StoredGenerator {
     pub fn generate(&self) -> Trace {
         let horizon = f64::from(self.config.horizon_secs);
         let rate = self.config.target_requests as f64 / horizon;
+        // lsw::allow(L005): config validation rejects zero-request/zero-horizon setups
         let process = PoissonProcess::new(rate).expect("positive rate");
         let mut arrivals_rng = self.seeds.rng("stored-arrivals");
         let arrivals = process.generate(&mut arrivals_rng, 0.0, horizon);

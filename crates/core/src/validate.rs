@@ -101,6 +101,7 @@ pub fn validate_workload(w: &Workload) -> ValidationReport {
             });
         }
         let d = LogNormal::new(cfg.transfer_length.mu, cfg.transfer_length.sigma)
+            // lsw::allow(L005): Generator::new validated mu/sigma
             .expect("validated config");
         // KS on a subsample: at full scale the test is hypersensitive to
         // the horizon clipping, which is expected, not an error.
@@ -109,14 +110,16 @@ pub fn validate_workload(w: &Workload) -> ValidationReport {
             .step_by((lengths.len() / 2_000).max(1))
             .copied()
             .collect();
-        ks_p = ks_test(&sample, |x| d.cdf(x)).p_value;
+        ks_p = ks_test(&sample, |x| d.cdf(x)).map_or(f64::NAN, |r| r.p_value);
     }
 
     // Intra-session interarrivals, grouped by ground-truth session index.
     let mut iats = Vec::new();
     {
-        let mut by_session: std::collections::HashMap<u32, Vec<f64>> =
-            std::collections::HashMap::new();
+        // BTreeMap: the per-session gaps feed fit_lognormal's float sums in
+        // iteration order, which must not depend on the process hash seed.
+        let mut by_session: std::collections::BTreeMap<u32, Vec<f64>> =
+            std::collections::BTreeMap::new();
         for t in w.transfers() {
             by_session.entry(t.session).or_default().push(t.start);
         }

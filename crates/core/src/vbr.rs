@@ -105,6 +105,7 @@ impl VbrEncoder {
         let cfg = &self.config;
         // E[on fraction] = 1/2 by symmetry (same ON and OFF law).
         let per_source = cfg.mean_bps / (cfg.n_sources as f64 * 0.5);
+        // lsw::allow(L005): VbrConfig::validate checked scale and alpha
         let on_off = Pareto::new(cfg.period_scale, cfg.alpha).expect("validated");
         let end = start + len as u64;
         let mut series = vec![0.0f64; len];

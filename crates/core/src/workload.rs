@@ -120,6 +120,7 @@ impl Workload {
     /// second (scaled by [`CPU_CAPACITY_TRANSFERS`]).
     pub fn render(&self) -> Trace {
         let model = BandwidthModel::new(self.config.bandwidth)
+            // lsw::allow(L005): Generator::new validated the bandwidth config
             .expect("config validated at generation time");
         let mut rng = self.seeds.rng("render-bandwidth");
         let horizon = self.config.horizon_secs;

@@ -71,7 +71,7 @@ pub fn scatter(
         };
         out.push_str(&label);
         out.push('|');
-        out.push_str(std::str::from_utf8(row).expect("ASCII grid"));
+        out.push_str(&String::from_utf8_lossy(row));
         out.push('\n');
     }
     out.push_str(&" ".repeat(10));

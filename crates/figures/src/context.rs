@@ -93,7 +93,7 @@ impl ReproContext {
     pub fn build_with_config(scale: Scale, config: WorkloadConfig, seed: u64) -> Self {
         let horizon = config.horizon_secs;
         let workload = Generator::new(config, seed)
-            .expect("scale presets are valid")
+            .expect("scale presets are valid") // lsw::allow(L005): static presets
             .generate();
         let sim = Simulator::new(SimConfig {
             harvest_anomaly_rate: 2e-4,

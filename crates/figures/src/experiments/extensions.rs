@@ -112,6 +112,7 @@ pub fn ext_vbr(_ctx: &ReproContext) -> FigureResult {
     use lsw_core::vbr::{VbrConfig, VbrEncoder};
     let config = VbrConfig::default();
     let theory = config.theoretical_hurst();
+    // lsw::allow(L005): VbrConfig::default() is a fixed valid config
     let encoder = VbrEncoder::new(config, 2002).expect("default config valid");
     let series = encoder.bitrate_series(lsw_trace::ids::ObjectId(0), 0, 16_384);
     let measured = hurst_variance_time(&series, 4);

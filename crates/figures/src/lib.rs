@@ -18,7 +18,6 @@
 //! | `table2` | Closed-loop recovery of the generative-model parameters |
 //! | `sanity` | §2.4 — sanitization and the server-overload audit |
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ascii;

@@ -41,7 +41,6 @@
 //! assert!(report.session.n_sessions > 1_000);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use lsw_analysis as analysis;

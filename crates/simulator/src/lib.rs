@@ -19,7 +19,6 @@
 //!   network, and emits a `lsw-trace` trace — including, optionally, the
 //!   §2.4 harvest-spanning log anomaly for the sanitizer to catch.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod des;

@@ -127,6 +127,7 @@ impl Simulator {
             self.config.path_congestion_median_bps.ln(),
             self.config.path_congestion_sigma,
         )
+        // lsw::allow(L005): SimConfig keeps median/sigma positive and finite
         .expect("validated config");
 
         let mut server = MediaServer::new(self.config.server);

@@ -59,6 +59,7 @@ impl Empirical {
 
     /// Maximum observation.
     pub fn max(&self) -> f64 {
+        // lsw::allow(L005): constructor rejects empty samples
         *self.sorted.last().expect("non-empty")
     }
 }

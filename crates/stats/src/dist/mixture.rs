@@ -51,7 +51,9 @@ impl Mixture {
             weights.push(w / total);
             components.push(c);
         }
-        *cum.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
         Ok(Self {
             components,
             cum_weights: cum,

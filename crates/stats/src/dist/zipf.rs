@@ -48,7 +48,9 @@ impl ZipfTable {
             *c /= norm;
         }
         // Guard against floating point drift at the end of the table.
-        *cum.last_mut().expect("n >= 1") = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
         Ok(Self { n, s, cum, norm })
     }
 

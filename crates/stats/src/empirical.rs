@@ -274,6 +274,7 @@ impl Histogram {
     pub fn add(&mut self, x: f64) {
         self.total += 1;
         let first = self.edges[0];
+        // lsw::allow(L005): constructor guarantees at least two edges
         let last = *self.edges.last().expect("edges non-empty");
         if x < first {
             self.underflow += 1;

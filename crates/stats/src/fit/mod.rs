@@ -150,24 +150,39 @@ pub fn select_model(data: &[f64]) -> Result<ModelChoice, FitError> {
 
     let mut ks: Vec<(Family, f64)> = Vec::new();
     if let Ok(f) = fit_lognormal(data) {
-        let d = crate::dist::LogNormal::new(f.mu, f.sigma).expect("fit params valid");
-        ks.push((Family::LogNormal, ks_distance(&sorted, |x| d.cdf(x))));
+        // A fit on degenerate data can return out-of-domain parameters
+        // (e.g. sigma = 0); skip the family instead of panicking.
+        if let Ok(d) = crate::dist::LogNormal::new(f.mu, f.sigma) {
+            ks.push((Family::LogNormal, ks_distance(&sorted, |x| d.cdf(x))));
+        }
     }
     if let Ok(f) = fit_exponential(data) {
-        let d = crate::dist::Exponential::new(f.lambda).expect("fit params valid");
-        ks.push((Family::Exponential, ks_distance(&sorted, |x| d.cdf(x))));
+        // A fit on degenerate data can return out-of-domain parameters
+        // (e.g. sigma = 0); skip the family instead of panicking.
+        if let Ok(d) = crate::dist::Exponential::new(f.lambda) {
+            ks.push((Family::Exponential, ks_distance(&sorted, |x| d.cdf(x))));
+        }
     }
     if let Ok(f) = fit_pareto(data) {
-        let d = crate::dist::Pareto::new(f.xm, f.alpha).expect("fit params valid");
-        ks.push((Family::Pareto, ks_distance(&sorted, |x| d.cdf(x))));
+        // A fit on degenerate data can return out-of-domain parameters
+        // (e.g. sigma = 0); skip the family instead of panicking.
+        if let Ok(d) = crate::dist::Pareto::new(f.xm, f.alpha) {
+            ks.push((Family::Pareto, ks_distance(&sorted, |x| d.cdf(x))));
+        }
     }
     if let Ok(f) = fit_weibull(data) {
-        let d = crate::dist::Weibull::new(f.lambda, f.k).expect("fit params valid");
-        ks.push((Family::Weibull, ks_distance(&sorted, |x| d.cdf(x))));
+        // A fit on degenerate data can return out-of-domain parameters
+        // (e.g. sigma = 0); skip the family instead of panicking.
+        if let Ok(d) = crate::dist::Weibull::new(f.lambda, f.k) {
+            ks.push((Family::Weibull, ks_distance(&sorted, |x| d.cdf(x))));
+        }
     }
     if let Ok(f) = fit_gamma(data) {
-        let d = crate::dist::Gamma::new(f.k, f.theta).expect("fit params valid");
-        ks.push((Family::Gamma, ks_distance(&sorted, |x| d.cdf(x))));
+        // A fit on degenerate data can return out-of-domain parameters
+        // (e.g. sigma = 0); skip the family instead of panicking.
+        if let Ok(d) = crate::dist::Gamma::new(f.k, f.theta) {
+            ks.push((Family::Gamma, ks_distance(&sorted, |x| d.cdf(x))));
+        }
     }
     let best = ks
         .iter()
@@ -184,7 +199,7 @@ pub fn select_model(data: &[f64]) -> Result<ModelChoice, FitError> {
                 .cmp(&b.0.n_params())
                 .then_with(|| a.1.total_cmp(&b.1))
         })
-        .expect("band contains the minimum");
+        .unwrap_or(best); // the band always contains the minimum itself
     Ok(ModelChoice {
         family: winner.0,
         ks_distances: ks.clone(),

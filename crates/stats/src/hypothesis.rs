@@ -4,6 +4,7 @@
 //! stationary windows*. The chi-square Poisson dispersion test and the KS
 //! exponential-interarrival test make that argument executable.
 
+use crate::fit::FitError;
 use crate::special::{gamma_q, ks_q};
 use serde::{Deserialize, Serialize};
 
@@ -42,28 +43,31 @@ pub fn ks_distance(sorted: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
 ///
 /// Sorts internally. Uses the asymptotic p-value with the Stephens
 /// small-sample correction `(√n + 0.12 + 0.11/√n)·D`.
-pub fn ks_test(data: &[f64], cdf: impl Fn(f64) -> f64) -> TestResult {
-    assert!(!data.is_empty(), "KS test on empty sample");
+///
+/// Degenerate input (an empty sample) is an error, not a panic.
+pub fn ks_test(data: &[f64], cdf: impl Fn(f64) -> f64) -> Result<TestResult, FitError> {
+    if data.is_empty() {
+        return Err(FitError::new("KS test on empty sample"));
+    }
     let mut sorted = data.to_vec();
     sorted.sort_unstable_by(f64::total_cmp);
     let d = ks_distance(&sorted, cdf);
     let sn = (sorted.len() as f64).sqrt();
     let lambda = (sn + 0.12 + 0.11 / sn) * d;
-    TestResult {
+    Ok(TestResult {
         statistic: d,
         p_value: ks_q(lambda),
-    }
+    })
 }
 
 /// Two-sample Kolmogorov–Smirnov test.
 ///
 /// Tests whether `a` and `b` come from the same distribution. This is what
 /// the paper's Fig 5-vs-Fig 6 "surprisingly similar" comparison amounts to.
-pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
-    assert!(
-        !a.is_empty() && !b.is_empty(),
-        "KS two-sample on empty input"
-    );
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<TestResult, FitError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(FitError::new("KS two-sample on empty input"));
+    }
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
     sa.sort_unstable_by(f64::total_cmp);
@@ -87,10 +91,10 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
     let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
     let sn = ne.sqrt();
     let lambda = (sn + 0.12 + 0.11 / sn) * d;
-    TestResult {
+    Ok(TestResult {
         statistic: d,
         p_value: ks_q(lambda),
-    }
+    })
 }
 
 /// Chi-square goodness-of-fit test from observed and expected bin counts.
@@ -98,8 +102,21 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
 /// Bins with expected count below `min_expected` (conventionally 5) are
 /// pooled into their neighbor. `ddof` is the number of parameters estimated
 /// from the data (subtracted from the degrees of freedom along with 1).
-pub fn chi_square_test(observed: &[f64], expected: &[f64], ddof: usize) -> Option<TestResult> {
-    assert_eq!(observed.len(), expected.len(), "bin count mismatch");
+///
+/// Errors on mismatched bin vectors or when pooling leaves too few bins
+/// for the requested degrees of freedom.
+pub fn chi_square_test(
+    observed: &[f64],
+    expected: &[f64],
+    ddof: usize,
+) -> Result<TestResult, FitError> {
+    if observed.len() != expected.len() {
+        return Err(FitError::new(format!(
+            "bin count mismatch: {} observed vs {} expected",
+            observed.len(),
+            expected.len()
+        )));
+    }
     const MIN_EXPECTED: f64 = 5.0;
     // Pool small-expectation bins left to right.
     let mut obs_pooled = Vec::new();
@@ -122,12 +139,14 @@ pub fn chi_square_test(observed: &[f64], expected: &[f64], ddof: usize) -> Optio
             *lo += o_acc;
             *le += e_acc;
         } else {
-            return None;
+            return Err(FitError::new("all expected counts pooled to zero"));
         }
     }
     let k = obs_pooled.len();
     if k <= 1 + ddof {
-        return None;
+        return Err(FitError::new(format!(
+            "only {k} bins after pooling with ddof {ddof}"
+        )));
     }
     let stat: f64 = obs_pooled
         .iter()
@@ -136,7 +155,7 @@ pub fn chi_square_test(observed: &[f64], expected: &[f64], ddof: usize) -> Optio
         .sum();
     let dof = (k - 1 - ddof) as f64;
     // p-value = Q(dof/2, stat/2).
-    Some(TestResult {
+    Ok(TestResult {
         statistic: stat,
         p_value: gamma_q(dof / 2.0, stat / 2.0),
     })
@@ -148,14 +167,16 @@ pub fn chi_square_test(observed: &[f64], expected: &[f64], ddof: usize) -> Optio
 /// `D = (n−1)·s² / x̄` is asymptotically chi-square with `n−1` dof.
 /// This is the classic test for "are these per-window arrival counts
 /// Poisson?" used to validate §3.4's piecewise-stationarity claim.
-pub fn poisson_dispersion_test(counts: &[u64]) -> Option<TestResult> {
+///
+/// Errors on degenerate input: fewer than two counts, or all zeros.
+pub fn poisson_dispersion_test(counts: &[u64]) -> Result<TestResult, FitError> {
     if counts.len() < 2 {
-        return None;
+        return Err(FitError::new("dispersion test needs >= 2 counts"));
     }
     let n = counts.len() as f64;
     let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
     if mean == 0.0 {
-        return None;
+        return Err(FitError::new("dispersion test on all-zero counts"));
     }
     let ss: f64 = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum();
     let stat = ss / mean; // = (n-1) s² / x̄ with s² the unbiased variance
@@ -163,7 +184,7 @@ pub fn poisson_dispersion_test(counts: &[u64]) -> Option<TestResult> {
     // Two-sided: both over- and under-dispersion refute Poisson.
     let upper = gamma_q(dof / 2.0, stat / 2.0);
     let lower = 1.0 - upper;
-    Some(TestResult {
+    Ok(TestResult {
         statistic: stat,
         p_value: 2.0 * upper.min(lower),
     })
@@ -180,7 +201,7 @@ mod tests {
         let d = Exponential::new(0.5).unwrap();
         let mut rng = SeedStream::new(601).rng("ks1");
         let xs = d.sample_n(&mut rng, 5_000);
-        let r = ks_test(&xs, |x| d.cdf(x));
+        let r = ks_test(&xs, |x| d.cdf(x)).unwrap();
         assert!(r.accepts(0.01), "p = {}", r.p_value);
     }
 
@@ -190,7 +211,7 @@ mod tests {
         let wrong = Exponential::with_mean(100.0).unwrap();
         let mut rng = SeedStream::new(602).rng("ks2");
         let xs = d.sample_n(&mut rng, 5_000);
-        let r = ks_test(&xs, |x| wrong.cdf(x));
+        let r = ks_test(&xs, |x| wrong.cdf(x)).unwrap();
         assert!(!r.accepts(0.01), "p = {}", r.p_value);
     }
 
@@ -200,7 +221,7 @@ mod tests {
         let mut rng = SeedStream::new(603).rng("ks3");
         let a = d.sample_n(&mut rng, 4_000);
         let b = d.sample_n(&mut rng, 4_000);
-        let r = ks_two_sample(&a, &b);
+        let r = ks_two_sample(&a, &b).unwrap();
         assert!(r.accepts(0.01), "p = {}", r.p_value);
     }
 
@@ -211,7 +232,7 @@ mod tests {
         let mut rng = SeedStream::new(604).rng("ks4");
         let a = d1.sample_n(&mut rng, 4_000);
         let b = d2.sample_n(&mut rng, 4_000);
-        let r = ks_two_sample(&a, &b);
+        let r = ks_two_sample(&a, &b).unwrap();
         assert!(!r.accepts(0.01), "p = {}", r.p_value);
     }
 
@@ -233,7 +254,7 @@ mod tests {
         let obs = [50.0, 1.0, 1.0, 48.0];
         let exp = [49.0, 2.0, 2.0, 47.0];
         // Expected counts 2 and 2 get pooled; the test still runs.
-        assert!(chi_square_test(&obs, &exp, 0).is_some());
+        assert!(chi_square_test(&obs, &exp, 0).is_ok());
     }
 
     #[test]
@@ -266,8 +287,25 @@ mod tests {
 
     #[test]
     fn dispersion_degenerate_inputs() {
-        assert!(poisson_dispersion_test(&[]).is_none());
-        assert!(poisson_dispersion_test(&[3]).is_none());
-        assert!(poisson_dispersion_test(&[0, 0, 0]).is_none());
+        assert!(poisson_dispersion_test(&[]).is_err());
+        assert!(poisson_dispersion_test(&[3]).is_err());
+        assert!(poisson_dispersion_test(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn ks_degenerate_inputs_error_instead_of_panicking() {
+        assert!(ks_test(&[], |x| x).is_err());
+        assert!(ks_two_sample(&[], &[1.0]).is_err());
+        assert!(ks_two_sample(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn chi_square_degenerate_inputs_error_instead_of_panicking() {
+        // Mismatched bin vectors used to assert; now they report.
+        assert!(chi_square_test(&[1.0, 2.0], &[1.0], 0).is_err());
+        // All-zero expectations cannot be pooled.
+        assert!(chi_square_test(&[0.0, 0.0], &[0.0, 0.0], 0).is_err());
+        // Too many estimated parameters for the pooled bin count.
+        assert!(chi_square_test(&[50.0, 50.0], &[50.0, 50.0], 5).is_err());
     }
 }

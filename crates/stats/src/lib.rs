@@ -48,7 +48,6 @@
 //! assert!((fit.sigma - 1.427247).abs() < 0.05);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // `!(x > 0.0)` in parameter validation is deliberate: unlike `x <= 0.0` it
 // also rejects NaN, which is exactly the point of those guards.

@@ -20,7 +20,7 @@ use proptest::prelude::*;
 fn check_continuous<D: Continuous>(d: &D, xs: &[f64]) {
     let mut prev = 0.0;
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     for &x in &sorted {
         let c = d.cdf(x);
         assert!((0.0..=1.0).contains(&c), "cdf({x}) = {c} out of range");

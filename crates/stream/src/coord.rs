@@ -50,11 +50,12 @@ impl CpuAudit {
 
     /// Folds every bin strictly below `watermark` into the totals.
     pub fn flush_below(&mut self, watermark: u32) {
-        while let Some((&t, _)) = self.bins.first_key_value() {
+        while let Some((t, (sum, n))) = self.bins.pop_first() {
             if t >= watermark {
+                // Put the bin back: it may still receive samples.
+                self.bins.insert(t, (sum, n));
                 break;
             }
-            let (_, (sum, n)) = self.bins.pop_first().expect("checked non-empty");
             self.done_bins += 1;
             let avg = sum as f64 / CPU_SCALE / f64::from(n);
             if avg < f64::from(lsw_trace::sanitize::CPU_THRESHOLD) {

@@ -344,7 +344,10 @@ impl StreamAnalyzer {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("parse worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(out) => out,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect::<Vec<_>>()
             })
         };
@@ -367,11 +370,14 @@ impl StreamAnalyzer {
         }
         self.peak_heap = self.peak_heap.max(self.heap.len());
         let watermark = self.max_start.max(self.max_ts.saturating_sub(self.max_dur));
-        while let Some(Reverse(p)) = self.heap.peek() {
-            if p.start >= watermark {
+        while self
+            .heap
+            .peek()
+            .is_some_and(|Reverse(p)| p.start < watermark)
+        {
+            let Some(Reverse(p)) = self.heap.pop() else {
                 break;
-            }
-            let Reverse(p) = self.heap.pop().expect("peeked");
+            };
             self.coord.process(&p.entry);
         }
         self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
@@ -390,6 +396,7 @@ impl StreamAnalyzer {
 
         // Merge shard sketches in shard-index order.
         let mut shards = self.shards.into_iter();
+        // lsw::allow(L005): the constructor always allocates >= 1 shard
         let mut merged = shards.next().expect("at least one shard");
         for s in shards {
             merged.merge(&s);

@@ -30,7 +30,6 @@
 //! Entry point: [`ingest::StreamAnalyzer`]; the result is a
 //! [`report::StreamReport`].
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coord;

@@ -96,7 +96,9 @@ impl ClientSample {
             );
             return;
         }
-        let (&max_h, _) = self.keys.last_key_value().expect("non-empty at capacity");
+        let Some((&max_h, _)) = self.keys.last_key_value() else {
+            return; // unreachable: len() >= k >= 1 here, but do not panic
+        };
         if h < max_h {
             self.keys.pop_last();
             self.keys.insert(
@@ -132,7 +134,9 @@ impl ClientSample {
         if self.keys.len() < self.k {
             return self.keys.len() as f64; // exhaustive: exact
         }
-        let (&kth, _) = self.keys.last_key_value().expect("at capacity");
+        let Some((&kth, _)) = self.keys.last_key_value() else {
+            return self.keys.len() as f64; // unreachable: len() >= k >= 1
+        };
         // P(hash < kth) ≈ kth / 2^64; (k-1)/U is the unbiased KMV estimator.
         let u = kth as f64 / 18_446_744_073_709_551_616.0;
         (self.k as f64 - 1.0) / u

@@ -13,7 +13,7 @@
 //! the watermark, so their gap already exceeds the timeout) and it is
 //! closed eagerly by [`StreamSessionizer::prune_before`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A completed session, emitted exactly once.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,10 +44,15 @@ struct Active {
 }
 
 /// One-pass sessionizer over the re-ordered entry stream.
+///
+/// The active map is a `BTreeMap` on purpose: [`Self::prune_before`] and
+/// [`Self::finish`] emit closed sessions in iteration order, and those
+/// feed order-sensitive downstream sketches — client-id order must not
+/// depend on the process hash seed.
 #[derive(Debug)]
 pub struct StreamSessionizer {
     timeout: f64,
-    active: HashMap<u32, Active>,
+    active: BTreeMap<u32, Active>,
     peak_active: usize,
 }
 
@@ -56,7 +61,7 @@ impl StreamSessionizer {
     pub fn new(timeout: f64) -> Self {
         Self {
             timeout,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             peak_active: 0,
         }
     }
@@ -74,7 +79,7 @@ impl StreamSessionizer {
         closed: &mut Vec<ClosedSession>,
     ) -> Option<u32> {
         match self.active.entry(client) {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
+            std::collections::btree_map::Entry::Occupied(mut o) => {
                 let a = o.get_mut();
                 let gap = f64::from(start) - f64::from(a.end);
                 if gap > self.timeout {
@@ -100,7 +105,7 @@ impl StreamSessionizer {
                     Some(iat)
                 }
             }
-            std::collections::hash_map::Entry::Vacant(v) => {
+            std::collections::btree_map::Entry::Vacant(v) => {
                 v.insert(Active {
                     start,
                     end: stop,
@@ -156,10 +161,10 @@ impl StreamSessionizer {
         self.peak_active
     }
 
-    /// Approximate resident bytes of the active-session map.
+    /// Approximate resident bytes of the active-session map (B-tree nodes
+    /// carry roughly one key/value pair plus pointer overhead per entry).
     pub fn bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.active.capacity() * 2 * (4 + std::mem::size_of::<Active>())
+        std::mem::size_of::<Self>() + self.active.len() * (4 + std::mem::size_of::<Active>() + 16)
     }
 }
 

@@ -63,12 +63,17 @@ impl<K: Ord + Clone> SpaceSaving<K> {
         }
         // Evict the deterministic minimum by (count, error, key).
         self.saturated = true;
-        let victim = self
+        let Some(victim) = self
             .counters
             .iter()
             .min_by(|a, b| (a.1.count, a.1.error, a.0).cmp(&(b.1.count, b.1.error, b.0)))
             .map(|(k, c)| (k.clone(), *c))
-            .expect("capacity >= 1 so a victim exists");
+        else {
+            // Unreachable: capacity >= 1 and the map is full here.
+            self.counters
+                .insert(key.clone(), Counter { count: 1, error: 0 });
+            return;
+        };
         self.counters.remove(&victim.0);
         self.counters.insert(
             key.clone(),

@@ -95,7 +95,9 @@ impl AccessMix {
             acc += w / total;
             cum.push(acc);
         }
-        *cum.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
         Self {
             classes: mix.iter().map(|&(c, _)| c).collect(),
             cum,

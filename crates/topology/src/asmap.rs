@@ -48,6 +48,7 @@ impl Default for AsRegistryConfig {
         let mut shares = Vec::new();
         let mut frac = 0.025;
         for (i, code) in CountryCode::PAPER_COUNTRIES.iter().enumerate() {
+            // lsw::allow(L005): PAPER_COUNTRIES holds valid static codes
             let c = CountryCode::new(code).expect("static codes are valid");
             if i == 0 {
                 shares.push((c, 0.97));
@@ -83,6 +84,7 @@ impl AsRegistry {
             "need at least one country"
         );
         let zipf = ZipfTable::new(config.n_ases as u64, config.zipf_exponent)
+            // lsw::allow(L005): TopologyConfig::validate checked both params
             .expect("validated parameters");
 
         // Normalize country shares.
@@ -118,8 +120,7 @@ impl AsRegistry {
                     .enumerate()
                     .map(|(i, &(_, target))| (i, target - assigned[i]))
                     .max_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("non-empty shares")
-                    .0
+                    .map_or(0, |(i, _)| i)
             };
             assigned[ci] += w;
             // Address block: each AS gets a unique /12-sized region (16
@@ -152,11 +153,13 @@ impl AsRegistry {
             acc += a.weight;
             cum.push(acc);
         }
-        let last = *cum.last().expect("non-empty");
+        let last = cum.last().copied().unwrap_or(1.0);
         for c in &mut cum {
             *c /= last;
         }
-        *cum.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
         Self { ases, cum }
     }
 

@@ -14,7 +14,6 @@
 //! * [`client`] — the client population: per-client home AS, shared IP
 //!   allocation (≈1.9 users/IP as in Table 1), and access class.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;

@@ -84,7 +84,10 @@ impl ConcurrencyProfile {
                 .collect();
             handles
                 .into_iter()
-                .map(|hd| hd.join().expect("concurrency worker panicked"))
+                .map(|hd| match hd.join() {
+                    Ok(delta) => delta,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         let mut total = vec![0i32; h + 1];

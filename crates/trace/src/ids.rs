@@ -123,6 +123,7 @@ impl CountryCode {
 
     /// The code as a `&str`.
     pub fn as_str(&self) -> &str {
+        // lsw::allow(L005): new() only accepts two ASCII uppercase bytes
         std::str::from_utf8(&self.0).expect("constructed from ASCII")
     }
 

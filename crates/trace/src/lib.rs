@@ -25,7 +25,6 @@
 //! emit [`event::LogEntry`] values, and the characterizer (`lsw-analysis`)
 //! consumes them through [`trace::Trace`].
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod concurrency;

@@ -15,7 +15,7 @@ use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
 
 /// Why an entry was rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RejectReason {
     /// Duration exceeds the whole trace period (the paper's harvest-spanning
     /// anomaly).
@@ -94,7 +94,7 @@ pub fn sanitize(entries: Vec<LogEntry>, horizon: u32) -> (Trace, SanitizeReport)
         }
     }
     let under_bins = bin_sum
-        .values()
+        .values() // lsw::allow(L001): count() of a predicate is order-insensitive
         .filter(|(s, n)| s / f64::from(*n) < f64::from(CPU_THRESHOLD))
         .count();
     let underload_time_fraction = if bin_sum.is_empty() {
@@ -108,8 +108,11 @@ pub fn sanitize(entries: Vec<LogEntry>, horizon: u32) -> (Trace, SanitizeReport)
         under_transfers as f64 / kept.len() as f64
     };
 
+    // The sort key below is a total order (count desc, then reason), so
+    // the hash-ordered starting permutation cannot reach the output.
+    // lsw::allow(L001): re-sorted below under a total order
     let mut rejects: Vec<(RejectReason, usize)> = counts.into_iter().collect();
-    rejects.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    rejects.sort_by_key(|&(reason, n)| (std::cmp::Reverse(n), reason));
 
     let report = SanitizeReport {
         examined,

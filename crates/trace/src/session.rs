@@ -108,7 +108,10 @@ impl Sessions {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("sessionizer worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(shard) => shard,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
         };
@@ -239,7 +242,10 @@ impl Sessions {
 
     /// Sessions per client, as counts keyed by client (Fig 7 right).
     pub fn session_counts_per_client(&self) -> Vec<u64> {
-        let mut counts: std::collections::HashMap<ClientId, u64> = std::collections::HashMap::new();
+        // BTreeMap: RankFrequency keeps insertion order for tied counts, so
+        // the count vector must come out in a process-independent order.
+        let mut counts: std::collections::BTreeMap<ClientId, u64> =
+            std::collections::BTreeMap::new();
         for s in &self.sessions {
             *counts.entry(s.client).or_insert(0) += 1;
         }
@@ -339,7 +345,9 @@ fn sessionize_run(order: &[u32], entries: &[LogEntry], timeout: f64) -> (Vec<Ses
 /// Transfers per client, as counts (Fig 7 left). Lives here (not on
 /// [`Sessions`]) because it needs only the trace.
 pub fn transfer_counts_per_client(trace: &Trace) -> Vec<u64> {
-    let mut counts: std::collections::HashMap<ClientId, u64> = std::collections::HashMap::new();
+    // BTreeMap for the same reason as `session_counts_per_client`: tied
+    // counts must rank in a process-independent order.
+    let mut counts: std::collections::BTreeMap<ClientId, u64> = std::collections::BTreeMap::new();
     for e in trace.entries() {
         *counts.entry(e.client).or_insert(0) += 1;
     }

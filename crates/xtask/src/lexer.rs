@@ -1,0 +1,391 @@
+//! A minimal Rust token scanner: just enough lexical structure for the
+//! lint rules in [`crate::rules`].
+//!
+//! This is deliberately *not* a parser. The rules this workspace enforces
+//! (hash-order iteration, ambient nondeterminism, float accumulation,
+//! unordered reductions, panicking calls) are all recognizable from short
+//! token sequences plus brace structure, and a hand-rolled scanner keeps
+//! the linter dependency-free in an offline build environment where `syn`
+//! is unavailable. The scanner understands the lexical constructs that
+//! would otherwise produce false tokens: line/block comments (nested),
+//! string and raw-string literals (including `b"…"`/`br#"…"#`), char
+//! literals vs. lifetimes, and numeric literals.
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (bytes).
+    pub col: usize,
+}
+
+/// The token classes the lint rules care about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation byte (`.`, `:`, `+`, `=`, `{`, …).
+    Punct(char),
+    /// Numeric, string, byte-string or char literal (content discarded).
+    Literal,
+    /// A lifetime such as `'a` (content discarded).
+    Lifetime,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(t) if t == s)
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment with the line it starts on. Used for `lsw::allow` opt-outs.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: usize,
+    /// Raw comment text including the delimiters.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `src` into tokens and comments. Never fails: unterminated
+/// constructs simply consume to end of input (the real compiler will
+/// reject such files anyway; the linter stays quiet rather than guessing).
+pub fn lex(src: &str) -> Lexed {
+    Scanner::new(src).run()
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Lexed,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: usize, col: usize) {
+        self.out.tokens.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Literal, line, col);
+                }
+                b'\'' => self.quote(line, col),
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Literal, line, col);
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let ident = self.ident_text();
+                    // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`: the prefix lexes
+                    // as an identifier; the quote that follows makes it a
+                    // string literal instead.
+                    let raw_capable = matches!(ident.as_str(), "r" | "br");
+                    let str_capable = matches!(ident.as_str(), "r" | "b" | "br");
+                    if str_capable && self.peek(0) == Some(b'"') {
+                        self.string_literal();
+                        self.push(TokenKind::Literal, line, col);
+                    } else if raw_capable && self.peek(0) == Some(b'#') {
+                        self.raw_string_literal();
+                        self.push(TokenKind::Literal, line, col);
+                    } else {
+                        self.push(TokenKind::Ident(ident), line, col);
+                    }
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(b as char), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn ident_text(&mut self) -> String {
+        let start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Consumes a `"…"` literal (escapes honored). The opening quote (or a
+    /// `b`/`r` prefix) has already positioned `pos` at the `"` byte.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes `#…#"…"#…#` after an `r`/`br` prefix (pos is at first `#`).
+    fn raw_string_literal(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // `r#foo` raw identifier, not a string — already lexed
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for _ in 0..hashes {
+                    if self.peek(0) != Some(b'#') {
+                        continue 'outer;
+                    }
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        while matches!(
+            self.peek(0),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        // Fractional part — but not the `..` of a range expression.
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(0), Some(b'0'..=b'9' | b'_' | b'e' | b'E')) {
+                self.bump();
+            }
+        }
+    }
+
+    /// Disambiguates a lifetime (`'a`) from a char literal (`'x'`, `'\n'`).
+    fn quote(&mut self, line: usize, col: usize) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') => after == Some(b'\''),
+            Some(_) => true, // e.g. '+' — a char literal
+            None => false,
+        };
+        if is_char {
+            self.bump(); // opening quote
+            while let Some(b) = self.bump() {
+                match b {
+                    b'\\' => {
+                        self.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::Literal, line, col);
+        } else {
+            self.bump(); // the `'`
+            while matches!(
+                self.peek(0),
+                Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+            ) {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, line, col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let l = lex("// unwrap()\n/* panic! */ foo");
+        assert_eq!(idents("// unwrap()\n/* panic! */ foo"), ["foo"]);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "unwrap() panic!"; t"#), ["let", "s", "t"]);
+        assert_eq!(
+            idents(r##"let s = r#"thread_rng()"#; t"##),
+            ["let", "s", "t"]
+        );
+        assert_eq!(idents(r#"let s = b"SystemTime"; t"#), ["let", "s", "t"]);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        assert_eq!(idents(r#"let s = "a\"unwrap"; t"#), ["let", "s", "t"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let lits = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 1, "'x' is a char literal");
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<usize> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* a /* b */ c */ d"), ["d"]);
+    }
+
+    #[test]
+    fn numbers_including_ranges() {
+        let l = lex("0..10 1.5e3 0xff_u8");
+        let puncts: Vec<char> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, ['.', '.'], "range dots survive as punctuation");
+    }
+}

@@ -1,0 +1,169 @@
+//! `lsw-xtask`: workspace static analysis for the lsw determinism and
+//! soundness invariants.
+//!
+//! Entry point is `cargo xtask lint` (aliased in `.cargo/config.toml`).
+//! The pass walks every first-party crate's `src/` tree, tokenizes each
+//! file with the scanner in [`lexer`], and applies the five project
+//! rules in [`rules`] (L001–L005). See `DESIGN.md` §10 for the rule
+//! catalog and rationale.
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use rules::{Diagnostic, RuleId};
+use std::path::Path;
+
+/// A diagnostic bound to the file it was found in.
+#[derive(Debug, Clone)]
+pub struct FileDiagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    pub diag: Diagnostic,
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    pub findings: Vec<FileDiagnostic>,
+    /// Number of files scanned.
+    pub scanned: usize,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report, one `path:line:col` row per
+    /// finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: {} {}\n",
+                f.path,
+                f.diag.line,
+                f.diag.col,
+                f.diag.rule.id(),
+                f.diag.message
+            ));
+        }
+        let files: std::collections::BTreeSet<&str> =
+            self.findings.iter().map(|f| f.path.as_str()).collect();
+        out.push_str(&format!(
+            "lsw-xtask lint: {} violation(s) in {} file(s); {} file(s) scanned\n",
+            self.findings.len(),
+            files.len(),
+            self.scanned
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report. Hand-rolled JSON keeps the
+    /// tool free of serializer dependencies; field order and array order
+    /// are deterministic (findings are sorted by path, then position).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}{}\n",
+                f.diag.rule.id(),
+                json_escape(&f.path),
+                f.diag.line,
+                f.diag.col,
+                json_escape(&f.diag.message),
+                if i + 1 == self.findings.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"total\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.findings.len(),
+            self.scanned
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Options for a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Lint only files changed relative to `diff_base` (plus untracked).
+    pub diff_only: bool,
+    /// Git rev to diff against; defaults to `HEAD`.
+    pub diff_base: Option<String>,
+    /// Explicit file list (workspace-relative); overrides discovery.
+    pub paths: Vec<String>,
+}
+
+/// Runs the full lint pass over the workspace rooted at `root`.
+pub fn run_lint(root: &Path, opts: &LintOptions) -> Result<LintReport, String> {
+    // Explicit paths are linted verbatim — the caller named them, so the
+    // default "first-party src only" scope filter does not apply (a missing
+    // path is an error, not a silent zero-file scan).
+    let files = if !opts.paths.is_empty() {
+        let mut files = Vec::new();
+        for p in &opts.paths {
+            let abs = root.join(p);
+            if !abs.is_file() {
+                return Err(format!("no such file: {p}"));
+            }
+            files.push(workspace::LintFile {
+                class: workspace::classify(p),
+                rel_path: p.clone(),
+                abs_path: abs,
+            });
+        }
+        files
+    } else {
+        workspace::workspace_files(root).map_err(|e| format!("walking crates/: {e}"))?
+    };
+    let mut files = files;
+    if opts.paths.is_empty() && opts.diff_only {
+        let base = opts.diff_base.as_deref().unwrap_or("HEAD");
+        let changed = workspace::changed_files(root, base)?;
+        let changed: std::collections::BTreeSet<String> = changed.into_iter().collect();
+        files.retain(|f| changed.contains(&f.rel_path));
+    }
+
+    let mut report = LintReport {
+        scanned: files.len(),
+        ..LintReport::default()
+    };
+    for file in &files {
+        let src = std::fs::read_to_string(&file.abs_path)
+            .map_err(|e| format!("reading {}: {e}", file.rel_path))?;
+        for diag in rules::lint_source(&file.class, &src) {
+            report.findings.push(FileDiagnostic {
+                path: file.rel_path.clone(),
+                diag,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Renders the `--list-rules` catalog.
+pub fn render_rules() -> String {
+    let mut out = String::new();
+    for rule in RuleId::all() {
+        out.push_str(&format!("{}  {}\n", rule.id(), rule.summary()));
+    }
+    out
+}

@@ -1,0 +1,818 @@
+//! The five lsw lint rules.
+//!
+//! Each rule guards a piece of the workspace's headline guarantee —
+//! bit-identical reports at any thread/shard count — or the soundness
+//! discipline around it:
+//!
+//! * **L001** — no iteration over hash-ordered collections
+//!   (`HashMap`/`HashSet`). Hash iteration order is randomized per
+//!   process; one such loop feeding a report breaks byte-identity.
+//! * **L002** — no ambient nondeterminism (`thread_rng`, `rand::random`,
+//!   `SystemTime::now`, `Instant::now`) in the deterministic crates.
+//!   All randomness must flow through the counter-keyed substream API
+//!   (`lsw_stats::rng::SeedStream`).
+//! * **L003** — no `f64`/`f32` `+=` accumulation on fields of types that
+//!   participate in shard merge. Float addition is non-associative, so
+//!   merge order would leak into results; shard-merged sums use the
+//!   `lsw_stream::fixed` i128 fixed-point accumulators.
+//! * **L004** — no unordered `rayon` reductions (`reduce`, `sum`) outside
+//!   the blessed k-way-merge modules.
+//! * **L005** — no `unwrap()`/`expect()`/`panic!` in library crates'
+//!   non-test code (CLI binaries and tests are exempt).
+//!
+//! ## Opt-out
+//!
+//! A violation can be waived with a source comment on the same line or
+//! the line directly above:
+//!
+//! ```text
+//! // lsw::allow(L001): keys are sorted into a Vec before output
+//! for (k, v) in map.iter() { … }
+//! ```
+//!
+//! `// lsw::allow-file(L00X): reason` anywhere in a file waives the rule
+//! for the whole file. The reason text is mandatory: an allow without a
+//! `:` is ignored (and therefore still fires).
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    L001,
+    L002,
+    L003,
+    L004,
+    L005,
+}
+
+impl RuleId {
+    /// The stable id string used in diagnostics and allow comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::L001 => "L001",
+            RuleId::L002 => "L002",
+            RuleId::L003 => "L003",
+            RuleId::L004 => "L004",
+            RuleId::L005 => "L005",
+        }
+    }
+
+    /// One-line description, for `--list-rules` output.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::L001 => "no iteration over hash-ordered collections (HashMap/HashSet)",
+            RuleId::L002 => "no ambient nondeterminism (thread_rng/random/SystemTime/Instant)",
+            RuleId::L003 => "no f64/f32 `+=` on fields of shard-merge participants",
+            RuleId::L004 => "no unordered rayon reductions outside blessed merge modules",
+            RuleId::L005 => "no unwrap/expect/panic! in library non-test code",
+        }
+    }
+
+    /// All rules, in id order.
+    pub fn all() -> [RuleId; 5] {
+        [
+            RuleId::L001,
+            RuleId::L002,
+            RuleId::L003,
+            RuleId::L004,
+            RuleId::L005,
+        ]
+    }
+}
+
+/// One lint finding within a single file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    pub message: String,
+}
+
+/// How a file participates in the workspace, which decides rule scope.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// The crate directory name under `crates/` (e.g. `stream`).
+    pub crate_name: String,
+    /// True for `src/bin/*` files and `src/main.rs` (CLI entrypoints).
+    pub is_bin: bool,
+    /// True for modules blessed to use unordered reductions (the k-way
+    /// merge implementations themselves).
+    pub blessed_reduction: bool,
+}
+
+/// Crates whose library code must be free of ambient nondeterminism
+/// (L002). These are the crates on the deterministic generate/analyze
+/// path; `figures` and `bench` time themselves with `Instant` by design.
+const L002_CRATES: &[&str] = &[
+    "core",
+    "stream",
+    "simulator",
+    "stats",
+    "trace",
+    "analysis",
+    "topology",
+];
+
+/// Crates exempt from L005 wholesale: the CLI front-end.
+const L005_EXEMPT_CRATES: &[&str] = &["lsw"];
+
+/// Methods that iterate a collection in storage order (L001).
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "par_iter",
+    "par_iter_mut",
+];
+
+/// Rayon parallel-iterator constructors (L004 chain start).
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_windows",
+];
+
+/// Unordered rayon combinators (L004 chain sink).
+const PAR_SINKS: &[&str] = &["reduce", "reduce_with", "sum", "unordered_fold"];
+
+/// Lints one file's source text under the given classification.
+pub fn lint_source(class: &FileClass, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let ctx = Ctx::new(class, &lexed);
+    let mut diags = Vec::new();
+    rule_l001(&ctx, &mut diags);
+    rule_l002(&ctx, &mut diags);
+    rule_l003(&ctx, &mut diags);
+    rule_l004(&ctx, &mut diags);
+    rule_l005(&ctx, &mut diags);
+    diags.retain(|d| !ctx.allowed(d.rule, d.line));
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    diags
+}
+
+/// Per-file analysis context shared by all rules.
+struct Ctx<'a> {
+    class: &'a FileClass,
+    toks: &'a [Token],
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(usize, usize)>,
+    /// (rule, line) pairs waived by `lsw::allow` comments.
+    line_allows: BTreeSet<(&'static str, usize)>,
+    /// Rules waived file-wide by `lsw::allow-file` comments.
+    file_allows: BTreeSet<&'static str>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(class: &'a FileClass, lexed: &'a Lexed) -> Self {
+        let toks = &lexed.tokens[..];
+        let mut line_allows = BTreeSet::new();
+        let mut file_allows = BTreeSet::new();
+        for c in &lexed.comments {
+            for (rule, file_wide) in parse_allows(&c.text) {
+                if file_wide {
+                    file_allows.insert(rule);
+                } else {
+                    // A trailing comment waives its own line; a standalone
+                    // comment waives the line that follows it.
+                    line_allows.insert((rule, c.line));
+                    line_allows.insert((rule, c.end_line + 1));
+                }
+            }
+        }
+        Self {
+            class,
+            toks,
+            test_spans: test_spans(toks),
+            line_allows,
+            file_allows,
+        }
+    }
+
+    fn in_test(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn allowed(&self, rule: RuleId, line: usize) -> bool {
+        self.file_allows.contains(rule.id()) || self.line_allows.contains(&(rule.id(), line))
+    }
+
+    /// Pushes a diagnostic unless the site is inside test code.
+    fn flag(&self, diags: &mut Vec<Diagnostic>, rule: RuleId, tok: &Token, message: String) {
+        if !self.in_test(tok.line) {
+            diags.push(Diagnostic {
+                rule,
+                line: tok.line,
+                col: tok.col,
+                message,
+            });
+        }
+    }
+}
+
+/// Extracts `(rule, is_file_wide)` pairs from one comment's text. Only
+/// annotations carrying a `:`-separated reason count.
+fn parse_allows(text: &str) -> Vec<(&'static str, bool)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("lsw::allow") {
+        rest = &rest[pos + "lsw::allow".len()..];
+        let file_wide = rest.starts_with("-file");
+        let body = rest.trim_start_matches("-file");
+        let Some(body) = body.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        // Reason required: `)` must be followed by `: <text>`.
+        let after = body[close + 1..].trim_start();
+        if !after.starts_with(':') || after[1..].trim().is_empty() {
+            continue;
+        }
+        for name in body[..close].split(',') {
+            let name = name.trim().trim_start_matches("lsw::");
+            for rule in RuleId::all() {
+                if rule.id().eq_ignore_ascii_case(name) {
+                    out.push((rule.id(), file_wide));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Finds the inclusive line spans of `#[cfg(test)]` and `#[test]` items.
+fn test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            if let Some((is_test, close)) = parse_attr(toks, i + 1) {
+                if is_test {
+                    if let Some(span) = item_body_span(toks, close + 1) {
+                        spans.push(span);
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Parses the attribute starting at the `[` token index. Returns
+/// `(is_test_attr, index_of_closing_bracket)`.
+fn parse_attr(toks: &[Token], open: usize) -> Option<(bool, usize)> {
+    let mut depth = 0usize;
+    let mut close = None;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close?;
+    let body = &toks[open + 1..close];
+    // `#[test]`
+    let is_test = matches!(body, [t] if t.is_ident("test"))
+        // `#[cfg(test)]`
+        || matches!(body,
+            [c, p1, t, p2]
+                if c.is_ident("cfg") && p1.is_punct('(') && t.is_ident("test") && p2.is_punct(')'));
+    Some((is_test, close))
+}
+
+/// From just after an attribute, finds the `{ … }` body of the annotated
+/// item and returns its inclusive line span. Items ending in `;` (e.g.
+/// `#[cfg(test)] mod tests;`) have no inline body.
+fn item_body_span(toks: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut j = from;
+    // Skip any further attributes on the same item.
+    while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+        let (_, close) = parse_attr(toks, j + 1)?;
+        j = close + 1;
+    }
+    // Scan the item header for its opening brace.
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokenKind::Punct(';') => return None,
+            TokenKind::Punct('{') => break,
+            // Parenthesized default args etc. cannot contain `{` in a
+            // header position we care about; skip tokens until the brace.
+            _ => k += 1,
+        }
+    }
+    if k >= toks.len() {
+        return None;
+    }
+    let open_line = toks[j].line;
+    let mut depth = 0usize;
+    for t in &toks[k..] {
+        match &t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open_line, t.line));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open_line, toks.last().map_or(open_line, |t| t.line)))
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file: typed
+/// bindings and struct fields (`name: HashMap<…>`) and inferred `let`
+/// bindings (`let name = HashMap::new()`).
+fn hash_bound_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        // Pattern A: `name : [&] [mut] [std::collections::] HashMap/HashSet`
+        if t.is_punct(':')
+            && i > 0
+            && (i == 1 || !toks[i - 2].is_punct(':'))
+            && !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(name) = toks[i - 1].ident() {
+                let mut j = i + 1;
+                let mut hops = 0;
+                while j < toks.len() && hops < 8 {
+                    match &toks[j].kind {
+                        TokenKind::Ident(s) if s == "HashMap" || s == "HashSet" => {
+                            names.insert(name.to_owned());
+                            break;
+                        }
+                        TokenKind::Ident(s)
+                            if s == "std" || s == "collections" || s == "mut" || s == "dyn" =>
+                        {
+                            j += 1;
+                        }
+                        TokenKind::Punct(':') | TokenKind::Punct('&') => j += 1,
+                        TokenKind::Lifetime => j += 1,
+                        _ => break,
+                    }
+                    hops += 1;
+                }
+            }
+        }
+        // Pattern B: `let [mut] name = … HashMap/HashSet … ;`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).and_then(Token::ident) else {
+                continue;
+            };
+            if !toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                continue;
+            }
+            for t in toks.iter().skip(j + 2) {
+                match &t.kind {
+                    TokenKind::Ident(s) if s == "HashMap" || s == "HashSet" => {
+                        names.insert(name.to_owned());
+                        break;
+                    }
+                    TokenKind::Punct(';') => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}
+
+/// L001: iteration over hash-ordered collections.
+fn rule_l001(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let names = hash_bound_names(ctx.toks);
+    if names.is_empty() {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        // `name.iter()` and friends.
+        if let Some(name) = toks[i].ident() {
+            if names.contains(name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                && toks
+                    .get(i + 2)
+                    .and_then(Token::ident)
+                    .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            {
+                let method = toks[i + 2].ident().unwrap_or_default();
+                ctx.flag(
+                    diags,
+                    RuleId::L001,
+                    &toks[i + 2],
+                    format!(
+                        "iteration over hash-ordered collection `{name}` (`.{method}()`): order \
+                         is process-randomized; use a BTreeMap/BTreeSet, sort first, or annotate \
+                         `// lsw::allow(L001): <why order cannot reach output>`"
+                    ),
+                );
+            }
+        }
+        // `for pat in [&] [mut] name { … }`
+        if toks[i].is_ident("in") {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(Token::ident) {
+                if names.contains(name) && toks.get(j + 1).is_some_and(|t| t.is_punct('{')) {
+                    ctx.flag(
+                        diags,
+                        RuleId::L001,
+                        &toks[j],
+                        format!(
+                            "`for … in {name}` iterates a hash-ordered collection: order is \
+                             process-randomized; use a BTreeMap/BTreeSet, sort first, or annotate \
+                             `// lsw::allow(L001): <why order cannot reach output>`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// L002: ambient nondeterminism in deterministic crates.
+fn rule_l002(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if ctx.class.is_bin || !L002_CRATES.contains(&ctx.class.crate_name.as_str()) {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        let flagged = match name {
+            "thread_rng" | "from_entropy" => Some(name.to_owned()),
+            "SystemTime" | "Instant" if path_call(toks, i, "now") => Some(format!("{name}::now")),
+            "rand" if path_call(toks, i, "random") => Some("rand::random".to_owned()),
+            _ => None,
+        };
+        if let Some(what) = flagged {
+            ctx.flag(
+                diags,
+                RuleId::L002,
+                &toks[i],
+                format!(
+                    "ambient nondeterminism `{what}` in deterministic crate `{}`: randomness and \
+                     time must flow through the counter-keyed substream API (SeedStream) or be \
+                     injected by the caller",
+                    ctx.class.crate_name
+                ),
+            );
+        }
+    }
+}
+
+/// True when tokens at `i` form `<ident> :: <method> (`.
+fn path_call(toks: &[Token], i: usize, method: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(method))
+        && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+}
+
+/// Collects `name: f64`/`name: f32` fields declared inside `struct { … }`
+/// bodies.
+fn float_struct_fields(toks: &[Token]) -> BTreeSet<String> {
+    let mut fields = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("struct") {
+            // Find the struct body `{`; tuple structs (`(`) and unit
+            // structs (`;`) have no named fields.
+            let mut j = i + 1;
+            while j < toks.len()
+                && !toks[j].is_punct('{')
+                && !toks[j].is_punct('(')
+                && !toks[j].is_punct(';')
+            {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < toks.len() {
+                    match &toks[k].kind {
+                        TokenKind::Punct('{') => depth += 1,
+                        TokenKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenKind::Ident(field)
+                            if depth == 1
+                                && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                                && toks
+                                    .get(k + 2)
+                                    .and_then(Token::ident)
+                                    .is_some_and(|ty| ty == "f64" || ty == "f32") =>
+                        {
+                            fields.insert(field.clone());
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = k;
+            }
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// L003: float `+=` on fields of merge participants.
+fn rule_l003(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = ctx.toks;
+    // Only files that define a shard-merge (`fn merge…`) participate.
+    let defines_merge = toks.iter().enumerate().any(|(i, t)| {
+        t.is_ident("fn")
+            && toks
+                .get(i + 1)
+                .and_then(Token::ident)
+                .is_some_and(|n| n.starts_with("merge"))
+            && !ctx.in_test(t.line)
+    });
+    if !defines_merge {
+        return;
+    }
+    let fields = float_struct_fields(toks);
+    if fields.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        if toks[i].is_ident("self")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('+'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('='))
+        {
+            if let Some(field) = toks.get(i + 2).and_then(Token::ident) {
+                if fields.contains(field) {
+                    ctx.flag(
+                        diags,
+                        RuleId::L003,
+                        &toks[i + 2],
+                        format!(
+                            "float `+=` on field `{field}` of a shard-merge participant: float \
+                             addition is non-associative, so merge order leaks into results; \
+                             accumulate in fixed::Fixed (i128 fixed-point) and convert at the edge"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// L004: unordered rayon reductions outside blessed merge modules.
+fn rule_l004(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if ctx.class.blessed_reduction {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let Some(src) = toks[i].ident() else { continue };
+        if !PAR_SOURCES.contains(&src) || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // Scan the rest of the expression chain for an unordered sink.
+        let mut depth = 0i32;
+        for j in i + 1..toks.len() {
+            match &toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('{') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct('}') | TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                TokenKind::Ident(m)
+                    if depth == 0
+                        && PAR_SINKS.contains(&m.as_str())
+                        && toks.get(j.wrapping_sub(1)).is_some_and(|t| t.is_punct('.')) =>
+                {
+                    ctx.flag(
+                        diags,
+                        RuleId::L004,
+                        &toks[j],
+                        format!(
+                            "unordered rayon reduction `.{m}()` after `.{src}()`: reduction order \
+                             is scheduler-dependent; collect per-shard results and combine through \
+                             the deterministic k-way merge (blessed modules only)"
+                        ),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// L005: panicking calls in library non-test code.
+fn rule_l005(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if ctx.class.is_bin || L005_EXEMPT_CRATES.contains(&ctx.class.crate_name.as_str()) {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        let hit = match name {
+            "unwrap" | "expect" => {
+                i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            }
+            "panic" => toks.get(i + 1).is_some_and(|t| t.is_punct('!')),
+            _ => false,
+        };
+        if hit {
+            let call = if name == "panic" {
+                "panic!".to_owned()
+            } else {
+                format!(".{name}()")
+            };
+            ctx.flag(
+                diags,
+                RuleId::L005,
+                &toks[i],
+                format!(
+                    "`{call}` in library code: propagate a Result, or annotate \
+                     `// lsw::allow(L005): <why this cannot fail>`"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_class(name: &str) -> FileClass {
+        FileClass {
+            crate_name: name.to_owned(),
+            is_bin: false,
+            blessed_reduction: false,
+        }
+    }
+
+    fn rules_fired(class: &FileClass, src: &str) -> Vec<(RuleId, usize)> {
+        lint_source(class, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn l005_basic_and_exemptions() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_fired(&lib_class("core"), src), [(RuleId::L005, 1)]);
+        // CLI binaries are exempt.
+        let bin = FileClass {
+            is_bin: true,
+            ..lib_class("core")
+        };
+        assert!(rules_fired(&bin, src).is_empty());
+        // unwrap_or_else is not unwrap.
+        assert!(rules_fired(&lib_class("core"), "fn f() { x.unwrap_or_else(|| 3); }").is_empty());
+    }
+
+    #[test]
+    fn l005_skips_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(rules_fired(&lib_class("core"), src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_requires_reason() {
+        let with_reason = "// lsw::allow(L005): infallible by construction\nfn f() { x.unwrap(); }";
+        assert!(rules_fired(&lib_class("core"), with_reason).is_empty());
+        let without = "// lsw::allow(L005)\nfn f() { x.unwrap(); }";
+        assert_eq!(
+            rules_fired(&lib_class("core"), without),
+            [(RuleId::L005, 2)]
+        );
+        let trailing = "fn f() { x.unwrap() } // lsw::allow(L005): checked above";
+        assert!(rules_fired(&lib_class("core"), trailing).is_empty());
+    }
+
+    #[test]
+    fn allow_file_waives_whole_file() {
+        let src = "// lsw::allow-file(L005): generated code\nfn f() { a.unwrap(); }\nfn g() { b.unwrap(); }";
+        assert!(rules_fired(&lib_class("core"), src).is_empty());
+    }
+
+    #[test]
+    fn l001_typed_binding_and_for_loop() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                       m.values().copied().collect()\n\
+                   }";
+        assert_eq!(rules_fired(&lib_class("core"), src), [(RuleId::L001, 3)]);
+        let src2 = "fn f() {\n let mut s = HashSet::new();\n for x in &s {\n }\n}";
+        assert_eq!(rules_fired(&lib_class("core"), src2), [(RuleId::L001, 3)]);
+    }
+
+    #[test]
+    fn l001_ignores_btree_and_point_lookup() {
+        let src = "fn f(m: &BTreeMap<u32, u32>) { for x in m { } }\n\
+                   fn g(h: &HashMap<u32, u32>) -> Option<&u32> { h.get(&3) }";
+        assert!(rules_fired(&lib_class("core"), src).is_empty());
+    }
+
+    #[test]
+    fn l002_scoped_to_deterministic_crates() {
+        let src = "fn f() -> u64 { let mut r = thread_rng(); r.next_u64() }";
+        assert_eq!(rules_fired(&lib_class("stream"), src), [(RuleId::L002, 1)]);
+        // figures crate may time itself.
+        assert!(rules_fired(&lib_class("figures"), src).is_empty());
+        let time = "fn g() { let t = Instant::now(); }";
+        assert_eq!(rules_fired(&lib_class("stats"), time), [(RuleId::L002, 1)]);
+    }
+
+    #[test]
+    fn l003_float_accumulation_in_merge_type() {
+        let src = "struct Acc { total: f64, n: u64 }\n\
+                   impl Acc {\n\
+                       fn merge(&mut self, o: &Acc) {\n\
+                           self.total += o.total;\n\
+                           self.n += o.n;\n\
+                       }\n\
+                   }";
+        assert_eq!(rules_fired(&lib_class("stream"), src), [(RuleId::L003, 4)]);
+    }
+
+    #[test]
+    fn l003_requires_merge_context() {
+        let src = "struct P { x: f64 }\nimpl P { fn step(&mut self) { self.x += 1.0; } }";
+        assert!(rules_fired(&lib_class("stream"), src).is_empty());
+    }
+
+    #[test]
+    fn l004_unordered_reduction() {
+        let src = "fn f(v: &[u64]) -> u64 {\n    v.par_iter().map(|x| x + 1).sum()\n}";
+        assert_eq!(rules_fired(&lib_class("core"), src), [(RuleId::L004, 2)]);
+        let blessed = FileClass {
+            blessed_reduction: true,
+            ..lib_class("core")
+        };
+        assert!(rules_fired(&blessed, src).is_empty());
+        // Sequential sum is fine.
+        assert!(rules_fired(
+            &lib_class("core"),
+            "fn f(v: &[u64]) -> u64 { v.iter().sum() }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_position() {
+        let src = "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); }";
+        let lines: Vec<usize> = lint_source(&lib_class("core"), src)
+            .iter()
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, [1, 2]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Workspace file discovery, classification, and the `--diff-only`
+//! changed-file filter.
+
+use crate::rules::FileClass;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Modules blessed to use unordered reductions: the deterministic k-way
+/// merge implementations themselves (they establish the order everyone
+/// else must preserve).
+const BLESSED_REDUCTION_FILES: &[&str] = &["crates/stream/src/coord.rs"];
+
+/// Locates the workspace root: the directory two levels above this
+/// crate's manifest (`crates/xtask` → repo root).
+pub fn workspace_root() -> PathBuf {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    Path::new(manifest)
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// One file selected for linting.
+#[derive(Debug, Clone)]
+pub struct LintFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    pub class: FileClass,
+}
+
+/// Classifies a workspace-relative path (`crates/<name>/src/…`).
+pub fn classify(rel_path: &str) -> FileClass {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or_default()
+        .to_owned();
+    let is_bin = rel_path.contains("/src/bin/") || rel_path.ends_with("/src/main.rs");
+    let blessed_reduction = BLESSED_REDUCTION_FILES.contains(&rel_path)
+        || rel_path
+            .rsplit('/')
+            .next()
+            .is_some_and(|f| f.contains("merge"));
+    FileClass {
+        crate_name,
+        is_bin,
+        blessed_reduction,
+    }
+}
+
+/// True for paths the linter covers at all: first-party crate sources,
+/// excluding each crate's own `tests/` and `benches/` trees (test code is
+/// exempt) and the vendored stand-ins.
+pub fn in_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/") && rel_path.ends_with(".rs") && rel_path.contains("/src/")
+}
+
+/// Collects every in-scope `.rs` file under `root`, sorted by path so
+/// output order is stable.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<LintFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut stack = vec![crates_dir];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue, // e.g. crates/ missing in a partial checkout
+        };
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = rel_to(root, &path);
+                if in_scope(&rel) {
+                    out.push(LintFile {
+                        class: classify(&rel),
+                        rel_path: rel,
+                        abs_path: path,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Returns the set of files changed relative to `base` (a git rev;
+/// defaults to `HEAD`), plus untracked files. Used by `--diff-only` so CI
+/// can lint just a PR's delta.
+pub fn changed_files(root: &Path, base: &str) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    let diff = git(root, &["diff", "--name-only", base])?;
+    files.extend(diff.lines().map(str::to_owned));
+    let status = git(root, &["status", "--porcelain"])?;
+    for line in status.lines() {
+        if let Some(path) = line.strip_prefix("?? ") {
+            files.push(path.trim().to_owned());
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn git(root: &Path, args: &[&str]) -> Result<String, String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(args)
+        .output()
+        .map_err(|e| format!("failed to run git: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git {} failed: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let c = classify("crates/stream/src/hll.rs");
+        assert_eq!(c.crate_name, "stream");
+        assert!(!c.is_bin);
+        assert!(!c.blessed_reduction);
+
+        assert!(classify("crates/lsw/src/bin/lsw.rs").is_bin);
+        assert!(classify("crates/xtask/src/main.rs").is_bin);
+        assert!(classify("crates/stream/src/coord.rs").blessed_reduction);
+        assert!(classify("crates/core/src/kway_merge.rs").blessed_reduction);
+    }
+
+    #[test]
+    fn scope_excludes_tests_and_vendor() {
+        assert!(in_scope("crates/stream/src/hll.rs"));
+        assert!(!in_scope("crates/stream/tests/accuracy.rs"));
+        assert!(!in_scope("vendor/rand/src/lib.rs"));
+        assert!(!in_scope("tests/tests/stream_accuracy.rs"));
+        assert!(!in_scope("crates/stream/src/data.txt"));
+    }
+
+    #[test]
+    fn workspace_root_exists() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists());
+    }
+}

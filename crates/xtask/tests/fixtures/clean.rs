@@ -1,0 +1,51 @@
+//! Clean fixture: exercises patterns adjacent to every rule without
+//! violating any of them.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Totals {
+    /// Fixed-point (micro-units) so shard merge order cannot leak in.
+    pub total_micro: i128,
+    pub n: u64,
+}
+
+impl Totals {
+    pub fn merge(&mut self, other: &Totals) {
+        self.total_micro += other.total_micro;
+        self.n += other.n;
+    }
+}
+
+/// BTreeMap iteration is ordered: L001 does not apply.
+pub fn report(counts: &BTreeMap<u32, u64>) -> Vec<u64> {
+    counts.values().copied().collect()
+}
+
+/// Hash lookup without iteration is fine.
+pub fn lookup(index: &HashMap<u32, u64>, key: u32) -> Option<u64> {
+    index.get(&key).copied()
+}
+
+/// Annotated hash iteration: the order is destroyed by the sort below.
+pub fn sorted_keys(index: &HashMap<u32, u64>) -> Vec<u32> {
+    // lsw::allow(L001): collected into a Vec and sorted before any output
+    let mut keys: Vec<u32> = index.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Errors propagate instead of panicking.
+pub fn parse_pair(s: &str) -> Result<(u32, u32), std::num::ParseIntError> {
+    let mut it = s.splitn(2, ',');
+    let a = it.next().unwrap_or_default().trim().parse()?;
+    let b = it.next().unwrap_or_default().trim().parse()?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

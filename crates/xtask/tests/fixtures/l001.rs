@@ -1,0 +1,18 @@
+//! L001 fixture: iteration over hash-ordered collections.
+use std::collections::{HashMap, HashSet};
+
+pub fn report_counts(counts: &HashMap<u32, u64>) -> Vec<u64> {
+    counts.values().copied().collect()
+}
+
+pub fn visit_all() {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    for _x in &seen {
+        // order-dependent work
+    }
+}
+
+pub fn point_lookup(m: &HashMap<u32, u64>) -> Option<u64> {
+    m.get(&7).copied() // fine: not iteration
+}

@@ -1,0 +1,16 @@
+//! L002 fixture: ambient nondeterminism in a deterministic crate.
+use std::time::{Instant, SystemTime};
+
+pub fn jittery_seed() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn wall_clock_stamp() -> u128 {
+    let t = SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap_or_default().as_nanos()
+}
+
+pub fn elapsed_budget() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,18 @@
+//! L003 fixture: float accumulation in a shard-merge participant.
+
+pub struct ShardAccumulator {
+    pub total_bytes: f64,
+    pub sessions: u64,
+}
+
+impl ShardAccumulator {
+    pub fn observe(&mut self, bytes: u64) {
+        self.sessions += 1;
+        self.total_bytes += bytes as f64;
+    }
+
+    pub fn merge(&mut self, other: &ShardAccumulator) {
+        self.total_bytes += other.total_bytes;
+        self.sessions += other.sessions;
+    }
+}

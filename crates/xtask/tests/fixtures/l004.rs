@@ -1,0 +1,13 @@
+//! L004 fixture: unordered rayon reductions.
+
+pub fn total(v: &[u64]) -> u64 {
+    v.par_iter().map(|x| x + 1).sum()
+}
+
+pub fn max_chunk(v: &[f64]) -> Option<f64> {
+    v.par_chunks(64).map(|c| c[0]).reduce(|| 0.0, f64::max)
+}
+
+pub fn sequential_total(v: &[u64]) -> u64 {
+    v.iter().sum() // fine: sequential iterator order is deterministic
+}

@@ -1,0 +1,11 @@
+//! L005 fixture: panicking calls in library code.
+
+pub fn parse_header(line: &str) -> u32 {
+    line.split(' ').next().unwrap().parse().expect("bad header")
+}
+
+pub fn guard(x: i64) {
+    if x < 0 {
+        panic!("negative input");
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixture tests: each known-violating file fires exactly the expected
+//! rule ids at the expected lines, the clean file stays silent, and the
+//! workspace itself lints clean (the acceptance invariant the CI job
+//! enforces).
+
+use std::path::Path;
+use xtask::rules::{lint_source, FileClass, RuleId};
+use xtask::{run_lint, workspace, LintOptions};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Fixtures are linted as library code of a deterministic-path crate, so
+/// every rule is in scope.
+fn fixture_class() -> FileClass {
+    FileClass {
+        crate_name: "stream".to_owned(),
+        is_bin: false,
+        blessed_reduction: false,
+    }
+}
+
+fn fired(name: &str) -> Vec<(RuleId, usize)> {
+    lint_source(&fixture_class(), &fixture(name))
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn l001_fires_on_hash_iteration() {
+    assert_eq!(fired("l001.rs"), [(RuleId::L001, 5), (RuleId::L001, 11)]);
+}
+
+#[test]
+fn l002_fires_on_ambient_nondeterminism() {
+    assert_eq!(
+        fired("l002.rs"),
+        [(RuleId::L002, 5), (RuleId::L002, 10), (RuleId::L002, 15)]
+    );
+}
+
+#[test]
+fn l003_fires_on_float_accumulation_in_merge_participant() {
+    assert_eq!(fired("l003.rs"), [(RuleId::L003, 11), (RuleId::L003, 15)]);
+}
+
+#[test]
+fn l004_fires_on_unordered_rayon_reductions() {
+    assert_eq!(fired("l004.rs"), [(RuleId::L004, 4), (RuleId::L004, 8)]);
+}
+
+#[test]
+fn l005_fires_on_panicking_calls() {
+    assert_eq!(
+        fired("l005.rs"),
+        [(RuleId::L005, 4), (RuleId::L005, 4), (RuleId::L005, 9)]
+    );
+}
+
+#[test]
+fn l005_unwrap_before_expect_on_same_line() {
+    let diags = lint_source(&fixture_class(), &fixture("l005.rs"));
+    assert!(diags[0].message.contains("unwrap"));
+    assert!(diags[1].message.contains("expect"));
+    assert!(diags[0].col < diags[1].col);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(fired("clean.rs"), []);
+}
+
+#[test]
+fn rules_respect_cli_exemptions() {
+    // The same violating source is exempt in a binary target…
+    let bin = FileClass {
+        is_bin: true,
+        ..fixture_class()
+    };
+    assert!(lint_source(&bin, &fixture("l005.rs")).is_empty());
+    assert!(lint_source(&bin, &fixture("l002.rs")).is_empty());
+    // …but hash iteration (L001) applies even to binaries: report output
+    // produced by a bin must be deterministic too.
+    assert!(!lint_source(&bin, &fixture("l001.rs")).is_empty());
+}
+
+#[test]
+fn blessed_merge_module_may_reduce() {
+    let blessed = FileClass {
+        blessed_reduction: true,
+        ..fixture_class()
+    };
+    assert!(lint_source(&blessed, &fixture("l004.rs")).is_empty());
+}
+
+#[test]
+fn json_output_is_well_formed_and_ordered() {
+    let root = workspace::workspace_root();
+    let report = run_lint(&root, &LintOptions::default()).expect("lint run");
+    let json = report.render_json();
+    assert!(json.starts_with("{\n  \"violations\": ["));
+    assert!(json.contains("\"files_scanned\""));
+    // Two runs over identical input render identically (stable order).
+    let report2 = run_lint(&root, &LintOptions::default()).expect("lint run");
+    assert_eq!(json, report2.render_json());
+}
+
+/// The acceptance invariant: the workspace's own first-party code passes
+/// every rule. If this test fails, either fix the violation or annotate
+/// it with `// lsw::allow(L00X): <reason>` — see DESIGN.md §10.
+#[test]
+fn workspace_lints_clean() {
+    let root = workspace::workspace_root();
+    let report = run_lint(&root, &LintOptions::default()).expect("lint run");
+    assert!(
+        report.clean(),
+        "workspace lint violations:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.scanned > 50,
+        "walker found only {} files",
+        report.scanned
+    );
+}

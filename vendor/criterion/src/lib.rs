@@ -9,6 +9,9 @@
 //! regression machinery — `lsw-bench`'s `bench-json` binary is the
 //! machine-readable perf record.
 
+// A benchmark harness is the one place wall-clock reads are the point;
+// exempt it from the workspace clock ban (clippy mirror of xtask L002).
+#![allow(clippy::disallowed_methods)]
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;

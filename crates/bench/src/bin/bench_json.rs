@@ -86,10 +86,44 @@ impl Stage {
     }
 }
 
+/// Pull `(stage, threads, elements_per_sec)` triples out of a benchmark
+/// JSON file. Field-order tolerant but schema-exact: it reads the same
+/// hand-formatted shape `main` writes.
+fn read_baseline(path: &str) -> Vec<(String, u64, f64)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+    let value: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e}"));
+    let stages = value["stages"].as_array().expect("baseline has stages[]");
+    stages
+        .iter()
+        .map(|s| {
+            (
+                s["stage"].as_str().expect("stage name").to_string(),
+                s["threads"].as_u64().expect("stage threads"),
+                s["elements_per_sec"].as_f64().expect("stage rate"),
+            )
+        })
+        .collect()
+}
+
+/// Allowed regression before `--check` fails: a stage may run up to 25%
+/// slower than the committed baseline before the perf-smoke job goes red.
+const CHECK_TOLERANCE: f64 = 0.25;
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (out_path, check_path) = match args.split_first() {
+        Some((flag, rest)) if flag == "--check" => {
+            let base = rest
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+            ("/dev/null".to_string(), Some(base))
+        }
+        Some((out, _)) => (out.clone(), None),
+        None => ("BENCH_throughput.json".to_string(), None),
+    };
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let par_threads = Parallelism::auto().threads().max(4);
     let config = bench_config();
@@ -144,6 +178,40 @@ fn main() {
         engine.finalize()
     });
 
+    // Zero-copy parse alone (no sketches, no sessionization): the raw
+    // byte-scanner throughput over the same rendered log.
+    let (parsed_ok, parse_secs) = time(|| {
+        let mut ok = 0u64;
+        for item in lsw_trace::wms::parse_lines_bytes(log_text.as_bytes()) {
+            ok += u64::from(item.is_ok());
+        }
+        ok
+    });
+    assert_eq!(
+        parsed_ok as usize,
+        trace.len(),
+        "parse must keep every line"
+    );
+
+    // DES event pump: schedule every transfer's start, then pop in time
+    // order scheduling its stop — the simulator's exact queue churn
+    // pattern, isolated from server/network bookkeeping.
+    let (des_pops, des_secs) = time(|| {
+        let mut q = lsw_sim::des::EventQueue::with_capacity(n_transfers * 2);
+        for t in workload.transfers() {
+            q.schedule(t.start, (t.duration, false));
+        }
+        let mut pops = 0u64;
+        while let Some((now, (dur, is_stop))) = q.pop() {
+            pops += 1;
+            if !is_stop {
+                q.schedule(now + dur, (0.0, true));
+            }
+        }
+        pops
+    });
+    assert_eq!(des_pops as usize, n_transfers * 2, "every event pops once");
+
     let stages = [
         Stage {
             name: "generate",
@@ -180,6 +248,20 @@ fn main() {
             secs: stream_secs,
             sketch_bytes: Some(stream_report.memory.sketch_bytes),
         },
+        Stage {
+            name: "wms_parse",
+            threads: 1,
+            elements: n_lines,
+            secs: parse_secs,
+            sketch_bytes: None,
+        },
+        Stage {
+            name: "des_pump",
+            threads: 1,
+            elements: des_pops as usize,
+            secs: des_secs,
+            sketch_bytes: None,
+        },
     ];
     let speedup = stages[1].rate() / stages[0].rate();
 
@@ -211,4 +293,45 @@ fn main() {
         sessions.all().len()
     );
     eprintln!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = read_baseline(&baseline_path);
+        let mut failures = Vec::new();
+        for (name, threads, base_rate) in &baseline {
+            let Some(stage) = stages
+                .iter()
+                .find(|s| s.name == name && s.threads == *threads as usize)
+            else {
+                failures.push(format!("stage {name} (threads={threads}) missing from run"));
+                continue;
+            };
+            let floor = base_rate * (1.0 - CHECK_TOLERANCE);
+            let verdict = if stage.rate() < floor { "FAIL" } else { "ok" };
+            eprintln!(
+                "  check {:<13} threads={:<2} {:>12.0} vs baseline {:>12.0} (floor {:>12.0}) {}",
+                name,
+                threads,
+                stage.rate(),
+                base_rate,
+                floor,
+                verdict
+            );
+            if stage.rate() < floor {
+                failures.push(format!(
+                    "stage {name} (threads={threads}) regressed: {:.0} < {floor:.0} \
+                     elements/s ({:.0}% of baseline {base_rate:.0})",
+                    stage.rate(),
+                    100.0 * stage.rate() / base_rate,
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("perf-smoke FAILED against {baseline_path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("perf-smoke passed against {baseline_path}");
+    }
 }

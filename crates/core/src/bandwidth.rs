@@ -48,7 +48,7 @@ impl BandwidthModel {
     }
 
     /// Samples a transfer's bandwidth given the client's access link.
-    pub fn sample(&self, rng: &mut dyn Rng, access: AccessClass) -> BandwidthDraw {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, access: AccessClass) -> BandwidthDraw {
         let cap = f64::from(access.capacity_bps());
         if u01(rng) < self.cfg.congestion_fraction {
             // Congestion-bound: low lognormal, never above what the link

@@ -7,7 +7,7 @@
 //! drawn from a bounded Zipf over that population — the mirror image of
 //! stored-media object popularity.
 
-use lsw_stats::dist::{Discrete, ParamError, ZipfTable};
+use lsw_stats::dist::{Discrete, ParamError, SamplerBackend, ZipfTable};
 use lsw_trace::ids::ClientId;
 use rand::Rng;
 
@@ -21,9 +21,28 @@ impl InterestProfile {
     /// Creates a profile over `n_clients` with interest exponent `alpha`
     /// (paper: 0.4704). `alpha = 0` degenerates to uniform interest.
     pub fn new(n_clients: usize, alpha: f64) -> Result<Self, ParamError> {
+        Self::with_backend(n_clients, alpha, SamplerBackend::InverseCdf)
+    }
+
+    /// Creates a profile with an explicit rank-sampling backend.
+    ///
+    /// [`SamplerBackend::Alias`] makes every draw O(1) (the inverse-CDF
+    /// default is O(log n)) at the cost of consuming two uniforms per draw
+    /// instead of one, so the two backends yield different — identically
+    /// distributed — client sequences from the same seed. Fixtures pin one.
+    pub fn with_backend(
+        n_clients: usize,
+        alpha: f64,
+        backend: SamplerBackend,
+    ) -> Result<Self, ParamError> {
         Ok(Self {
-            zipf: ZipfTable::new(n_clients as u64, alpha)?,
+            zipf: ZipfTable::with_backend(n_clients as u64, alpha, backend)?,
         })
+    }
+
+    /// The rank-sampling backend in force.
+    pub fn backend(&self) -> SamplerBackend {
+        self.zipf.backend()
     }
 
     /// Number of clients.
@@ -39,7 +58,7 @@ impl InterestProfile {
     /// Samples the client for a new session. Client ids are assigned in
     /// interest-rank order (client 0 is the most interested), which costs
     /// no generality: ids are opaque labels.
-    pub fn sample(&self, rng: &mut dyn Rng) -> ClientId {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ClientId {
         ClientId((self.zipf.sample_k(rng) - 1) as u32)
     }
 

@@ -74,7 +74,7 @@ impl LiveObjects {
     }
 
     /// Samples which feed a joining client taps into.
-    pub fn sample_feed(&self, rng: &mut dyn Rng) -> ObjectId {
+    pub fn sample_feed<R: Rng + ?Sized>(&self, rng: &mut R) -> ObjectId {
         let u = u01(rng);
         let idx = self
             .cum_weights

@@ -4,6 +4,7 @@
 
 use lsw_core::config::WorkloadConfig;
 use lsw_core::generator::Generator;
+use lsw_stats::dist::SamplerBackend;
 use lsw_stats::par::Parallelism;
 use lsw_trace::wms;
 
@@ -48,6 +49,52 @@ fn rendered_log_bytes_identical_across_thread_counts() {
     let base = render(1);
     assert_eq!(base, render(2));
     assert_eq!(base, render(8));
+}
+
+#[test]
+fn alias_backend_identical_across_thread_counts() {
+    // The O(1) alias sampler must uphold the same guarantee: for a fixed
+    // backend, thread count never changes a byte.
+    let gen = |threads: usize| {
+        Generator::new(config(), 5)
+            .unwrap()
+            .with_sampler_backend(SamplerBackend::Alias)
+            .unwrap()
+            .with_parallelism(Parallelism::fixed(threads))
+            .generate()
+    };
+    let base = gen(1);
+    assert!(base.len() > 5_000, "fixture too small to exercise chunking");
+    for threads in [2, 8] {
+        let w = gen(threads);
+        assert_eq!(
+            base.sessions(),
+            w.sessions(),
+            "sessions differ at {threads} threads"
+        );
+        assert_eq!(
+            base.transfers(),
+            w.transfers(),
+            "transfers differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn backends_produce_distinct_but_equally_sized_workloads() {
+    // Alias consumes two uniforms per interest draw, inverse-CDF one: the
+    // same seed must therefore yield *different* concrete workloads (the
+    // backend is part of the determinism contract, not a transparent
+    // optimization) while preserving the arrival process, which is drawn
+    // from an independent substream.
+    let cdf = Generator::new(config(), 5).unwrap().generate();
+    let alias = Generator::new(config(), 5)
+        .unwrap()
+        .with_sampler_backend(SamplerBackend::Alias)
+        .unwrap()
+        .generate();
+    assert_eq!(cdf.sessions().len(), alias.sessions().len());
+    assert_ne!(cdf.transfers(), alias.transfers());
 }
 
 #[test]

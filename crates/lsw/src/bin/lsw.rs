@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! lsw generate  [--days D] [--clients N] [--sessions N] [--seed S]
-//!               [--threads T] [--simulate] [--scale-matched] --out LOG
+//!               [--threads T] [--sampler cdf|alias] [--simulate]
+//!               [--scale-matched] --out LOG
 //! lsw characterize LOG [--horizon SECS] [--timeout TO] [--json FILE]
 //! lsw analyze     LOG [--stream] [--compare] [--shards N]
 //!                 [--memory-budget BYTES] [--horizon SECS] [--timeout TO]
@@ -25,11 +26,16 @@
 //! `--threads` (or the `LSW_THREADS` environment variable) sets the
 //! worker count; the default is the number of available cores. Output is
 //! bit-identical at every thread count — the setting only changes speed.
+//! `--sampler` picks the interest-profile sampling backend (`cdf`, the
+//! default, or the O(1) `alias` table); unlike `--threads` the backend IS
+//! part of the output's determinism contract — the two settings produce
+//! different, identically distributed, workloads from one seed.
 
 use lsw::analysis::characterize_with;
 use lsw::core::config::WorkloadConfig;
 use lsw::core::generator::Generator;
 use lsw::sim::{SimConfig, Simulator};
+use lsw::stats::dist::SamplerBackend;
 use lsw::stats::par::Parallelism;
 use lsw::stream::{StreamAnalyzer, StreamConfig};
 use lsw::trace::sanitize::sanitize;
@@ -47,7 +53,8 @@ fn main() {
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage:\n  lsw generate [--days D] [--clients N] [--sessions N] [--seed S] \
-                 [--threads T] [--simulate] [--scale-matched] --out LOG\n  lsw characterize LOG \
+                 [--threads T] [--sampler cdf|alias] [--simulate] [--scale-matched] --out \
+                 LOG\n  lsw characterize LOG \
                  [--horizon SECS] [--timeout TO] [--json FILE]\n  lsw analyze LOG [--stream] \
                  [--compare] [--shards N] [--memory-budget BYTES] [--horizon SECS] [--timeout TO] \
                  [--json FILE]\n  lsw summary LOG [--horizon SECS]"
@@ -100,11 +107,26 @@ fn cmd_generate(args: &[String]) {
         Some(s) => Parallelism::fixed(parse_or(Some(s), 0usize, "--threads").max(1)),
     };
     let config = base.scaled(clients, horizon, sessions);
+    let backend = match flag_value(args, "--sampler") {
+        None | Some("cdf") => SamplerBackend::InverseCdf,
+        Some("alias") => SamplerBackend::Alias,
+        Some(other) => {
+            eprintln!("bad value for --sampler: {other:?} (expected cdf or alias)");
+            exit(2);
+        }
+    };
     let workload = Generator::new(config, seed).unwrap_or_else(|e| {
         eprintln!("invalid configuration: {e}");
         exit(2);
     });
-    let workload = workload.with_parallelism(par).generate();
+    let workload = workload
+        .with_sampler_backend(backend)
+        .unwrap_or_else(|e| {
+            eprintln!("invalid sampler backend: {e}");
+            exit(2);
+        })
+        .with_parallelism(par)
+        .generate();
     eprintln!(
         "generated {} sessions / {} transfers over {days} day(s)",
         workload.sessions().len(),

@@ -1,0 +1,246 @@
+//! Vose alias tables: O(1) sampling from any finite discrete distribution.
+//!
+//! A bounded Zipf over the paper's ~692k-client population costs
+//! `O(log n)` per draw with inverse-CDF binary search; the alias method
+//! (Walker 1977, Vose 1991) turns every draw into two uniforms, one table
+//! lookup and one compare — constant time regardless of support size.
+//!
+//! # Determinism contract
+//!
+//! [`AliasTable::sample`] uses a **fixed two-draw scheme**: the first
+//! `u01` picks the column, the second resolves the column-vs-alias coin.
+//! Exactly two uniforms are consumed per draw on every path, so the RNG
+//! stream advances identically no matter which outcome is selected — a
+//! requirement for the workspace's bit-reproducibility discipline (a
+//! data-dependent draw count would let one sample's outcome perturb every
+//! later substream draw).
+//!
+//! Note the alias backend consumes a *different* RNG stream than the
+//! inverse-CDF backend (two draws vs one), so the two backends produce
+//! different — though identically distributed — workloads from the same
+//! seed. Backends are therefore always selected explicitly
+//! ([`SamplerBackend`]); determinism fixtures pin one and assert on its
+//! exact output.
+//!
+//! Construction is Vose's stable O(n) split into "small" and "large"
+//! columns. Worklists are filled and drained in index order, so the built
+//! table is a pure function of the weight vector: no hash-order or
+//! platform dependence.
+
+use super::ParamError;
+use crate::rng::u01;
+use rand::Rng;
+
+/// Which sampling algorithm a table-backed discrete distribution uses.
+///
+/// Both backends draw from the same distribution; they consume the RNG
+/// stream differently (see the module docs), so the choice is part of a
+/// workload's determinism contract and is always made explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerBackend {
+    /// Binary search on the cumulative table: one uniform per draw,
+    /// `O(log n)`. The historical default; existing fixtures pin it.
+    #[default]
+    InverseCdf,
+    /// Vose alias table: two uniforms per draw, `O(1)`.
+    Alias,
+}
+
+/// Walker/Vose alias table over `0..n`.
+///
+/// `prob[i]` is the probability (scaled to column mass 1) that a draw
+/// landing in column `i` keeps `i`; otherwise it takes `alias[i]`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized). `O(n)` time, deterministic: the same weights always
+    /// produce the same table.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("AliasTable requires at least one weight"));
+        }
+        if weights.len() > u32::MAX as usize {
+            return Err(ParamError::new(
+                "AliasTable supports at most 2^32 - 1 columns",
+            ));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ParamError::new(
+                "AliasTable weights must be finite and >= 0",
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if !(total > 0.0) {
+            return Err(ParamError::new("AliasTable weights must not all be zero"));
+        }
+        let n = weights.len();
+        // Scale so the average column has mass exactly 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        // Vose's split; index-ordered worklists keep construction a pure
+        // function of the weights.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column `s` is underfull: top it up from `l` and record the
+            // donor as its alias.
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains is full up to rounding; clamp to 1 so the
+        // column always keeps itself.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no columns (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in `0..len()`. Always consumes exactly two
+    /// uniforms (see the module-level determinism contract).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = ((u01(rng) * n as f64) as usize).min(n - 1);
+        let coin = u01(rng);
+        if coin < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    /// Reconstructs the probability mass of index `i` implied by the
+    /// table (for tests and diagnostics): its own column's share plus
+    /// every column that aliases to it.
+    pub fn implied_pmf(&self, i: usize) -> f64 {
+        let n = self.prob.len() as f64;
+        let mut mass = self.prob[i] / n;
+        for (col, &a) in self.alias.iter().enumerate() {
+            if a as usize == i && col != i {
+                mass += (1.0 - self.prob[col]) / n;
+            }
+        }
+        mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedStream;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_err());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_err());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn implied_pmf_matches_weights() {
+        let w = [5.0, 1.0, 3.0, 0.0, 1.0];
+        let t = AliasTable::new(&w).unwrap();
+        let total: f64 = w.iter().sum();
+        for (i, &wi) in w.iter().enumerate() {
+            assert!(
+                (t.implied_pmf(i) - wi / total).abs() < 1e-12,
+                "column {i}: implied {} vs exact {}",
+                t.implied_pmf(i),
+                wi / total
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_columns_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 2.0, 0.0]).unwrap();
+        let mut rng = SeedStream::new(7).rng("alias-zero");
+        for _ in 0..20_000 {
+            let k = t.sample(&mut rng);
+            assert!(k == 0 || k == 2, "drew zero-mass index {k}");
+        }
+    }
+
+    #[test]
+    fn single_column_always_wins() {
+        let t = AliasTable::new(&[42.0]).unwrap();
+        let mut rng = SeedStream::new(8).rng("alias-one");
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sample_frequencies_match_weights() {
+        let w = [10.0, 5.0, 2.5, 1.25, 1.25];
+        let t = AliasTable::new(&w).unwrap();
+        let total: f64 = w.iter().sum();
+        let mut rng = SeedStream::new(9).rng("alias-freq");
+        let mut counts = [0u32; 5];
+        const N: usize = 200_000;
+        for _ in 0..N {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = f64::from(c) / N as f64;
+            let theo = w[i] / total;
+            assert!((emp - theo).abs() < 0.01, "index {i}: {emp} vs {theo}");
+        }
+    }
+
+    #[test]
+    fn consumes_exactly_two_draws_per_sample() {
+        // The fixed two-draw scheme: interleaving samples with raw draws
+        // must line up exactly with a hand-advanced twin stream.
+        let t = AliasTable::new(&[3.0, 1.0, 1.0]).unwrap();
+        let seeds = SeedStream::new(10);
+        let mut a = seeds.rng("alias-two");
+        let mut b = seeds.rng("alias-two");
+        for _ in 0..500 {
+            let _ = t.sample(&mut a);
+            b.next_u64();
+            b.next_u64();
+            assert_eq!(a.next_u64(), b.next_u64(), "streams diverged");
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let w: Vec<f64> = (1..=1_000).map(|k| f64::from(k).powf(-0.7)).collect();
+        let t1 = AliasTable::new(&w).unwrap();
+        let t2 = AliasTable::new(&w).unwrap();
+        assert_eq!(t1.alias, t2.alias);
+        assert_eq!(t1.prob, t2.prob);
+    }
+}

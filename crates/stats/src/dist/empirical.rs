@@ -65,7 +65,7 @@ impl Empirical {
 }
 
 impl Sample for Empirical {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u = u01(rng);
         if !self.interpolate || self.sorted.len() == 1 {
             let idx = ((u * self.sorted.len() as f64) as usize).min(self.sorted.len() - 1);

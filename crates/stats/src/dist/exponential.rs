@@ -41,7 +41,7 @@ impl Exponential {
 }
 
 impl Sample for Exponential {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         -u01_open0(rng).ln() / self.lambda
     }
 }

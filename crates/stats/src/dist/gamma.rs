@@ -42,7 +42,7 @@ impl Gamma {
     }
 
     /// Marsaglia–Tsang sampler for shape >= 1 (standard scale).
-    fn sample_mt(shape: f64, rng: &mut dyn Rng) -> f64 {
+    fn sample_mt<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
         debug_assert!(shape >= 1.0);
         let d = shape - 1.0 / 3.0;
         let c = 1.0 / (9.0 * d).sqrt();
@@ -68,7 +68,7 @@ impl Gamma {
 }
 
 impl Sample for Gamma {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         if self.k >= 1.0 {
             self.theta * Self::sample_mt(self.k, rng)
         } else {

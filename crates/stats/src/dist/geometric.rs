@@ -44,7 +44,7 @@ impl Geometric {
 }
 
 impl Discrete for Geometric {
-    fn sample_k(&self, rng: &mut dyn Rng) -> u64 {
+    fn sample_k<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         if self.p >= 1.0 {
             return 1;
         }
@@ -80,7 +80,7 @@ impl Discrete for Geometric {
 }
 
 impl Sample for Geometric {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.sample_k(rng) as f64
     }
 }

@@ -48,7 +48,7 @@ impl LogNormal {
 }
 
 impl Sample for LogNormal {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         (self.mu + self.sigma * Normal::sample_standard(rng)).exp()
     }
 }

@@ -5,17 +5,30 @@
 //! congestion-bound mode covering ~10% of transfers. [`Mixture`] models
 //! exactly this: weighted components sampled by first drawing a component,
 //! then drawing from it.
+//!
+//! Components are stored behind the object-safe [`DynContinuous`] view
+//! (the generic [`Continuous`] trait is not dyn-compatible); the mixture
+//! itself still implements the generic traits, so it composes — e.g.
+//! inside [`super::Truncated`].
+//!
+//! The component pick defaults to a cumulative-weight search (one uniform)
+//! and can be switched to a Vose alias table (two uniforms, `O(1)`) via
+//! [`Mixture::with_backend`]. As with [`super::ZipfTable`], the backends
+//! consume the RNG stream differently, so the choice is explicit and part
+//! of a workload's determinism contract.
 
-use super::{Continuous, ParamError, Sample};
+use super::{AliasTable, Continuous, DynContinuous, ParamError, Sample, SamplerBackend};
 use crate::rng::u01;
 use rand::Rng;
 
 /// Weighted mixture of continuous distributions.
 pub struct Mixture {
-    components: Vec<Box<dyn Continuous + Send + Sync>>,
+    components: Vec<Box<dyn DynContinuous + Send + Sync>>,
     /// Cumulative, normalized weights; same length as `components`.
     cum_weights: Vec<f64>,
     weights: Vec<f64>,
+    /// Present iff the alias picker was selected.
+    picker: Option<AliasTable>,
 }
 
 impl std::fmt::Debug for Mixture {
@@ -23,15 +36,19 @@ impl std::fmt::Debug for Mixture {
         f.debug_struct("Mixture")
             .field("k", &self.components.len())
             .field("weights", &self.weights)
+            .field("backend", &self.backend())
             .finish()
     }
 }
 
 impl Mixture {
-    /// Creates a mixture from `(weight, component)` pairs.
+    /// Creates a mixture from `(weight, component)` pairs with the default
+    /// inverse-CDF component picker.
     ///
     /// Weights must be positive; they are normalized internally.
-    pub fn new(parts: Vec<(f64, Box<dyn Continuous + Send + Sync>)>) -> Result<Self, ParamError> {
+    pub fn new(
+        parts: Vec<(f64, Box<dyn DynContinuous + Send + Sync>)>,
+    ) -> Result<Self, ParamError> {
         if parts.is_empty() {
             return Err(ParamError::new("Mixture requires at least one component"));
         }
@@ -58,7 +75,26 @@ impl Mixture {
             components,
             cum_weights: cum,
             weights,
+            picker: None,
         })
+    }
+
+    /// Switches the component picker to the requested backend.
+    pub fn with_backend(mut self, backend: SamplerBackend) -> Result<Self, ParamError> {
+        self.picker = match backend {
+            SamplerBackend::InverseCdf => None,
+            SamplerBackend::Alias => Some(AliasTable::new(&self.weights)?),
+        };
+        Ok(self)
+    }
+
+    /// The component-pick backend in force.
+    pub fn backend(&self) -> SamplerBackend {
+        if self.picker.is_some() {
+            SamplerBackend::Alias
+        } else {
+            SamplerBackend::InverseCdf
+        }
     }
 
     /// Number of components.
@@ -72,18 +108,23 @@ impl Mixture {
     }
 
     /// Samples and also reports which component produced the draw.
-    pub fn sample_labeled(&self, rng: &mut dyn Rng) -> (usize, f64) {
-        let u = u01(rng);
-        let idx = self
-            .cum_weights
-            .partition_point(|&c| c < u)
-            .min(self.components.len() - 1);
-        (idx, self.components[idx].sample(rng))
+    pub fn sample_labeled<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, f64) {
+        let idx = if let Some(picker) = &self.picker {
+            picker.sample(rng)
+        } else {
+            let u = u01(rng);
+            self.cum_weights
+                .partition_point(|&c| c < u)
+                .min(self.components.len() - 1)
+        };
+        // `&mut R` (sized) implements `Rng`, so a double reborrow erases
+        // the generic parameter for the dyn-typed component.
+        (idx, self.components[idx].sample_dyn(&mut &mut *rng))
     }
 }
 
 impl Sample for Mixture {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.sample_labeled(rng).1
     }
 }
@@ -93,7 +134,7 @@ impl Continuous for Mixture {
         self.weights
             .iter()
             .zip(&self.components)
-            .map(|(w, c)| w * c.pdf(x))
+            .map(|(w, c)| w * c.pdf_dyn(x))
             .sum()
     }
 
@@ -101,7 +142,7 @@ impl Continuous for Mixture {
         self.weights
             .iter()
             .zip(&self.components)
-            .map(|(w, c)| w * c.cdf(x))
+            .map(|(w, c)| w * c.cdf_dyn(x))
             .sum()
     }
 
@@ -112,7 +153,7 @@ impl Continuous for Mixture {
             // Delegate the extremes to the widest component bounds.
             let mut q = f64::NAN;
             for c in &self.components {
-                let cq = c.quantile(p);
+                let cq = c.quantile_dyn(p);
                 q = if q.is_nan() {
                     cq
                 } else if p == 0.0 {
@@ -127,8 +168,8 @@ impl Continuous for Mixture {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for c in &self.components {
-            lo = lo.min(c.quantile(0.000_1));
-            hi = hi.max(c.quantile(0.999_9));
+            lo = lo.min(c.quantile_dyn(0.000_1));
+            hi = hi.max(c.quantile_dyn(0.999_9));
         }
         if !lo.is_finite() {
             lo = -1e300;
@@ -161,7 +202,7 @@ impl Continuous for Mixture {
         self.weights
             .iter()
             .zip(&self.components)
-            .map(|(w, c)| w * c.mean())
+            .map(|(w, c)| w * c.mean_dyn())
             .sum()
     }
 
@@ -172,7 +213,7 @@ impl Continuous for Mixture {
             .weights
             .iter()
             .zip(&self.components)
-            .map(|(w, c)| w * (c.variance() + c.mean() * c.mean()))
+            .map(|(w, c)| w * (c.variance_dyn() + c.mean_dyn() * c.mean_dyn()))
             .sum();
         e2 - m * m
     }
@@ -213,6 +254,16 @@ mod tests {
     #[test]
     fn component_frequencies() {
         let m = bimodal();
+        let mut rng = SeedStream::new(91).rng("mix");
+        const N: usize = 50_000;
+        let low = (0..N).filter(|_| m.sample_labeled(&mut rng).0 == 1).count() as f64 / N as f64;
+        assert!((low - 0.1).abs() < 0.01, "congestion fraction {low}");
+    }
+
+    #[test]
+    fn alias_picker_component_frequencies() {
+        let m = bimodal().with_backend(SamplerBackend::Alias).unwrap();
+        assert_eq!(m.backend(), SamplerBackend::Alias);
         let mut rng = SeedStream::new(91).rng("mix");
         const N: usize = 50_000;
         let low = (0..N).filter(|_| m.sample_labeled(&mut rng).0 == 1).count() as f64 / N as f64;

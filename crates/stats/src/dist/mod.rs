@@ -2,9 +2,11 @@
 //!
 //! All distributions are implemented from scratch on top of a raw uniform
 //! source. Continuous distributions implement [`Continuous`] (and therefore
-//! [`Sample`]); discrete distributions implement [`Discrete`]. Both traits
-//! are dyn-compatible so heterogeneous collections (e.g. [`Mixture`]) work
-//! naturally.
+//! [`Sample`]); discrete distributions implement [`Discrete`]. The sampling
+//! methods are generic over the RNG (`R: Rng + ?Sized`) so hot loops
+//! monomorphize down to direct calls; heterogeneous collections (e.g.
+//! [`Mixture`]) use the object-safe [`DynSample`] / [`DynContinuous`]
+//! views, which every distribution gets through blanket impls.
 //!
 //! The set is exactly what the paper's generative model and the fitting
 //! machinery need:
@@ -21,6 +23,7 @@
 //! | [`Empirical`] | replaying measured marginals |
 //! | [`Truncated`] | bounding sampled durations to the trace horizon |
 
+mod alias;
 mod empirical;
 mod exponential;
 mod gamma;
@@ -35,6 +38,8 @@ mod weibull;
 mod zeta;
 mod zipf;
 
+pub use alias::AliasTable;
+pub use alias::SamplerBackend;
 pub use empirical::Empirical;
 pub use exponential::Exponential;
 pub use gamma::Gamma;
@@ -75,13 +80,32 @@ impl std::fmt::Display for ParamError {
 impl std::error::Error for ParamError {}
 
 /// Anything that can produce a real-valued sample from an RNG.
+///
+/// The RNG parameter is generic so that a concrete distribution sampled
+/// with a concrete RNG monomorphizes to a direct (inlinable) call — the
+/// generator's hot loop pays no virtual dispatch per draw. Code that needs
+/// runtime polymorphism uses the object-safe [`DynSample`] view instead.
 pub trait Sample {
     /// Draws one sample.
-    fn sample(&self, rng: &mut dyn Rng) -> f64;
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
 
     /// Draws `n` samples into a fresh vector.
-    fn sample_n(&self, rng: &mut dyn Rng, n: usize) -> Vec<f64> {
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Object-safe view of [`Sample`], for heterogeneous collections and
+/// `&dyn`-typed fields. Every `Sample` type implements it via a blanket
+/// impl; `sample_dyn` draws exactly the same value `sample` would.
+pub trait DynSample {
+    /// Draws one sample through a type-erased RNG.
+    fn sample_dyn(&self, rng: &mut dyn Rng) -> f64;
+}
+
+impl<S: Sample> DynSample for S {
+    fn sample_dyn(&self, rng: &mut dyn Rng) -> f64 {
+        self.sample(rng)
     }
 }
 
@@ -108,10 +132,54 @@ pub trait Continuous: Sample {
     fn variance(&self) -> f64;
 }
 
+/// Object-safe view of [`Continuous`] (whose sampling method is generic
+/// and therefore not dyn-compatible). The density/CDF methods carry a
+/// `_dyn` suffix so concrete types implementing both traits never produce
+/// ambiguous method calls. Implemented for every `Continuous` type via a
+/// blanket impl.
+pub trait DynContinuous: DynSample {
+    /// Probability density at `x`.
+    fn pdf_dyn(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P[X <= x]`.
+    fn cdf_dyn(&self, x: f64) -> f64;
+
+    /// Quantile (inverse CDF). `p` must lie in `[0, 1]`.
+    fn quantile_dyn(&self, p: f64) -> f64;
+
+    /// Distribution mean (may be `INFINITY`).
+    fn mean_dyn(&self) -> f64;
+
+    /// Distribution variance (may be `INFINITY`).
+    fn variance_dyn(&self) -> f64;
+}
+
+impl<C: Continuous> DynContinuous for C {
+    fn pdf_dyn(&self, x: f64) -> f64 {
+        self.pdf(x)
+    }
+
+    fn cdf_dyn(&self, x: f64) -> f64 {
+        self.cdf(x)
+    }
+
+    fn quantile_dyn(&self, p: f64) -> f64 {
+        self.quantile(p)
+    }
+
+    fn mean_dyn(&self) -> f64 {
+        Continuous::mean(self)
+    }
+
+    fn variance_dyn(&self) -> f64 {
+        Continuous::variance(self)
+    }
+}
+
 /// A discrete distribution over non-negative integers.
 pub trait Discrete {
     /// Draws one integer sample.
-    fn sample_k(&self, rng: &mut dyn Rng) -> u64;
+    fn sample_k<R: Rng + ?Sized>(&self, rng: &mut R) -> u64;
 
     /// Probability mass at `k`.
     fn pmf(&self, k: u64) -> f64;
@@ -190,7 +258,7 @@ impl<D: Continuous> Truncated<D> {
 }
 
 impl<D: Continuous> Sample for Truncated<D> {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u = crate::rng::u01(rng);
         let p = self.f_lo + u * (self.f_hi - self.f_lo);
         self.inner.quantile(p).clamp(self.lo, self.hi)

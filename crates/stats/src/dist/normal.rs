@@ -45,7 +45,7 @@ impl Normal {
     }
 
     /// Draws one standard-normal variate via Box–Muller.
-    pub fn sample_standard(rng: &mut dyn Rng) -> f64 {
+    pub fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
         let u1 = u01_open0(rng); // (0, 1]: safe for ln
         let u2 = u01(rng);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -53,7 +53,7 @@ impl Normal {
 }
 
 impl Sample for Normal {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.mu + self.sigma * Self::sample_standard(rng)
     }
 }

@@ -37,7 +37,7 @@ impl Pareto {
 }
 
 impl Sample for Pareto {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // Inverse transform on the CCDF: x = xm * u^{-1/alpha}, u ∈ (0, 1].
         self.xm * u01_open0(rng).powf(-1.0 / self.alpha)
     }

@@ -34,7 +34,7 @@ impl Poisson {
         self.lambda
     }
 
-    fn sample_knuth(&self, rng: &mut dyn Rng) -> u64 {
+    fn sample_knuth<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let l = (-self.lambda).exp();
         let mut k = 0u64;
         let mut p = 1.0;
@@ -47,7 +47,7 @@ impl Poisson {
         }
     }
 
-    fn sample_atkinson(&self, rng: &mut dyn Rng) -> u64 {
+    fn sample_atkinson<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         // Atkinson (1979): rejection from a logistic envelope.
         let lam = self.lambda;
         let beta = std::f64::consts::PI / (3.0 * lam).sqrt();
@@ -76,7 +76,7 @@ impl Poisson {
 }
 
 impl Discrete for Poisson {
-    fn sample_k(&self, rng: &mut dyn Rng) -> u64 {
+    fn sample_k<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         if self.lambda < 30.0 {
             self.sample_knuth(rng)
         } else {
@@ -103,7 +103,7 @@ impl Discrete for Poisson {
 }
 
 impl Sample for Poisson {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.sample_k(rng) as f64
     }
 }

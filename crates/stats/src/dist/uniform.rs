@@ -35,7 +35,7 @@ impl Uniform {
 }
 
 impl Sample for Uniform {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.a + u01(rng) * (self.b - self.a)
     }
 }

@@ -38,7 +38,7 @@ impl Weibull {
 }
 
 impl Sample for Weibull {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.lambda * (-u01_open0(rng).ln()).powf(1.0 / self.k)
     }
 }

@@ -44,7 +44,7 @@ impl Zeta {
 }
 
 impl Discrete for Zeta {
-    fn sample_k(&self, rng: &mut dyn Rng) -> u64 {
+    fn sample_k<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         // Devroye (1986), "Non-Uniform Random Variate Generation", ch. X.6.1.
         let am1 = self.alpha - 1.0;
         let b = 2f64.powf(am1);
@@ -102,7 +102,7 @@ impl Discrete for Zeta {
 }
 
 impl Sample for Zeta {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.sample_k(rng) as f64
     }
 }

@@ -3,10 +3,13 @@
 //! The paper's *client interest profile* (Fig 7) is Zipf-like with exponent
 //! α = 0.4704 — below 1, so an unbounded zeta law would not normalize; the
 //! population is finite (~692k clients) and a *bounded* Zipf is the right
-//! object. [`ZipfTable`] precomputes the cumulative weights once and samples
-//! ranks with a binary search (`O(log n)` per draw, exact).
+//! object. [`ZipfTable`] precomputes the cumulative weights once; draws use
+//! either a binary search on that table (`O(log n)`, one uniform) or a
+//! Vose [`AliasTable`] (`O(1)`, two uniforms), selected explicitly via
+//! [`SamplerBackend`] — see the alias module for why backend choice is
+//! part of the determinism contract.
 
-use super::{Discrete, ParamError, Sample};
+use super::{AliasTable, Discrete, ParamError, Sample, SamplerBackend};
 use crate::rng::u01;
 use rand::Rng;
 
@@ -21,14 +24,31 @@ pub struct ZipfTable {
     /// `cum[i]` = P[K <= i+1]; length `n`, last element is 1.0.
     cum: Vec<f64>,
     norm: f64,
+    /// Moments, computed once in the same O(n) construction pass — calling
+    /// `mean()` in a loop must not re-walk the table.
+    mean: f64,
+    variance: f64,
+    /// Present iff the alias backend was selected.
+    alias: Option<AliasTable>,
 }
 
 impl ZipfTable {
-    /// Creates a bounded Zipf over `1..=n` with exponent `s >= 0`.
+    /// Creates a bounded Zipf over `1..=n` with exponent `s >= 0`, using
+    /// the default inverse-CDF backend.
     ///
     /// Cost: `O(n)` time and memory. For the paper's populations
     /// (n ≈ 7×10⁵) this is a few megabytes built once per generator.
     pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        Self::with_backend(n, s, SamplerBackend::InverseCdf)
+    }
+
+    /// Creates a bounded Zipf with an explicit sampling backend.
+    ///
+    /// Both backends draw from exactly this distribution but consume the
+    /// RNG stream differently (one uniform per draw vs two), so the same
+    /// seed produces different — identically distributed — rank sequences.
+    /// Determinism fixtures must pin the backend they assert against.
+    pub fn with_backend(n: u64, s: f64, backend: SamplerBackend) -> Result<Self, ParamError> {
         if n == 0 {
             return Err(ParamError::new("ZipfTable requires n >= 1"));
         }
@@ -39,8 +59,13 @@ impl ZipfTable {
         }
         let mut cum = Vec::with_capacity(n as usize);
         let mut acc = 0.0;
+        let mut m1 = 0.0; // Σ k^{1-s}
+        let mut m2 = 0.0; // Σ k^{2-s}
         for k in 1..=n {
-            acc += (k as f64).powf(-s);
+            let w = (k as f64).powf(-s);
+            acc += w;
+            m1 += w * k as f64;
+            m2 += w * (k as f64) * (k as f64);
             cum.push(acc);
         }
         let norm = acc;
@@ -51,7 +76,24 @@ impl ZipfTable {
         if let Some(last) = cum.last_mut() {
             *last = 1.0;
         }
-        Ok(Self { n, s, cum, norm })
+        let mean = m1 / norm;
+        let variance = m2 / norm - mean * mean;
+        let alias = match backend {
+            SamplerBackend::InverseCdf => None,
+            SamplerBackend::Alias => {
+                let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+                Some(AliasTable::new(&weights)?)
+            }
+        };
+        Ok(Self {
+            n,
+            s,
+            cum,
+            norm,
+            mean,
+            variance,
+            alias,
+        })
     }
 
     /// Number of ranks.
@@ -62,6 +104,15 @@ impl ZipfTable {
     /// Exponent.
     pub fn s(&self) -> f64 {
         self.s
+    }
+
+    /// The sampling backend in force.
+    pub fn backend(&self) -> SamplerBackend {
+        if self.alias.is_some() {
+            SamplerBackend::Alias
+        } else {
+            SamplerBackend::InverseCdf
+        }
     }
 
     /// Normalization constant `H_{n,s}` (generalized harmonic number).
@@ -77,7 +128,11 @@ impl ZipfTable {
 }
 
 impl Discrete for ZipfTable {
-    fn sample_k(&self, rng: &mut dyn Rng) -> u64 {
+    #[inline]
+    fn sample_k<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if let Some(alias) = &self.alias {
+            return alias.sample(rng) as u64 + 1;
+        }
         let u = u01(rng);
         // First index whose cumulative mass reaches u.
         let idx = self.cum.partition_point(|&c| c < u);
@@ -103,26 +158,16 @@ impl Discrete for ZipfTable {
     }
 
     fn mean(&self) -> f64 {
-        // H_{n, s-1} / H_{n, s}
-        let mut num = 0.0;
-        for k in 1..=self.n {
-            num += (k as f64).powf(1.0 - self.s);
-        }
-        num / self.norm
+        self.mean
     }
 
     fn variance(&self) -> f64 {
-        let m = self.mean();
-        let mut e2 = 0.0;
-        for k in 1..=self.n {
-            e2 += (k as f64).powf(2.0 - self.s);
-        }
-        e2 / self.norm - m * m
+        self.variance
     }
 }
 
 impl Sample for ZipfTable {
-    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.sample_k(rng) as f64
     }
 }
@@ -130,6 +175,7 @@ impl Sample for ZipfTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hypothesis::chi_square_test;
     use crate::rng::SeedStream;
 
     #[test]
@@ -137,6 +183,7 @@ mod tests {
         assert!(ZipfTable::new(0, 1.0).is_err());
         assert!(ZipfTable::new(10, -0.5).is_err());
         assert!(ZipfTable::new(10, f64::NAN).is_err());
+        assert!(ZipfTable::with_backend(0, 1.0, SamplerBackend::Alias).is_err());
     }
 
     #[test]
@@ -168,6 +215,21 @@ mod tests {
     }
 
     #[test]
+    fn cached_moments_match_direct_sums() {
+        let d = ZipfTable::new(500, 0.4704).unwrap();
+        let mut num = 0.0;
+        let mut e2 = 0.0;
+        for k in 1..=500u64 {
+            num += (k as f64).powf(1.0 - 0.4704);
+            e2 += (k as f64).powf(2.0 - 0.4704);
+        }
+        let mean = num / d.normalization();
+        let var = e2 / d.normalization() - mean * mean;
+        assert!((d.mean() - mean).abs() < 1e-9 * mean.abs());
+        assert!((d.variance() - var).abs() < 1e-9 * var.abs());
+    }
+
+    #[test]
     fn sample_frequencies_match_pmf() {
         let d = ZipfTable::new(50, 1.0).unwrap();
         let mut rng = SeedStream::new(61).rng("zipf");
@@ -189,11 +251,60 @@ mod tests {
     }
 
     #[test]
+    fn alias_backend_frequencies_match_pmf() {
+        // The alias backend must reproduce the same pmf as the inverse-CDF
+        // backend within the tolerance `sample_frequencies_match_pmf` uses.
+        let d = ZipfTable::with_backend(50, 1.0, SamplerBackend::Alias).unwrap();
+        assert_eq!(d.backend(), SamplerBackend::Alias);
+        let mut rng = SeedStream::new(61).rng("zipf");
+        let mut counts = [0u32; 51];
+        const N: usize = 200_000;
+        for _ in 0..N {
+            let k = d.sample_k(&mut rng);
+            assert!((1..=50).contains(&k));
+            counts[k as usize] += 1;
+        }
+        for k in [1u64, 2, 5, 10, 25] {
+            let emp = counts[k as usize] as f64 / N as f64;
+            let theo = d.pmf(k);
+            assert!(
+                (emp - theo).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {theo}"
+            );
+        }
+        // Stronger: full-support chi-square goodness of fit against the
+        // exact pmf must accept at the 1% level.
+        let observed: Vec<f64> = (1..=50).map(|k| f64::from(counts[k as usize])).collect();
+        let expected: Vec<f64> = (1..=50).map(|k| d.pmf(k) * N as f64).collect();
+        let r = chi_square_test(&observed, &expected, 0).unwrap();
+        assert!(r.accepts(0.01), "chi-square p = {}", r.p_value);
+    }
+
+    #[test]
+    fn backends_agree_on_static_queries() {
+        let cdf = ZipfTable::new(200, 0.7).unwrap();
+        let alias = ZipfTable::with_backend(200, 0.7, SamplerBackend::Alias).unwrap();
+        assert_eq!(cdf.backend(), SamplerBackend::InverseCdf);
+        for k in [1u64, 2, 10, 100, 200] {
+            assert_eq!(cdf.pmf(k), alias.pmf(k));
+            assert_eq!(cdf.cdf_k(k), alias.cdf_k(k));
+        }
+        assert_eq!(cdf.mean(), alias.mean());
+        assert_eq!(cdf.variance(), alias.variance());
+    }
+
+    #[test]
     fn sample_never_escapes_support() {
         let d = ZipfTable::new(3, 2.0).unwrap();
         let mut rng = SeedStream::new(62).rng("zipf-bounds");
         for _ in 0..10_000 {
             let k = d.sample_k(&mut rng);
+            assert!((1..=3).contains(&k));
+        }
+        let a = ZipfTable::with_backend(3, 2.0, SamplerBackend::Alias).unwrap();
+        let mut rng = SeedStream::new(62).rng("zipf-bounds");
+        for _ in 0..10_000 {
+            let k = a.sample_k(&mut rng);
             assert!((1..=3).contains(&k));
         }
     }

@@ -5,7 +5,7 @@
 //! time) and the transfer layer (ON = transfer, OFF = "think" time).
 //! [`OnOff`] generates such an alternation from two duration distributions.
 
-use crate::dist::Sample;
+use crate::dist::DynSample;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -32,13 +32,13 @@ impl OnOffInterval {
 /// reached. The final ON interval is clipped to the horizon (live content
 /// ends when the event ends).
 pub struct OnOff<'a> {
-    on: &'a dyn Sample,
-    off: &'a dyn Sample,
+    on: &'a dyn DynSample,
+    off: &'a dyn DynSample,
 }
 
 impl<'a> OnOff<'a> {
     /// Creates the process from ON- and OFF-duration distributions.
-    pub fn new(on: &'a dyn Sample, off: &'a dyn Sample) -> Self {
+    pub fn new(on: &'a dyn DynSample, off: &'a dyn DynSample) -> Self {
         Self { on, off }
     }
 
@@ -58,7 +58,7 @@ impl<'a> OnOff<'a> {
         let mut out = Vec::new();
         let mut t = t0;
         while t < horizon {
-            let on_len = self.on.sample(rng).max(0.0);
+            let on_len = self.on.sample_dyn(rng).max(0.0);
             if on_len > 0.0 {
                 let end = (t + on_len).min(horizon);
                 out.push(OnOffInterval { start: t, end });
@@ -67,7 +67,7 @@ impl<'a> OnOff<'a> {
             if t >= horizon {
                 break;
             }
-            let off_len = self.off.sample(rng).max(0.0);
+            let off_len = self.off.sample_dyn(rng).max(0.0);
             t += off_len.max(min_advance);
         }
         out

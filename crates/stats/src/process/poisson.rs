@@ -27,7 +27,7 @@ impl PoissonProcess {
     }
 
     /// Generates sorted arrival times in `[t0, t1)` via exponential gaps.
-    pub fn generate(&self, rng: &mut dyn Rng, t0: f64, t1: f64) -> Vec<f64> {
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, t0: f64, t1: f64) -> Vec<f64> {
         assert!(t0 <= t1, "empty interval");
         let mut out = Vec::new();
         let mut t = t0;
@@ -149,7 +149,7 @@ impl PiecewisePoisson {
     }
 
     /// Generates sorted arrival times in `[t0, t1)`.
-    pub fn generate(&self, rng: &mut dyn Rng, t0: f64, t1: f64) -> Vec<f64> {
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, t0: f64, t1: f64) -> Vec<f64> {
         assert!(t0 <= t1, "empty interval");
         let w = self.profile.window;
         let mut out = Vec::new();
@@ -213,7 +213,7 @@ impl<F: RateFn> ThinnedPoisson<F> {
     }
 
     /// Generates sorted arrival times in `[t0, t1)`.
-    pub fn generate(&self, rng: &mut dyn Rng, t0: f64, t1: f64) -> Vec<f64> {
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, t0: f64, t1: f64) -> Vec<f64> {
         assert!(t0 <= t1, "empty interval");
         let lambda_max = self.rate_fn.max_rate(t0, t1);
         if !(lambda_max > 0.0) {

@@ -19,6 +19,28 @@ use std::collections::BinaryHeap;
 /// Fixed-point scale for CPU-audit sums (2^-32 per unit).
 const CPU_SCALE: f64 = 4_294_967_296.0;
 
+/// Seconds per CPU-audit block: bins are grouped 64 at a time so the hot
+/// `observe` path descends a tree that is 64x smaller and the per-entry
+/// flush probe is a single shallow `first_key_value`.
+const CPU_BLOCK_BITS: u32 = 6;
+const CPU_BLOCK: usize = 1 << CPU_BLOCK_BITS;
+
+/// 64 consecutive one-second bins of `(fixed-point sum, sample count)`.
+#[derive(Debug)]
+struct CpuBlock {
+    sums: [i64; CPU_BLOCK],
+    counts: [u32; CPU_BLOCK],
+}
+
+impl CpuBlock {
+    fn new() -> Box<Self> {
+        Box::new(Self {
+            sums: [0; CPU_BLOCK],
+            counts: [0; CPU_BLOCK],
+        })
+    }
+}
+
 /// Per-second CPU-load audit in a sliding window (§2.4).
 ///
 /// The batch sanitizer averages CPU readings into one-second bins over the
@@ -26,10 +48,12 @@ const CPU_SCALE: f64 = 4_294_967_296.0;
 /// them. A bin at second `t` receives readings from entries with
 /// `timestamp == t`, and every entry satisfies `timestamp >= start`, so
 /// once the released stream reaches start `s` all bins below `s` are
-/// final and fold into two counters.
+/// final and fold into two counters. Folding happens a whole 64-bin block
+/// at a time — deferral only delays *when* a final bin is counted, never
+/// what it contributes, so the finish-time fractions are unchanged.
 #[derive(Debug, Default)]
 pub struct CpuAudit {
-    bins: BTreeMap<u32, (i64, u32)>,
+    blocks: BTreeMap<u32, Box<CpuBlock>>,
     done_bins: u64,
     done_under: u64,
     transfers: u64,
@@ -43,21 +67,40 @@ impl CpuAudit {
         if cpu < lsw_trace::sanitize::CPU_THRESHOLD {
             self.under_transfers += 1;
         }
-        let slot = self.bins.entry(timestamp).or_insert((0, 0));
-        slot.0 += (f64::from(cpu) * CPU_SCALE).round() as i64;
-        slot.1 += 1;
+        let block = self
+            .blocks
+            .entry(timestamp >> CPU_BLOCK_BITS)
+            .or_insert_with(CpuBlock::new);
+        let slot = (timestamp as usize) & (CPU_BLOCK - 1);
+        block.sums[slot] += (f64::from(cpu) * CPU_SCALE).round() as i64;
+        block.counts[slot] += 1;
     }
 
-    /// Folds every bin strictly below `watermark` into the totals.
+    /// Folds every block strictly below `watermark` into the totals (a
+    /// block folds once *all* its bins are below the watermark).
     pub fn flush_below(&mut self, watermark: u32) {
-        while let Some((t, (sum, n))) = self.bins.pop_first() {
-            if t >= watermark {
-                // Put the bin back: it may still receive samples.
-                self.bins.insert(t, (sum, n));
+        // Called once per released entry: bail with a read-only probe for
+        // the (overwhelmingly common) case where no block is final yet.
+        let limit = u64::from(watermark) >> CPU_BLOCK_BITS;
+        while self
+            .blocks
+            .first_key_value()
+            .is_some_and(|(&b, _)| u64::from(b) < limit)
+        {
+            let Some((_, block)) = self.blocks.pop_first() else {
                 break;
+            };
+            self.fold(&block);
+        }
+    }
+
+    fn fold(&mut self, block: &CpuBlock) {
+        for (sum, n) in block.sums.iter().zip(&block.counts) {
+            if *n == 0 {
+                continue;
             }
             self.done_bins += 1;
-            let avg = sum as f64 / CPU_SCALE / f64::from(n);
+            let avg = *sum as f64 / CPU_SCALE / f64::from(*n);
             if avg < f64::from(lsw_trace::sanitize::CPU_THRESHOLD) {
                 self.done_under += 1;
             }
@@ -67,8 +110,9 @@ impl CpuAudit {
     /// Final underload fractions `(time, transfers)`, batch conventions:
     /// empty audits count as fully underloaded.
     pub fn finish(&mut self) -> (f64, f64) {
-        self.flush_below(u32::MAX);
-        self.flush_last();
+        while let Some((_, block)) = self.blocks.pop_first() {
+            self.fold(&block);
+        }
         let time = if self.done_bins == 0 {
             1.0
         } else {
@@ -82,20 +126,12 @@ impl CpuAudit {
         (time, transfers)
     }
 
-    fn flush_last(&mut self) {
-        // flush_below(u32::MAX) leaves a possible bin at exactly u32::MAX.
-        while let Some((_, (sum, n))) = self.bins.pop_first() {
-            self.done_bins += 1;
-            let avg = sum as f64 / CPU_SCALE / f64::from(n);
-            if avg < f64::from(lsw_trace::sanitize::CPU_THRESHOLD) {
-                self.done_under += 1;
-            }
-        }
-    }
-
-    /// Live window size (bins currently held).
+    /// Live window size (non-empty bins currently held).
     pub fn window_bins(&self) -> usize {
-        self.bins.len()
+        self.blocks
+            .values()
+            .map(|b| b.counts.iter().filter(|&&n| n > 0).count())
+            .sum()
     }
 }
 
@@ -115,7 +151,11 @@ pub struct OnlineConcurrency {
     level: u32,
     t_cur: u32,
     peak: u32,
-    marginal: BTreeMap<u32, u64>,
+    /// Seconds spent at each concurrency level, indexed by level. Levels
+    /// are dense small integers (bounded by peak concurrency), so a flat
+    /// vector beats a tree: `account` runs once or twice per released
+    /// entry and its histogram bump must be O(1).
+    marginal: Vec<u64>,
     weighted: u128,
     fold_secs: [u64; DAILY_BINS],
     fold_weighted: [u64; DAILY_BINS],
@@ -129,7 +169,7 @@ impl Default for OnlineConcurrency {
             level: 0,
             t_cur: 0,
             peak: 0,
-            marginal: BTreeMap::new(),
+            marginal: Vec::new(),
             weighted: 0,
             fold_secs: [0; DAILY_BINS],
             fold_weighted: [0; DAILY_BINS],
@@ -176,7 +216,11 @@ impl OnlineConcurrency {
             return;
         }
         let dur = u64::from(until - self.t_cur);
-        *self.marginal.entry(self.level).or_insert(0) += dur;
+        let level = self.level as usize;
+        if level >= self.marginal.len() {
+            self.marginal.resize(level + 1, 0);
+        }
+        self.marginal[level] += dur;
         self.weighted += u128::from(self.level) * u128::from(dur);
         // Time-of-day fold over 15-minute bins.
         let mut t = u64::from(self.t_cur);
@@ -215,9 +259,15 @@ impl OnlineConcurrency {
         }
     }
 
-    /// Marginal distribution: `(level, seconds spent at that level)`.
+    /// Marginal distribution: `(level, seconds spent at that level)`,
+    /// ascending, non-empty levels only (same shape the tree produced).
     pub fn marginal(&self) -> Vec<(u32, u64)> {
-        self.marginal.iter().map(|(&l, &s)| (l, s)).collect()
+        self.marginal
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0)
+            .map(|(l, &s)| (l as u32, s))
+            .collect()
     }
 
     /// Mean concurrency per 15-minute time-of-day bin (Fig 15's shape).

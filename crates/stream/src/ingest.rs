@@ -77,13 +77,14 @@ impl StreamConfig {
     /// Scales sketch sizes down to fit a memory budget (bytes).
     ///
     /// The budget governs *sketch* memory: the client sample (the largest
-    /// consumer, ~64 bytes per sampled client), the per-shard HyperLogLogs
-    /// and the read chunk. The look-ahead heap and active-session map are
-    /// workload-bounded (one look-ahead window / one timeout window of
-    /// state), not budget-bounded.
+    /// consumer, ~128 bytes per sampled client: a half-loaded slot table
+    /// preallocated at its k-determined capacity plus the threshold heap),
+    /// the per-shard HyperLogLogs and the read chunk. The look-ahead heap
+    /// and active-session map are workload-bounded (one look-ahead window
+    /// / one timeout window of state), not budget-bounded.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
-        // Half the budget to the client sample at ~64 B/client.
-        self.sample_k = ((bytes / 2) / 64).clamp(1 << 10, 1 << 20);
+        // Half the budget to the client sample at ~128 B/client.
+        self.sample_k = ((bytes / 2) / 128).clamp(1 << 10, 1 << 20);
         // A quarter to the HLL pair replicated per shard.
         while self.hll_precision > 10
             && self.shards * 2 * (1usize << self.hll_precision) > bytes / 4
@@ -300,7 +301,7 @@ impl StreamAnalyzer {
     pub fn ingest_read<R: std::io::Read>(&mut self, reader: R) -> std::io::Result<()> {
         for chunk in wms::LineChunks::new(reader, self.cfg.chunk_bytes) {
             let chunk = chunk?;
-            self.ingest_chunk(&chunk.text, chunk.first_line as u64);
+            self.ingest_chunk(&chunk.bytes, chunk.first_line as u64);
         }
         Ok(())
     }
@@ -308,11 +309,11 @@ impl StreamAnalyzer {
     /// Ingests in-memory text (tests, small logs).
     pub fn ingest_str(&mut self, text: &str) {
         let first = self.next_line;
-        self.ingest_chunk(text, first);
+        self.ingest_chunk(text.as_bytes(), first);
     }
 
-    fn ingest_chunk(&mut self, text: &str, first_line: u64) {
-        let lines: Vec<&str> = text.lines().collect();
+    fn ingest_chunk(&mut self, text: &[u8], first_line: u64) {
+        let lines: Vec<&[u8]> = wms::byte_lines(text).collect();
         self.lines_total += lines.len() as u64;
         self.next_line = first_line + lines.len() as u64;
         if lines.is_empty() {
@@ -500,8 +501,12 @@ impl StreamAnalyzer {
 
 /// Parses one contiguous line range into `shard`, returning kept entries
 /// in input order plus the max parsed stop time (for horizon inference).
+///
+/// Lines are raw bytes and go straight through the zero-copy scanner
+/// ([`wms::parse_line_bytes`]) — no `String` is ever materialized on this
+/// path.
 fn parse_range(
-    lines: &[&str],
+    lines: &[&[u8]],
     range: std::ops::Range<usize>,
     first_line: u64,
     horizon: Option<u32>,
@@ -515,11 +520,11 @@ fn parse_range(
     let classify_horizon = horizon.unwrap_or(u32::MAX);
     for i in range {
         let line_no = first_line + i as u64;
-        let raw = lines[i].trim();
-        if raw.is_empty() || raw.starts_with('#') {
+        let raw = lines[i].trim_ascii();
+        if raw.is_empty() || raw[0] == b'#' {
             continue;
         }
-        match wms::parse_line(raw) {
+        match wms::parse_line_bytes(raw) {
             Ok(e) => {
                 shard.parsed += 1;
                 max_stop = max_stop.max(e.stop());

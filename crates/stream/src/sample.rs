@@ -18,15 +18,20 @@
 //! uniform client sampling scales ranks by the sampling fraction, and
 //! `log(rank) → log(rank) - log(f)` only shifts the regression intercept.
 //!
-//! Merging takes the union of tallies (sums per key — entry streams are
-//! disjoint) and re-truncates to the k smallest hashes; since SplitMix64
-//! is a bijection on `u64`, distinct 32-bit client ids never collide and
-//! the merged state is independent of how the stream was sharded.
+//! Storage is an open-addressing table keyed by the client hash (this is
+//! the ingest coordinator's hottest per-entry lookup, so membership must
+//! be O(1), not a tree descent) plus a max-heap holding exactly the live
+//! hashes — the heap top *is* the bottom-k threshold, and an eviction
+//! always removes the top, so heap and table never disagree. Since
+//! SplitMix64 is a bijection on `u64`, distinct 32-bit client ids never
+//! collide and hash equality is key equality. Every observable (fits,
+//! estimates, merges, equality) reads the *sorted* contents, so the slot
+//! layout — which depends on insertion order — never leaks into results.
 
 use crate::sketch::{hash64, Sketch};
 use lsw_stats::empirical::RankFrequency;
 use lsw_stats::fit::{fit_zipf_rank_frequency, ZipfFit};
-use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
 
 /// Complete per-sampled-client tallies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,21 +48,41 @@ pub struct ClientTally {
     pub last_end: Option<u32>,
 }
 
+/// One occupied table slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    hash: u64,
+    client: u32,
+    tally: ClientTally,
+}
+
 /// Bottom-k distinct sample keyed by hashed client id.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ClientSample {
     k: usize,
-    /// hash -> (client id, tallies); the map never exceeds `k` entries
-    /// and holds the k smallest hashes seen.
-    keys: BTreeMap<u64, (u32, ClientTally)>,
+    /// Linear-probe slots; capacity is a power of two kept at load <= 1/2.
+    slots: Vec<Option<Entry>>,
+    len: usize,
+    /// Max-heap of exactly the live hashes; the top is the k-th smallest
+    /// hash once the sample is full (the KMV threshold).
+    max_hashes: BinaryHeap<u64>,
 }
 
 impl ClientSample {
     /// Creates a sample of at most `k` clients (min 16).
+    ///
+    /// The slot table is allocated at its full k-determined capacity up
+    /// front: the sample can never exceed `k` live entries, so sizing by
+    /// `k` (not by data) keeps the footprint constant over the whole
+    /// stream — the memory a sample uses is decided by configuration, not
+    /// by how many distinct clients the trace happens to contain.
     pub fn new(k: usize) -> Self {
+        let k = k.max(16);
         Self {
-            k: k.max(16),
-            keys: BTreeMap::new(),
+            k,
+            slots: vec![None; (2 * k).next_power_of_two()],
+            len: 0,
+            max_hashes: BinaryHeap::new(),
         }
     }
 
@@ -68,50 +93,112 @@ impl ClientSample {
 
     /// Number of sampled clients.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.len
     }
 
     /// True when no client has been observed.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len == 0
+    }
+
+    /// Slot index of `hash` if present.
+    fn find(&self, hash: u64) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while let Some(e) = &self.slots[i] {
+            if e.hash == hash {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+        None
+    }
+
+    /// Inserts a new entry (hash must be absent). The preallocated table
+    /// holds `k` entries at load <= 1/2, so growth never triggers in
+    /// practice; the guard keeps the structure sound regardless.
+    fn insert_entry(&mut self, entry: Entry) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (entry.hash as usize) & mask;
+        while self.slots[i].is_some() {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Some(entry);
+        self.len += 1;
+        self.max_hashes.push(entry.hash);
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        let mask = new_cap - 1;
+        for e in old.into_iter().flatten() {
+            let mut i = (e.hash as usize) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(e);
+        }
+    }
+
+    /// Removes `hash` (which must be present) with backward-shift deletion
+    /// so linear probing stays sound without tombstones.
+    fn remove_hash(&mut self, hash: u64) {
+        let Some(mut i) = self.find(hash) else {
+            return;
+        };
+        let mask = self.slots.len() - 1;
+        self.slots[i] = None;
+        self.len -= 1;
+        let mut j = (i + 1) & mask;
+        while let Some(e) = self.slots[j] {
+            let home = (e.hash as usize) & mask;
+            // Shift back unless the entry already sits in its probe run
+            // between its home and the hole.
+            let between = if i < j {
+                i < home && home <= j
+            } else {
+                home <= j || home > i
+            };
+            if !between {
+                self.slots[i] = Some(e);
+                self.slots[j] = None;
+                i = j;
+            }
+            j = (j + 1) & mask;
+        }
     }
 
     /// Observes one transfer by `client`; tallies it if sampled.
     pub fn observe_transfer(&mut self, client: u32) {
         let h = hash64(u64::from(client));
-        if let Some((_, t)) = self.keys.get_mut(&h) {
-            t.transfers += 1;
+        if let Some(i) = self.find(h) {
+            // find() only returns occupied slot indices.
+            if let Some(slot) = self.slots[i].as_mut() {
+                slot.tally.transfers += 1;
+            }
             return;
         }
-        if self.keys.len() < self.k {
-            self.keys.insert(
-                h,
-                (
-                    client,
-                    ClientTally {
-                        transfers: 1,
-                        ..ClientTally::default()
-                    },
-                ),
-            );
-            return;
+        if self.len >= self.k {
+            match self.max_hashes.peek() {
+                Some(&max_h) if h < max_h => {
+                    self.max_hashes.pop();
+                    self.remove_hash(max_h);
+                }
+                _ => return,
+            }
         }
-        let Some((&max_h, _)) = self.keys.last_key_value() else {
-            return; // unreachable: len() >= k >= 1 here, but do not panic
-        };
-        if h < max_h {
-            self.keys.pop_last();
-            self.keys.insert(
-                h,
-                (
-                    client,
-                    ClientTally {
-                        transfers: 1,
-                        ..ClientTally::default()
-                    },
-                ),
-            );
-        }
+        self.insert_entry(Entry {
+            hash: h,
+            client,
+            tally: ClientTally {
+                transfers: 1,
+                ..ClientTally::default()
+            },
+        });
     }
 
     /// Records a closed session `[start, end]` for `client` (no-op when
@@ -119,7 +206,9 @@ impl ClientSample {
     /// chronological order, which the sessionizer guarantees.
     pub fn observe_session(&mut self, client: u32, start: u32, end: u32) {
         let h = hash64(u64::from(client));
-        if let Some((_, t)) = self.keys.get_mut(&h) {
+        if let Some(i) = self.find(h) {
+            // lsw::allow(L005): find() returned an occupied slot index
+            let t = &mut self.slots[i].as_mut().expect("occupied slot").tally;
             t.sessions += 1;
             if let Some(prev_end) = t.last_end {
                 t.off_sum += u64::from(start.saturating_sub(prev_end));
@@ -129,13 +218,21 @@ impl ClientSample {
         }
     }
 
+    /// Live entries in ascending hash order (the canonical view every
+    /// estimate and comparison reads, independent of slot layout).
+    fn sorted_entries(&self) -> Vec<Entry> {
+        let mut v: Vec<Entry> = self.slots.iter().flatten().copied().collect();
+        v.sort_unstable_by_key(|e| e.hash);
+        v
+    }
+
     /// KMV estimate of the number of distinct clients seen.
     pub fn distinct_estimate(&self) -> f64 {
-        if self.keys.len() < self.k {
-            return self.keys.len() as f64; // exhaustive: exact
+        if self.len < self.k {
+            return self.len as f64; // exhaustive: exact
         }
-        let Some((&kth, _)) = self.keys.last_key_value() else {
-            return self.keys.len() as f64; // unreachable: len() >= k >= 1
+        let Some(&kth) = self.max_hashes.peek() else {
+            return self.len as f64; // unreachable: len() >= k >= 1
         };
         // P(hash < kth) ≈ kth / 2^64; (k-1)/U is the unbiased KMV estimator.
         let u = kth as f64 / 18_446_744_073_709_551_616.0;
@@ -148,16 +245,15 @@ impl ClientSample {
         if d <= 0.0 {
             1.0
         } else {
-            (self.keys.len() as f64 / d).min(1.0)
+            (self.len as f64 / d).min(1.0)
         }
     }
 
     /// Mean OFF time over sampled clients' gaps, with the gap count.
     pub fn off_mean(&self) -> Option<(f64, u64)> {
-        let (sum, n) = self
-            .keys
-            .values()
-            .fold((0u64, 0u64), |(s, n), (_, t)| (s + t.off_sum, n + t.off_n));
+        let (sum, n) = self.slots.iter().flatten().fold((0u64, 0u64), |(s, n), e| {
+            (s + e.tally.off_sum, n + e.tally.off_n)
+        });
         (n > 0).then(|| (sum as f64 / n as f64, n))
     }
 
@@ -175,7 +271,13 @@ impl ClientSample {
     }
 
     fn zipf_of(&self, field: impl Fn(&ClientTally) -> u64) -> Option<ZipfFit> {
-        let counts: Vec<u64> = self.keys.values().map(|(_, t)| field(t)).collect();
+        // RankFrequency sorts internally, so slot order cannot leak.
+        let counts: Vec<u64> = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|e| field(&e.tally))
+            .collect();
         let rf = RankFrequency::from_counts(counts);
         if rf.n() < 2 {
             return None;
@@ -194,6 +296,17 @@ impl ClientSample {
     }
 }
 
+// Equality is over the sampled *contents*, not the slot layout: two
+// samples built from different insertion orders (e.g. merged vs single
+// stream) must compare equal when they hold the same clients and tallies.
+impl PartialEq for ClientSample {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k && self.sorted_entries() == other.sorted_entries()
+    }
+}
+
+impl Eq for ClientSample {}
+
 impl Sketch for ClientSample {
     type Item = u32;
     type Estimate = f64;
@@ -204,16 +317,25 @@ impl Sketch for ClientSample {
 
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.k, other.k, "cannot merge samples of different k");
-        for (&h, &(id, t)) in &other.keys {
-            let e = self.keys.entry(h).or_insert((id, ClientTally::default()));
-            e.1.transfers += t.transfers;
-            e.1.sessions += t.sessions;
-            e.1.off_sum += t.off_sum;
-            e.1.off_n += t.off_n;
-            e.1.last_end = e.1.last_end.max(t.last_end);
+        for oe in other.sorted_entries() {
+            if let Some(i) = self.find(oe.hash) {
+                // lsw::allow(L005): find() returned an occupied slot index
+                let t = &mut self.slots[i].as_mut().expect("occupied slot").tally;
+                t.transfers += oe.tally.transfers;
+                t.sessions += oe.tally.sessions;
+                t.off_sum += oe.tally.off_sum;
+                t.off_n += oe.tally.off_n;
+                t.last_end = t.last_end.max(oe.tally.last_end);
+            } else {
+                self.insert_entry(oe);
+            }
         }
-        while self.keys.len() > self.k {
-            self.keys.pop_last();
+        while self.len > self.k {
+            if let Some(max_h) = self.max_hashes.pop() {
+                self.remove_hash(max_h);
+            } else {
+                break; // unreachable: heap tracks every live hash
+            }
         }
     }
 
@@ -223,7 +345,8 @@ impl Sketch for ClientSample {
 
     fn bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.keys.len() * 2 * (8 + std::mem::size_of::<(u32, ClientTally)>())
+            + self.slots.len() * std::mem::size_of::<Option<Entry>>()
+            + self.max_hashes.len() * 8
     }
 }
 
@@ -265,8 +388,8 @@ mod tests {
                 s.observe_transfer(c);
             }
         }
-        for (_, t) in s.keys.values() {
-            assert_eq!(t.transfers, 2, "sampled tallies must be complete");
+        for e in s.slots.iter().flatten() {
+            assert_eq!(e.tally.transfers, 2, "sampled tallies must be complete");
         }
     }
 
@@ -298,5 +421,35 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn eviction_keeps_exactly_the_bottom_k() {
+        let mut s = ClientSample::new(16);
+        for c in 0..5_000u32 {
+            s.observe_transfer(c);
+        }
+        assert_eq!(s.len(), 16);
+        // The kept hashes must be exactly the 16 smallest over all clients.
+        let mut all: Vec<u64> = (0..5_000u32).map(|c| hash64(u64::from(c))).collect();
+        all.sort_unstable();
+        let kept: Vec<u64> = s.sorted_entries().iter().map(|e| e.hash).collect();
+        assert_eq!(kept, all[..16].to_vec());
+        // And the heap top is the threshold (largest kept hash).
+        assert_eq!(s.max_hashes.peek().copied(), Some(all[15]));
+    }
+
+    #[test]
+    fn removal_keeps_probe_chains_sound() {
+        // Force collisions and deletions, then verify every survivor is
+        // still findable (backward-shift must not orphan entries).
+        let mut s = ClientSample::new(16);
+        for c in 0..200u32 {
+            s.observe_transfer(c);
+        }
+        for e in s.sorted_entries() {
+            assert!(s.find(e.hash).is_some(), "entry lost after evictions");
+        }
+        assert_eq!(s.len(), 16);
     }
 }

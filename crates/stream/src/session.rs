@@ -12,8 +12,16 @@
 //! timeout`, no future entry can extend that session (future starts are >=
 //! the watermark, so their gap already exceeds the timeout) and it is
 //! closed eagerly by [`StreamSessionizer::prune_before`].
-
-use std::collections::BTreeMap;
+//!
+//! The active map is an open-addressing table keyed by the deterministic
+//! SplitMix64 client hash: [`StreamSessionizer::observe`] runs once per
+//! released entry, so membership must be O(1). Close *order* (slot order
+//! for prunes, which depends on insertion history) is deterministic for a
+//! given released stream but not canonical — every consumer of closed
+//! sessions is an order-insensitive accumulator (integer sums, count
+//! maps, per-client state), which the chunked-vs-whole ingest test pins:
+//! chunk boundaries already shuffle prune timing, so no downstream result
+//! may depend on the order sessions close.
 
 /// A completed session, emitted exactly once.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +45,8 @@ impl ClosedSession {
 
 #[derive(Debug, Clone, Copy)]
 struct Active {
+    client: u32,
+    hash: u64,
     start: u32,
     end: u32,
     last_start: u32,
@@ -44,15 +54,12 @@ struct Active {
 }
 
 /// One-pass sessionizer over the re-ordered entry stream.
-///
-/// The active map is a `BTreeMap` on purpose: [`Self::prune_before`] and
-/// [`Self::finish`] emit closed sessions in iteration order, and those
-/// feed order-sensitive downstream sketches — client-id order must not
-/// depend on the process hash seed.
 #[derive(Debug)]
 pub struct StreamSessionizer {
     timeout: f64,
-    active: BTreeMap<u32, Active>,
+    /// Linear-probe slots; capacity is a power of two kept at load <= 1/2.
+    slots: Vec<Option<Active>>,
+    len: usize,
     peak_active: usize,
 }
 
@@ -61,7 +68,8 @@ impl StreamSessionizer {
     pub fn new(timeout: f64) -> Self {
         Self {
             timeout,
-            active: BTreeMap::new(),
+            slots: vec![None; 64],
+            len: 0,
             peak_active: 0,
         }
     }
@@ -78,9 +86,11 @@ impl StreamSessionizer {
         stop: u32,
         closed: &mut Vec<ClosedSession>,
     ) -> Option<u32> {
-        match self.active.entry(client) {
-            std::collections::btree_map::Entry::Occupied(mut o) => {
-                let a = o.get_mut();
+        let hash = crate::sketch::hash64(u64::from(client));
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while let Some(a) = &mut self.slots[i] {
+            if a.hash == hash {
                 let gap = f64::from(start) - f64::from(a.end);
                 if gap > self.timeout {
                     closed.push(ClosedSession {
@@ -89,71 +99,107 @@ impl StreamSessionizer {
                         end: a.end,
                         transfers: a.transfers,
                     });
-                    *a = Active {
-                        start,
-                        end: stop,
-                        last_start: start,
-                        transfers: 1,
-                    };
-                    None
-                } else {
-                    // Released order guarantees start >= last_start.
-                    let iat = start.saturating_sub(a.last_start);
+                    a.start = start;
+                    a.end = stop;
                     a.last_start = start;
-                    a.end = a.end.max(stop);
-                    a.transfers += 1;
-                    Some(iat)
+                    a.transfers = 1;
+                    return None;
                 }
+                // Released order guarantees start >= last_start.
+                let iat = start.saturating_sub(a.last_start);
+                a.last_start = start;
+                a.end = a.end.max(stop);
+                a.transfers += 1;
+                return Some(iat);
             }
-            std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(Active {
-                    start,
-                    end: stop,
-                    last_start: start,
-                    transfers: 1,
-                });
-                self.peak_active = self.peak_active.max(self.active.len());
-                None
+            i = (i + 1) & mask;
+        }
+        self.insert(Active {
+            client,
+            hash,
+            start,
+            end: stop,
+            last_start: start,
+            transfers: 1,
+        });
+        self.peak_active = self.peak_active.max(self.len);
+        None
+    }
+
+    /// Inserts a new active session, growing the table at load 1/2.
+    fn insert(&mut self, a: Active) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            let new_cap = self.slots.len() * 2;
+            let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+            for e in old.into_iter().flatten() {
+                self.place(e);
             }
         }
+        self.place(a);
+        self.len += 1;
+    }
+
+    fn place(&mut self, a: Active) {
+        let mask = self.slots.len() - 1;
+        let mut i = (a.hash as usize) & mask;
+        while self.slots[i].is_some() {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Some(a);
     }
 
     /// Eagerly closes sessions no future entry can extend: every upcoming
     /// released entry has `start >= watermark`, so a session whose idle
     /// gap to the watermark already exceeds the timeout is final.
+    ///
+    /// Runs as a full table rebuild (it is called once every few thousand
+    /// entries, not per entry): survivors re-place into a fresh table, so
+    /// probe chains never need tombstones.
     pub fn prune_before(&mut self, watermark: u32, closed: &mut Vec<ClosedSession>) {
-        let timeout = self.timeout;
-        self.active.retain(|&client, a| {
-            if f64::from(watermark) - f64::from(a.end) > timeout {
+        let old = std::mem::take(&mut self.slots);
+        let mut survivors = Vec::with_capacity(self.len);
+        for a in old.into_iter().flatten() {
+            if f64::from(watermark) - f64::from(a.end) > self.timeout {
                 closed.push(ClosedSession {
-                    client,
+                    client: a.client,
                     start: a.start,
                     end: a.end,
                     transfers: a.transfers,
                 });
-                false
             } else {
-                true
+                survivors.push(a);
             }
-        });
+        }
+        self.len = survivors.len();
+        // Shrink toward the live set (floor 64, load <= 1/2) so a long
+        // stream's memory tracks the active window, not its high-water.
+        let mut cap = 64usize;
+        while cap < (self.len + 1) * 2 {
+            cap *= 2;
+        }
+        self.slots = vec![None; cap];
+        for a in survivors {
+            self.place(a);
+        }
     }
 
     /// Closes every remaining session (end of stream).
     pub fn finish(&mut self, closed: &mut Vec<ClosedSession>) {
-        for (&client, a) in &self.active {
+        for a in self.slots.iter().flatten() {
             closed.push(ClosedSession {
-                client,
+                client: a.client,
                 start: a.start,
                 end: a.end,
                 transfers: a.transfers,
             });
         }
-        self.active.clear();
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.len = 0;
     }
 
     /// Currently open sessions.
     pub fn active_len(&self) -> usize {
-        self.active.len()
+        self.len
     }
 
     /// High-water mark of simultaneously open sessions.
@@ -161,10 +207,9 @@ impl StreamSessionizer {
         self.peak_active
     }
 
-    /// Approximate resident bytes of the active-session map (B-tree nodes
-    /// carry roughly one key/value pair plus pointer overhead per entry).
+    /// Approximate resident bytes of the active-session table.
     pub fn bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.active.len() * (4 + std::mem::size_of::<Active>() + 16)
+        std::mem::size_of::<Self>() + self.slots.len() * std::mem::size_of::<Option<Active>>()
     }
 }
 
@@ -206,6 +251,21 @@ mod tests {
         assert_eq!(sessions.len(), 1);
         assert_eq!(sessions[0].end, 300);
         assert_eq!(sessions[0].transfers, 3);
+    }
+
+    #[test]
+    fn prune_shrinks_the_table() {
+        let mut s = StreamSessionizer::new(10.0);
+        let mut closed = Vec::new();
+        for c in 0..10_000u32 {
+            s.observe(c, 100, 110, &mut closed);
+        }
+        assert_eq!(s.active_len(), 10_000);
+        let bytes_full = s.bytes();
+        s.prune_before(100_000, &mut closed);
+        assert_eq!(s.active_len(), 0);
+        assert_eq!(closed.len(), 10_000);
+        assert!(s.bytes() < bytes_full / 16, "table must shrink after prune");
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl AccessMix {
     }
 
     /// Samples one class.
-    pub fn sample(&self, rng: &mut dyn Rng) -> AccessClass {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> AccessClass {
         let u = u01(rng);
         let idx = self
             .cum

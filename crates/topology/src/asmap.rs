@@ -77,7 +77,7 @@ impl AsRegistry {
     /// Builds a registry: rank-`k` AS gets weight `k^{-s}`, and countries
     /// are interleaved so each country's total AS weight approximates its
     /// configured share (the home country takes rank 1).
-    pub fn build(config: &AsRegistryConfig, rng: &mut dyn Rng) -> Self {
+    pub fn build<R: Rng + ?Sized>(config: &AsRegistryConfig, rng: &mut R) -> Self {
         assert!(config.n_ases >= 1, "need at least one AS");
         assert!(
             !config.country_shares.is_empty(),
@@ -184,7 +184,7 @@ impl AsRegistry {
     }
 
     /// Samples an AS according to popularity weight.
-    pub fn sample(&self, rng: &mut dyn Rng) -> &AsInfo {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &AsInfo {
         let u = u01(rng);
         let idx = self
             .cum

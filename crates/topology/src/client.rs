@@ -64,10 +64,10 @@ impl ClientPopulation {
     /// AS, clients are packed onto IPs in groups whose size is geometric
     /// with the configured mean, drawn from the AS's `/16` block (rolling
     /// into adjacent blocks when a popular AS needs more than 64k hosts).
-    pub fn build(
+    pub fn build<R: Rng + ?Sized>(
         config: &ClientPopulationConfig,
         registry: &AsRegistry,
-        rng: &mut dyn Rng,
+        rng: &mut R,
     ) -> Self {
         assert!(config.n_clients >= 1, "need at least one client");
         assert!(config.clients_per_ip >= 1.0, "clients_per_ip must be >= 1");

@@ -14,11 +14,20 @@
 //!
 //! The encoder writes into a [`bytes::BytesMut`] so large traces serialize
 //! without intermediate `String` churn.
+//!
+//! # Zero-copy parsing
+//!
+//! The hot ingest path parses **directly from `&[u8]`** with a hand-rolled
+//! field scanner ([`parse_line_bytes`]): no intermediate `String`, no
+//! `split_ascii_whitespace` iterator machinery, and no formatting on the
+//! non-error path. [`LineChunks`] likewise yields raw byte chunks — the
+//! streaming reader never materializes a chunk twice. The original
+//! string-based parser is retained as [`legacy::parse_line_str`] purely as
+//! a differential-testing oracle (see `trace/tests/parser_differential.rs`).
 
 use crate::event::LogEntry;
 use crate::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
 use bytes::{BufMut, BytesMut};
-use std::str::FromStr;
 
 /// The `#Fields:` header emitted (and required) by this format.
 pub const FIELDS_HEADER: &str = "#Fields: x-timestamp c-start x-duration c-playerid c-ip \
@@ -87,46 +96,194 @@ pub fn format_log(entries: &[LogEntry]) -> BytesMut {
     out
 }
 
-/// Parses one (non-comment) log line.
-pub fn parse_line(line: &str) -> Result<LogEntry, ParseError> {
-    let err = |msg: String| ParseError {
-        line: 0,
-        message: msg,
-    };
-    let mut it = line.split_ascii_whitespace();
-    let mut next = |name: &str| {
-        it.next()
-            .ok_or_else(|| err(format!("missing field {name}")))
-    };
+// ---------------------------------------------------------------------------
+// Zero-copy field scanner
+// ---------------------------------------------------------------------------
 
-    fn num<T: FromStr>(s: &str, name: &str) -> Result<T, ParseError>
-    where
-        T::Err: std::fmt::Display,
-    {
-        s.parse::<T>().map_err(|e| ParseError {
-            line: 0,
-            message: format!("bad {name} {s:?}: {e}"),
-        })
+/// Cursor over one log line's bytes, splitting on ASCII-whitespace runs.
+///
+/// Equivalent to `split_ascii_whitespace` but monomorphic, allocation-free
+/// and without iterator adaptor overhead.
+struct FieldScanner<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FieldScanner<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
     }
 
-    let timestamp: u32 = num(next("x-timestamp")?, "x-timestamp")?;
-    let start: u32 = num(next("c-start")?, "c-start")?;
-    let duration: u32 = num(next("x-duration")?, "x-duration")?;
-    let client = ClientId(num(next("c-playerid")?, "c-playerid")?);
-    let ip = Ipv4Addr::from_str(next("c-ip")?).map_err(|e| err(format!("bad c-ip: {e}")))?;
-    let as_id = AsId(num(next("c-as")?, "c-as")?);
-    let country =
-        CountryCode::new(next("c-country")?).map_err(|e| err(format!("bad c-country: {e}")))?;
-    let uri = next("cs-uri-stem")?;
-    let object = parse_uri(uri).ok_or_else(|| err(format!("bad cs-uri-stem {uri:?}")))?;
-    let camera: u8 = num(next("x-camera")?, "x-camera")?;
-    let bytes: u64 = num(next("sc-bytes")?, "sc-bytes")?;
-    let avg_bandwidth: u32 = num(next("x-avg-bandwidth")?, "x-avg-bandwidth")?;
-    let packet_loss: f32 = num(next("c-pkts-lost-rate")?, "c-pkts-lost-rate")?;
-    let cpu_util: f32 = num(next("s-cpu-util")?, "s-cpu-util")?;
-    let status: u16 = num(next("sc-status")?, "sc-status")?;
-    if it.next().is_some() {
-        return Err(err("trailing fields".into()));
+    /// The next whitespace-delimited field, or `None` at end of line.
+    fn next_field(&mut self) -> Option<&'a [u8]> {
+        while self.pos < self.buf.len() && self.buf[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < self.buf.len() && !self.buf[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        Some(&self.buf[start..self.pos])
+    }
+}
+
+/// Parses an unsigned decimal integer with the same acceptance rules as
+/// `str::parse::<uN>`: optional leading `+`, at least one ASCII digit,
+/// overflow rejected. Returns `None` on any violation.
+#[inline]
+fn parse_u64_ascii(field: &[u8]) -> Option<u64> {
+    let digits = match field.first() {
+        Some(b'+') => &field[1..],
+        _ => field,
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    let mut acc: u64 = 0;
+    for &b in digits {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_add(u64::from(d))?;
+    }
+    Some(acc)
+}
+
+/// Range-checked downcast helpers for the narrower log fields.
+#[inline]
+fn parse_u32_ascii(field: &[u8]) -> Option<u32> {
+    parse_u64_ascii(field).and_then(|v| u32::try_from(v).ok())
+}
+
+#[inline]
+fn parse_u16_ascii(field: &[u8]) -> Option<u16> {
+    parse_u64_ascii(field).and_then(|v| u16::try_from(v).ok())
+}
+
+#[inline]
+fn parse_u8_ascii(field: &[u8]) -> Option<u8> {
+    parse_u64_ascii(field).and_then(|v| u8::try_from(v).ok())
+}
+
+/// Parses a dotted-quad IPv4 address from raw bytes (four `u8` octets).
+#[inline]
+fn parse_ipv4_ascii(field: &[u8]) -> Option<Ipv4Addr> {
+    let mut octets = [0u8; 4];
+    let mut parts = field.split(|&b| b == b'.');
+    for o in &mut octets {
+        *o = parse_u8_ascii(parts.next()?)?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Ipv4Addr::from_octets(
+        octets[0], octets[1], octets[2], octets[3],
+    ))
+}
+
+/// Parses an `f32` field. Float grammar is delegated to the standard
+/// library on a borrowed subslice — still zero-copy (UTF-8 validation of a
+/// short field, no allocation); only the field *scanning* is hand-rolled.
+#[inline]
+fn parse_f32_ascii(field: &[u8]) -> Option<f32> {
+    std::str::from_utf8(field).ok()?.parse::<f32>().ok()
+}
+
+/// Extracts the object id from a `/live/feedN.asf` URI stem (byte form).
+#[inline]
+fn parse_uri_bytes(uri: &[u8]) -> Option<ObjectId> {
+    let rest = uri.strip_prefix(b"/live/feed")?;
+    let digits = rest.strip_suffix(b".asf")?;
+    parse_u16_ascii(digits).map(ObjectId)
+}
+
+/// Parses a two-letter uppercase country code from raw bytes.
+#[inline]
+fn parse_country_ascii(field: &[u8]) -> Option<CountryCode> {
+    match field {
+        [a, b] if a.is_ascii_uppercase() && b.is_ascii_uppercase() => Some(CountryCode([*a, *b])),
+        _ => None,
+    }
+}
+
+/// Names of the 14 fields, indexed by position — used only on the error
+/// path so the hot loop never touches them.
+const FIELD_NAMES: [&str; 14] = [
+    "x-timestamp",
+    "c-start",
+    "x-duration",
+    "c-playerid",
+    "c-ip",
+    "c-as",
+    "c-country",
+    "cs-uri-stem",
+    "x-camera",
+    "sc-bytes",
+    "x-avg-bandwidth",
+    "c-pkts-lost-rate",
+    "s-cpu-util",
+    "sc-status",
+];
+
+/// Builds the error for field index `i` — cold path only.
+#[cold]
+fn field_error(i: usize, field: Option<&[u8]>) -> ParseError {
+    let name = FIELD_NAMES.get(i).copied().unwrap_or("?");
+    let message = match field {
+        None => format!("missing field {name}"),
+        Some(f) => format!("bad {name} {:?}", String::from_utf8_lossy(f)),
+    };
+    ParseError { line: 0, message }
+}
+
+#[cold]
+fn trailing_error() -> ParseError {
+    ParseError {
+        line: 0,
+        message: "trailing fields".into(),
+    }
+}
+
+/// Parses one (non-comment) log line directly from bytes.
+///
+/// This is the hot-path parser: a hand-rolled field scanner over `&[u8]`
+/// with zero allocations and zero formatting on the success path. Accepts
+/// exactly the same lines as the legacy string parser
+/// ([`legacy::parse_line_str`]); the two are differentially tested.
+pub fn parse_line_bytes(line: &[u8]) -> Result<LogEntry, ParseError> {
+    let mut sc = FieldScanner::new(line);
+    // Monomorphic scan: each step grabs the next field and parses it; any
+    // failure routes through the cold error constructor with the field's
+    // positional name.
+    macro_rules! field {
+        ($i:literal, $parse:expr) => {{
+            let f = sc.next_field();
+            match f.and_then($parse) {
+                Some(v) => v,
+                None => return Err(field_error($i, f)),
+            }
+        }};
+    }
+    let timestamp = field!(0, parse_u32_ascii);
+    let start = field!(1, parse_u32_ascii);
+    let duration = field!(2, parse_u32_ascii);
+    let client = ClientId(field!(3, parse_u32_ascii));
+    let ip = field!(4, parse_ipv4_ascii);
+    let as_id = AsId(field!(5, parse_u16_ascii));
+    let country = field!(6, parse_country_ascii);
+    let object = field!(7, parse_uri_bytes);
+    let camera = field!(8, parse_u8_ascii);
+    let bytes = field!(9, parse_u64_ascii);
+    let avg_bandwidth = field!(10, parse_u32_ascii);
+    let packet_loss = field!(11, parse_f32_ascii);
+    let cpu_util = field!(12, parse_f32_ascii);
+    let status = field!(13, parse_u16_ascii);
+    if sc.next_field().is_some() {
+        return Err(trailing_error());
     }
     Ok(LogEntry {
         timestamp,
@@ -146,11 +303,92 @@ pub fn parse_line(line: &str) -> Result<LogEntry, ParseError> {
     })
 }
 
+/// Parses one (non-comment) log line.
+///
+/// Thin wrapper over the zero-copy byte parser ([`parse_line_bytes`]).
+pub fn parse_line(line: &str) -> Result<LogEntry, ParseError> {
+    parse_line_bytes(line.as_bytes())
+}
+
+/// The original string-based parser, retained as a differential-testing
+/// oracle for the zero-copy scanner. Not used on any hot path.
+pub mod legacy {
+    use super::{ParseError, ParsedLines};
+    use crate::event::LogEntry;
+    use crate::ids::{AsId, ClientId, CountryCode, Ipv4Addr};
+    use std::str::FromStr;
+
+    /// Parses one log line through `split_ascii_whitespace` + `FromStr`,
+    /// exactly as the pre-zero-copy implementation did.
+    pub fn parse_line_str(line: &str) -> Result<LogEntry, ParseError> {
+        let err = |msg: String| ParseError {
+            line: 0,
+            message: msg,
+        };
+        let mut it = line.split_ascii_whitespace();
+        let mut next = |name: &str| {
+            it.next()
+                .ok_or_else(|| err(format!("missing field {name}")))
+        };
+
+        fn num<T: FromStr>(s: &str, name: &str) -> Result<T, ParseError>
+        where
+            T::Err: std::fmt::Display,
+        {
+            s.parse::<T>().map_err(|e| ParseError {
+                line: 0,
+                message: format!("bad {name} {s:?}: {e}"),
+            })
+        }
+
+        let timestamp: u32 = num(next("x-timestamp")?, "x-timestamp")?;
+        let start: u32 = num(next("c-start")?, "c-start")?;
+        let duration: u32 = num(next("x-duration")?, "x-duration")?;
+        let client = ClientId(num(next("c-playerid")?, "c-playerid")?);
+        let ip = Ipv4Addr::from_str(next("c-ip")?).map_err(|e| err(format!("bad c-ip: {e}")))?;
+        let as_id = AsId(num(next("c-as")?, "c-as")?);
+        let country =
+            CountryCode::new(next("c-country")?).map_err(|e| err(format!("bad c-country: {e}")))?;
+        let uri = next("cs-uri-stem")?;
+        let object =
+            super::parse_uri(uri).ok_or_else(|| err(format!("bad cs-uri-stem {uri:?}")))?;
+        let camera: u8 = num(next("x-camera")?, "x-camera")?;
+        let bytes: u64 = num(next("sc-bytes")?, "sc-bytes")?;
+        let avg_bandwidth: u32 = num(next("x-avg-bandwidth")?, "x-avg-bandwidth")?;
+        let packet_loss: f32 = num(next("c-pkts-lost-rate")?, "c-pkts-lost-rate")?;
+        let cpu_util: f32 = num(next("s-cpu-util")?, "s-cpu-util")?;
+        let status: u16 = num(next("sc-status")?, "sc-status")?;
+        if it.next().is_some() {
+            return Err(err("trailing fields".into()));
+        }
+        Ok(LogEntry {
+            timestamp,
+            start,
+            duration,
+            client,
+            ip,
+            as_id,
+            country,
+            object,
+            camera,
+            bytes,
+            avg_bandwidth,
+            packet_loss,
+            cpu_util,
+            status,
+        })
+    }
+
+    /// Streams `text` line by line through the legacy parser — the
+    /// differential counterpart of [`super::parse_lines_bytes`].
+    pub fn parse_lines_str(text: &str) -> ParsedLines<'_> {
+        ParsedLines::legacy(text)
+    }
+}
+
 /// Extracts the object id from a `/live/feedN.asf` URI stem.
 fn parse_uri(uri: &str) -> Option<ObjectId> {
-    let rest = uri.strip_prefix("/live/feed")?;
-    let digits = rest.strip_suffix(".asf")?;
-    digits.parse::<u16>().ok().map(ObjectId)
+    parse_uri_bytes(uri.as_bytes())
 }
 
 /// Streaming line parser: yields one `Result` per non-comment line.
@@ -165,6 +403,18 @@ pub struct ParsedLines<'a> {
     inner: std::str::Lines<'a>,
     /// 1-based number of the *next* line `inner` will yield.
     next_line: usize,
+    /// Route through the legacy string parser (differential oracle).
+    use_legacy: bool,
+}
+
+impl<'a> ParsedLines<'a> {
+    fn legacy(text: &'a str) -> Self {
+        Self {
+            inner: text.lines(),
+            next_line: 1,
+            use_legacy: true,
+        }
+    }
 }
 
 impl Iterator for ParsedLines<'_> {
@@ -179,7 +429,12 @@ impl Iterator for ParsedLines<'_> {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            return Some(match parse_line(line) {
+            let parsed = if self.use_legacy {
+                legacy::parse_line_str(line)
+            } else {
+                parse_line(line)
+            };
+            return Some(match parsed {
                 Ok(e) => Ok((line_no, e)),
                 Err(mut e) => {
                     e.line = line_no;
@@ -202,6 +457,91 @@ pub fn parse_lines_from(text: &str, first_line: usize) -> ParsedLines<'_> {
     ParsedLines {
         inner: text.lines(),
         next_line: first_line.max(1),
+        use_legacy: false,
+    }
+}
+
+/// Iterator over the lines of a byte buffer.
+///
+/// Splits on `\n` and strips one trailing `\r` per line, mirroring
+/// `str::lines` — so byte-path and string-path line numbering always
+/// agree. Zero-copy: each item borrows from the input buffer.
+#[derive(Debug, Clone)]
+pub struct ByteLines<'a> {
+    rest: &'a [u8],
+}
+
+/// Splits `bytes` into lines (`\n`-terminated, trailing `\r` stripped).
+pub fn byte_lines(bytes: &[u8]) -> ByteLines<'_> {
+    ByteLines { rest: bytes }
+}
+
+impl<'a> Iterator for ByteLines<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        // `str::lines` semantics: split on `\n`, strip a `\r` only when it
+        // immediately precedes the `\n`; a final unterminated line keeps
+        // any trailing `\r`.
+        match self.rest.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let mut line = &self.rest[..pos];
+                self.rest = &self.rest[pos + 1..];
+                if let Some((b'\r', head)) = line.split_last() {
+                    line = head;
+                }
+                Some(line)
+            }
+            None => Some(std::mem::take(&mut self.rest)),
+        }
+    }
+}
+
+/// Streaming byte-line parser: the zero-copy counterpart of
+/// [`ParsedLines`], yielding one `Result` per non-comment line with the
+/// same skip/recover/numbering semantics.
+#[derive(Debug, Clone)]
+pub struct ParsedByteLines<'a> {
+    inner: ByteLines<'a>,
+    next_line: usize,
+}
+
+impl Iterator for ParsedByteLines<'_> {
+    type Item = Result<(usize, LogEntry), ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for raw in self.inner.by_ref() {
+            let line_no = self.next_line;
+            self.next_line += 1;
+            let line = raw.trim_ascii();
+            if line.is_empty() || line[0] == b'#' {
+                continue;
+            }
+            return Some(match parse_line_bytes(line) {
+                Ok(e) => Ok((line_no, e)),
+                Err(mut e) => {
+                    e.line = line_no;
+                    Err(e)
+                }
+            });
+        }
+        None
+    }
+}
+
+/// Streams raw bytes line by line through the zero-copy parser.
+pub fn parse_lines_bytes(bytes: &[u8]) -> ParsedByteLines<'_> {
+    parse_lines_bytes_from(bytes, 1)
+}
+
+/// Like [`parse_lines_bytes`] but numbering lines from `first_line`.
+pub fn parse_lines_bytes_from(bytes: &[u8], first_line: usize) -> ParsedByteLines<'_> {
+    ParsedByteLines {
+        inner: byte_lines(bytes),
+        next_line: first_line.max(1),
     }
 }
 
@@ -216,10 +556,28 @@ pub fn parse_log(text: &str) -> Result<Vec<LogEntry>, ParseError> {
 /// One batch of complete lines from a [`LineChunks`] reader.
 #[derive(Debug, Clone)]
 pub struct LineChunk {
-    /// The chunk text; every line in it is complete.
-    pub text: String,
+    /// The raw chunk bytes; every line in it is complete. Never re-copied:
+    /// the reader hands its fill buffer over by move.
+    pub bytes: Vec<u8>,
     /// 1-based number of the chunk's first line within the whole stream.
     pub first_line: usize,
+}
+
+impl LineChunk {
+    /// The chunk as text, replacing invalid UTF-8 — diagnostics only; the
+    /// ingest path parses [`bytes`](Self::bytes) directly.
+    pub fn text_lossy(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.bytes)
+    }
+
+    /// Number of lines in the chunk (a final unterminated line counts).
+    pub fn line_count(&self) -> usize {
+        let mut lines = self.bytes.iter().filter(|&&b| b == b'\n').count();
+        if self.bytes.last().is_some_and(|&b| b != b'\n') {
+            lines += 1;
+        }
+        lines
+    }
 }
 
 /// Reads a byte stream as chunks of whole lines, in bounded memory.
@@ -228,9 +586,10 @@ pub struct LineChunk {
 /// trailing line is carried into the next chunk, and the final chunk
 /// flushes whatever remains at EOF. This is the streaming replacement for
 /// the whole-file `read_to_string` + [`parse_log`] path — memory use is
-/// `chunk_bytes` plus one carried line, independent of file size.
-/// Non-UTF-8 bytes are replaced (the replacement character then fails
-/// field parsing, surfacing as a counted malformed line downstream).
+/// `chunk_bytes` plus one carried line, independent of file size. Chunks
+/// are raw bytes, moved (never copied) out of the fill buffer; non-UTF-8
+/// bytes simply fail field parsing downstream, surfacing as counted
+/// malformed lines.
 #[derive(Debug)]
 pub struct LineChunks<R> {
     reader: R,
@@ -253,14 +612,12 @@ impl<R: std::io::Read> LineChunks<R> {
     }
 
     fn emit(&mut self, bytes: Vec<u8>) -> LineChunk {
-        let text = String::from_utf8_lossy(&bytes).into_owned();
-        let first_line = self.next_line;
-        let mut lines = text.as_bytes().iter().filter(|&&b| b == b'\n').count();
-        if !text.ends_with('\n') && !text.is_empty() {
-            lines += 1; // final unterminated line (EOF flush)
-        }
-        self.next_line += lines;
-        LineChunk { text, first_line }
+        let chunk = LineChunk {
+            bytes,
+            first_line: self.next_line,
+        };
+        self.next_line += chunk.line_count();
+        chunk
     }
 }
 
@@ -336,6 +693,8 @@ mod tests {
         let line = std::str::from_utf8(&buf).unwrap();
         let parsed = parse_line(line).unwrap();
         assert_eq!(parsed, e);
+        // The legacy oracle agrees.
+        assert_eq!(legacy::parse_line_str(line).unwrap(), e);
     }
 
     #[test]
@@ -389,6 +748,72 @@ mod tests {
     }
 
     #[test]
+    fn integer_fields_follow_std_acceptance_rules() {
+        // Optional '+', no '-', no empty, overflow rejected — exactly
+        // str::parse::<uN> semantics, so the legacy oracle agrees.
+        assert_eq!(parse_u32_ascii(b"+5"), Some(5));
+        assert_eq!(parse_u32_ascii(b"0"), Some(0));
+        assert_eq!(parse_u32_ascii(b"4294967295"), Some(u32::MAX));
+        assert_eq!(parse_u32_ascii(b"4294967296"), None);
+        assert_eq!(parse_u32_ascii(b"-1"), None);
+        assert_eq!(parse_u32_ascii(b""), None);
+        assert_eq!(parse_u32_ascii(b"+"), None);
+        assert_eq!(parse_u32_ascii(b"1_0"), None);
+        assert_eq!(parse_u64_ascii(b"18446744073709551615"), Some(u64::MAX));
+        assert_eq!(parse_u64_ascii(b"18446744073709551616"), None);
+    }
+
+    #[test]
+    fn ip_parsing_matches_fromstr() {
+        use std::str::FromStr;
+        for s in [
+            "200.17.34.5",
+            "0.0.0.0",
+            "255.255.255.255",
+            "1.2.3",
+            "1.2.3.4.5",
+            "1.2.3.256",
+            "a.b.c.d",
+            "...",
+            "+1.+2.+3.+4",
+        ] {
+            let fast = parse_ipv4_ascii(s.as_bytes());
+            let slow = Ipv4Addr::from_str(s).ok();
+            assert_eq!(fast, slow, "ip {s:?}");
+        }
+    }
+
+    #[test]
+    fn byte_and_str_parsers_agree_on_pathologies() {
+        let mut buf = BytesMut::new();
+        format_entry(&sample_entry(), &mut buf);
+        let good = std::str::from_utf8(&buf).unwrap().to_string();
+        let cases = [
+            good.clone(),
+            good.replace("200.17.34.5", "999.1.1.1"),
+            good.replace(" BR ", " br "),
+            good.replace(" BR ", " BRA "),
+            format!("{good} trailing"),
+            "1 2 3".to_string(),
+            String::new(),
+            "   \t  ".to_string(),
+            good.replace("0.0100", "abc"),
+        ];
+        for case in &cases {
+            let fast = parse_line_bytes(case.as_bytes());
+            let slow = legacy::parse_line_str(case);
+            assert_eq!(
+                fast.is_ok(),
+                slow.is_ok(),
+                "parsers disagree on {case:?}: {fast:?} vs {slow:?}"
+            );
+            if let (Ok(a), Ok(b)) = (fast, slow) {
+                assert_eq!(a, b, "payloads differ on {case:?}");
+            }
+        }
+    }
+
+    #[test]
     fn parse_lines_recovers_and_numbers() {
         let mut good = BytesMut::new();
         format_entry(&sample_entry(), &mut good);
@@ -399,6 +824,36 @@ mod tests {
         assert_eq!(items[0].as_ref().unwrap().0, 2);
         assert_eq!(items[1].as_ref().unwrap_err().line, 3);
         assert_eq!(items[2].as_ref().unwrap().0, 5);
+        // Byte-path parity: same entries, same numbering.
+        let byte_items: Vec<_> = parse_lines_bytes(text.as_bytes()).collect();
+        assert_eq!(byte_items.len(), 3);
+        assert_eq!(byte_items[0].as_ref().unwrap().0, 2);
+        assert_eq!(byte_items[1].as_ref().unwrap_err().line, 3);
+        assert_eq!(byte_items[2].as_ref().unwrap().0, 5);
+    }
+
+    #[test]
+    fn byte_lines_match_str_lines() {
+        for text in [
+            "a\nb\nc",
+            "a\nb\nc\n",
+            "",
+            "\n",
+            "one line no newline",
+            "crlf\r\nline\r\n",
+            "trailing\r",
+        ] {
+            let from_str: Vec<&str> = text.lines().collect();
+            let from_bytes: Vec<&[u8]> = byte_lines(text.as_bytes()).collect();
+            assert_eq!(
+                from_bytes.len(),
+                from_str.len(),
+                "line count differs on {text:?}"
+            );
+            for (b, s) in from_bytes.iter().zip(&from_str) {
+                assert_eq!(*b, s.as_bytes(), "line differs on {text:?}");
+            }
+        }
     }
 
     #[test]
@@ -425,10 +880,10 @@ mod tests {
         for chunk in LineChunks::new(&text[..], 64) {
             let chunk = chunk.unwrap();
             assert_eq!(chunk.first_line, next_expected_line);
-            for item in parse_lines_from(&chunk.text, chunk.first_line) {
+            for item in parse_lines_bytes_from(&chunk.bytes, chunk.first_line) {
                 parsed.push(item.unwrap().1);
             }
-            next_expected_line += chunk.text.lines().count();
+            next_expected_line += chunk.line_count();
         }
         assert_eq!(parsed, entries);
     }
@@ -439,8 +894,8 @@ mod tests {
         let chunks: Vec<LineChunk> = LineChunks::new(&data[..], 4096)
             .map(|c| c.unwrap())
             .collect();
-        let all: String = chunks.iter().map(|c| c.text.as_str()).collect();
-        assert_eq!(all.as_bytes(), data);
+        let all: Vec<u8> = chunks.iter().flat_map(|c| c.bytes.clone()).collect();
+        assert_eq!(all, data);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Differential tests: the zero-copy byte parser must accept exactly the
+//! lines the legacy string parser accepts, producing identical entries and
+//! flagging errors on identical line numbers.
+//!
+//! The legacy `split_ascii_whitespace` + `FromStr` implementation is kept
+//! in `wms::legacy` purely as the oracle for these tests; the zero-copy
+//! scanner is the only parser on any hot path. Error *messages* are not
+//! compared — the scanner reports positional field names from a static
+//! table while the oracle formats `FromStr` errors — but Ok/Err shape,
+//! line numbers, and parsed entries must agree byte for byte.
+
+use lsw_trace::event::{LogEntry, LogEntryBuilder};
+use lsw_trace::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+use lsw_trace::wms;
+use proptest::prelude::*;
+
+/// Strategy producing a valid log entry spanning the full field ranges the
+/// wire format can carry (not just paper-plausible values).
+fn arb_entry() -> impl Strategy<Value = LogEntry> {
+    (
+        0u32..u32::MAX, // start
+        0u32..u32::MAX, // duration
+        0u32..u32::MAX, // client
+        0u32..u32::MAX, // ip
+        0u16..u16::MAX, // as
+        0u16..1_000,    // object
+        0u8..u8::MAX,   // camera
+        0u64..u64::MAX, // bytes
+        0u32..u32::MAX, // bandwidth
+        0.0f32..1.0,    // loss
+        0.0f32..1.0,    // cpu
+        100u16..600,    // status
+    )
+        .prop_map(
+            |(start, dur, client, ip, asn, obj, cam, bytes, bw, loss, cpu, status)| {
+                // The wire format writes packet loss at 4 decimals and CPU
+                // utilization at 3, so round-tripping requires values
+                // already on those grids.
+                let loss = format!("{loss:.4}").parse::<f32>().expect("quantized f32");
+                let cpu = format!("{cpu:.3}").parse::<f32>().expect("quantized f32");
+                LogEntryBuilder::new()
+                    .span(start, dur)
+                    .client(ClientId(client))
+                    .origin(Ipv4Addr(ip), AsId(asn), CountryCode(*b"US"))
+                    .object(ObjectId(obj), cam)
+                    .transfer_stats(bytes, bw, loss)
+                    .server(cpu, status)
+                    .build()
+            },
+        )
+}
+
+/// Runs both parsers over `text` and asserts the Result streams match:
+/// same length, Ok lines carry identical `(line, entry)` pairs, Err lines
+/// carry identical line numbers.
+fn assert_streams_agree(text: &str) {
+    let fast: Vec<_> = wms::parse_lines_bytes(text.as_bytes()).collect();
+    let slow: Vec<_> = wms::legacy::parse_lines_str(text).collect();
+    assert_eq!(fast.len(), slow.len(), "stream lengths differ");
+    for (f, s) in fast.iter().zip(&slow) {
+        match (f, s) {
+            (Ok(fe), Ok(se)) => assert_eq!(fe, se, "entries differ"),
+            (Err(fe), Err(se)) => assert_eq!(fe.line, se.line, "error lines differ"),
+            _ => panic!("classification differs: fast {f:?} vs legacy {s:?}"),
+        }
+    }
+}
+
+fn render(entries: &[LogEntry]) -> String {
+    String::from_utf8(wms::format_log(entries).to_vec()).expect("log is ASCII")
+}
+
+/// Just the record lines (headers stripped) — mutation targets.
+fn record_lines(entries: &[LogEntry]) -> Vec<String> {
+    render(entries)
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: any formatted log parses identically through both
+    /// implementations, entry for entry.
+    #[test]
+    fn valid_logs_agree(entries in prop::collection::vec(arb_entry(), 1..20)) {
+        let text = render(&entries);
+        let parsed: Vec<LogEntry> = wms::parse_lines_bytes(text.as_bytes())
+            .map(|r| r.expect("formatted log must parse").1)
+            .collect();
+        prop_assert_eq!(&parsed, &entries);
+        assert_streams_agree(&text);
+    }
+
+    /// §2.4 pathology: truncated lines (a partial flush or torn write).
+    /// Both parsers must reject the fragment on the same line and keep
+    /// identical streams for the surrounding intact lines.
+    #[test]
+    fn truncated_lines_agree(
+        entries in prop::collection::vec(arb_entry(), 2..8),
+        victim in 0usize..8,
+        cut in 0usize..120,
+    ) {
+        let mut lines: Vec<String> = record_lines(&entries);
+        let victim = victim % lines.len();
+        let cut = cut.min(lines[victim].len());
+        lines[victim].truncate(cut);
+        assert_streams_agree(&lines.join("\n"));
+    }
+
+    /// §2.4 pathology: malformed c-ip fields (the paper's logs carry
+    /// anonymized addresses; corruption shows up as short or non-numeric
+    /// dotted quads). Both parsers must agree on every mutation.
+    #[test]
+    fn bad_c_ip_agrees(
+        entries in prop::collection::vec(arb_entry(), 1..6),
+        victim in 0usize..6,
+        bad_ip in "[0-9.]{0,18}",
+    ) {
+        let mut lines: Vec<String> = record_lines(&entries);
+        let victim = victim % lines.len();
+        let mut fields: Vec<&str> = lines[victim].split_ascii_whitespace().collect();
+        fields[4] = &bad_ip; // c-ip is field index 4
+        lines[victim] = fields.join(" ");
+        assert_streams_agree(&lines.join("\n"));
+    }
+
+    /// §2.4 pathology: 1-second timestamp ties. The logs timestamp at
+    /// whole-second resolution, so bursts of arrivals share a timestamp;
+    /// tied lines must parse independently and identically.
+    #[test]
+    fn timestamp_ties_agree(
+        base in arb_entry(),
+        tie_at in 0u32..u32::MAX,
+        n_ties in 2usize..12,
+    ) {
+        let entries: Vec<LogEntry> = (0..n_ties)
+            .map(|i| {
+                let mut e = base;
+                e.timestamp = tie_at;
+                e.start = tie_at;
+                e.client = ClientId(i as u32); // distinct clients, same second
+                e
+            })
+            .collect();
+        let text = render(&entries);
+        let parsed: Vec<LogEntry> = wms::parse_lines_bytes(text.as_bytes())
+            .map(|r| r.expect("tied lines must parse").1)
+            .collect();
+        prop_assert_eq!(&parsed, &entries);
+        assert_streams_agree(&text);
+    }
+
+    /// Arbitrary field corruption anywhere in the record: agreement must
+    /// hold whatever garbage lands in whatever column.
+    #[test]
+    fn field_corruption_agrees(
+        entries in prop::collection::vec(arb_entry(), 1..6),
+        victim in 0usize..6,
+        field in 0usize..14,
+        garbage in "[ -~]{0,12}",
+    ) {
+        let mut lines: Vec<String> = record_lines(&entries);
+        let victim = victim % lines.len();
+        let mut fields: Vec<&str> = lines[victim].split_ascii_whitespace().collect();
+        fields[field] = &garbage;
+        lines[victim] = fields.join(" ");
+        assert_streams_agree(&lines.join("\n"));
+    }
+
+    /// Comments and blank lines interleaved with records: both parsers
+    /// must skip them while keeping line numbers aligned.
+    #[test]
+    fn comments_and_blanks_agree(
+        entries in prop::collection::vec(arb_entry(), 1..8),
+        noise_every in 1usize..4,
+    ) {
+        let mut out = String::from("# Software: differential fixture\n");
+        for (i, line) in render(&entries).lines().enumerate() {
+            if i % noise_every == 0 {
+                out.push_str("\n#comment\n");
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        assert_streams_agree(&out);
+    }
+
+    /// Totally arbitrary printable text: the parsers may reject everything,
+    /// but they must reject the *same* lines.
+    #[test]
+    fn arbitrary_text_agrees(text in "[ -~\n\t]{0,400}") {
+        assert_streams_agree(&text);
+    }
+}

@@ -103,15 +103,15 @@ proptest! {
         // numbering continuous at any chunk size.
         let valid = valid_line();
         let text = vec![valid; n_lines].join("\n");
-        let mut rebuilt = String::new();
+        let mut rebuilt = Vec::new();
         let mut expect_line = 1usize;
         for chunk in wms::LineChunks::new(std::io::Cursor::new(text.as_bytes()), chunk_bytes) {
             let chunk = chunk.expect("in-memory read");
             prop_assert_eq!(chunk.first_line, expect_line);
-            expect_line += chunk.text.matches('\n').count();
-            rebuilt.push_str(&chunk.text);
+            expect_line += chunk.bytes.iter().filter(|&&b| b == b'\n').count();
+            rebuilt.extend_from_slice(&chunk.bytes);
         }
-        prop_assert_eq!(rebuilt, text);
+        prop_assert_eq!(rebuilt, text.as_bytes());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Direct columnar analysis over `ltc` block streams.
+//!
+//! The batch characterizer consumes a [`Trace`] — a sorted `Vec<LogEntry>`
+//! — which for a 28-day log means materializing millions of 48-byte
+//! records before the first statistic is computed. The two most expensive
+//! batch stages, sessionization and the concurrency sweep, only read four
+//! (respectively two) of a record's fourteen fields, so an `ltc` input can
+//! feed them straight from block columns:
+//!
+//! * sessionize — `(client, start, timestamp, stop)` columns accumulate
+//!   into four flat `u32` arrays (one third of the entry-array footprint,
+//!   no padding, no unused fields) and run through
+//!   [`Sessions::identify_columns`];
+//! * concurrency — `(start, stop)` pairs fold into a
+//!   [`ConcurrencySweep`] difference array block by block; nothing is
+//!   retained between blocks at all.
+//!
+//! Sanitization still applies entry semantics (§2.4 classification reads
+//! most fields), so each record is materialized *transiently* on the stack
+//! for its classify call — but never stored. The outputs are exactly the
+//! batch layer's: the canonical sort inside `identify` makes
+//! [`Sessions::all`] independent of record order, and the difference
+//! array is order-free, so both match a `sanitize -> Trace` pipeline
+//! record for record (the `ltc`-vs-`wms` differential tests pin this).
+//!
+//! [`Trace`]: lsw_trace::trace::Trace
+
+use lsw_stats::par::Parallelism;
+use lsw_trace::concurrency::{ConcurrencyProfile, ConcurrencySweep};
+use lsw_trace::ltc::{BlockReader, BlockSource, ReadStats};
+use lsw_trace::sanitize::classify;
+use lsw_trace::session::{SessionConfig, Sessions, TransferColumns};
+use std::io;
+
+/// Result of one columnar pass: the session set and concurrency profile,
+/// plus the ingest accounting a report would want to surface.
+#[derive(Debug)]
+pub struct ColumnarPass {
+    /// Sessions over the kept records, identical to the batch sessionizer.
+    pub sessions: Sessions,
+    /// Concurrent-transfer profile over the kept records (Figs 15/16).
+    pub concurrency: ConcurrencyProfile,
+    /// Records that survived §2.4 classification.
+    pub kept: u64,
+    /// Records rejected by §2.4 classification.
+    pub rejected: u64,
+    /// Corrupt-block accounting from the reader.
+    pub read_stats: ReadStats,
+}
+
+/// Sessionizes and concurrency-sweeps an `ltc` stream in one pass without
+/// materializing a `LogEntry` array. `horizon` bounds both the §2.4
+/// classification and the concurrency profile, exactly like the batch
+/// `sanitize` + `ConcurrencyProfile::transfers` pipeline.
+pub fn sessionize_concurrency_ltc<S: BlockSource>(
+    mut reader: BlockReader<S>,
+    config: SessionConfig,
+    horizon: u32,
+    par: Parallelism,
+) -> io::Result<ColumnarPass> {
+    let mut client = Vec::new();
+    let mut start = Vec::new();
+    let mut timestamp = Vec::new();
+    let mut stop = Vec::new();
+    let mut sweep = ConcurrencySweep::new(horizon);
+    let mut kept = 0u64;
+    let mut rejected = 0u64;
+    while let Some(block) = reader.next_block()? {
+        for i in 0..block.len() {
+            // Transient stack materialization for the §2.4 rules only.
+            let e = block.entry(i);
+            if classify(&e, horizon).is_some() {
+                rejected += 1;
+                continue;
+            }
+            kept += 1;
+            let e_stop = e.stop();
+            client.push(e.client.0);
+            start.push(e.start);
+            timestamp.push(e.timestamp);
+            stop.push(e_stop);
+            sweep.add(e.start, e_stop);
+        }
+    }
+    let sessions = Sessions::identify_columns(
+        TransferColumns {
+            client: &client,
+            start: &start,
+            timestamp: &timestamp,
+            stop: &stop,
+        },
+        config,
+        par,
+    );
+    Ok(ColumnarPass {
+        sessions,
+        concurrency: sweep.finish(),
+        kept,
+        rejected,
+        read_stats: reader.stats().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsw_trace::event::LogEntryBuilder;
+    use lsw_trace::ids::ClientId;
+    use lsw_trace::ltc::{self, SliceSource};
+    use lsw_trace::sanitize::sanitize;
+
+    /// Deterministic fixture with clean and §2.4-rejectable records.
+    fn fixture() -> Vec<lsw_trace::event::LogEntry> {
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut entries = Vec::new();
+        for _ in 0..3_000 {
+            let client = (next() % 61) as u32;
+            let start = (next() % 150_000) as u32;
+            let dur = (next() % 800) as u32;
+            let mut e = LogEntryBuilder::new()
+                .span(start, dur)
+                .client(ClientId(client))
+                .build();
+            match next() % 10 {
+                // A few §2.4 rejects: failed status, bad stats, horizon.
+                0 => e.status = 404,
+                1 => e.packet_loss = 1.5,
+                2 => e.start = 400_000,
+                _ => {}
+            }
+            entries.push(e);
+        }
+        entries
+    }
+
+    #[test]
+    fn columnar_pass_matches_batch_pipeline() {
+        let entries = fixture();
+        let horizon = 200_000u32;
+        let config = SessionConfig { timeout: 1500.0 };
+
+        // Batch: sanitize -> Trace -> identify + transfers sweep.
+        let (trace, report) = sanitize(entries.clone(), horizon);
+        let batch_sessions = Sessions::identify(&trace, config);
+        let batch_conc = ConcurrencyProfile::transfers(trace.entries(), horizon);
+
+        // Columnar: encode to ltc, one block-stream pass.
+        let image = ltc::encode(&entries).unwrap();
+        let reader = BlockReader::open(SliceSource::new(&image)).unwrap();
+        let pass =
+            sessionize_concurrency_ltc(reader, config, horizon, Parallelism::fixed(3)).unwrap();
+
+        assert_eq!(pass.kept as usize, trace.len());
+        assert_eq!(pass.rejected as usize, report.rejected());
+        assert_eq!(pass.read_stats.corrupt_blocks, 0);
+        assert_eq!(pass.sessions.all(), batch_sessions.all());
+        assert_eq!(pass.concurrency.per_second(), batch_conc.per_second());
+    }
+}

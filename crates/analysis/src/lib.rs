@@ -18,6 +18,9 @@
 //!
 //! [`report::CharacterizationReport`] bundles all three layers plus the
 //! Table-1 summary; it serializes to JSON and renders as text.
+//! [`columnar`] feeds the two heaviest stages — sessionization and the
+//! concurrency sweep — straight from `ltc` block columns, skipping the
+//! `LogEntry` array entirely.
 //!
 //! ## Conventions
 //!
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod client_layer;
+pub mod columnar;
 pub mod marginal;
 pub mod report;
 pub mod session_layer;

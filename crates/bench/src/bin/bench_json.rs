@@ -86,16 +86,17 @@ impl Stage {
     }
 }
 
-/// Pull `(stage, threads, elements_per_sec)` triples out of a benchmark
-/// JSON file. Field-order tolerant but schema-exact: it reads the same
-/// hand-formatted shape `main` writes.
-fn read_baseline(path: &str) -> Vec<(String, u64, f64)> {
+/// Pull `(stage, threads, elements_per_sec)` triples plus the recorded
+/// generate speedup (absent or `null` on single-CPU hosts) out of a
+/// benchmark JSON file. Field-order tolerant but schema-exact: it reads
+/// the same hand-formatted shape `main` writes.
+fn read_baseline(path: &str) -> (Vec<(String, u64, f64)>, Option<f64>) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
     let value: serde_json::Value =
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e}"));
     let stages = value["stages"].as_array().expect("baseline has stages[]");
-    stages
+    let triples = stages
         .iter()
         .map(|s| {
             (
@@ -104,7 +105,8 @@ fn read_baseline(path: &str) -> Vec<(String, u64, f64)> {
                 s["elements_per_sec"].as_f64().expect("stage rate"),
             )
         })
-        .collect()
+        .collect();
+    (triples, value["generate_speedup"].as_f64())
 }
 
 /// Allowed regression before `--check` fails: a stage may run up to 25%
@@ -193,6 +195,34 @@ fn main() {
         "parse must keep every line"
     );
 
+    // Text → columnar conversion: parse every line and append to the
+    // block writer — the `lsw convert` hot path.
+    let (ltc_image, convert_secs) = time(|| {
+        let mut out = Vec::new();
+        let mut w = lsw_trace::ltc::LtcWriter::new(&mut out).expect("vec sink");
+        for (_, e) in lsw_trace::wms::parse_lines_bytes(log_text.as_bytes()).flatten() {
+            w.push(&e).expect("vec sink");
+        }
+        w.finish().expect("vec sink");
+        out
+    });
+
+    // Columnar block ingest: the same one-pass characterization fed from
+    // the ltc container — block decode replaces text parse, and the
+    // sorted footer flag bypasses the look-ahead heap.
+    let (ltc_report, ltc_secs) = time(|| {
+        let mut engine = lsw_stream::StreamAnalyzer::new(lsw_stream::StreamConfig {
+            shards: par_threads,
+            ..lsw_stream::StreamConfig::default()
+        });
+        engine.ingest_ltc_bytes(&ltc_image).expect("in-memory ltc");
+        engine.finalize()
+    });
+    assert_eq!(
+        ltc_report.summary.transfers, stream_report.summary.transfers,
+        "ltc and text ingest must keep the same transfers"
+    );
+
     // DES event pump: schedule every transfer's start, then pop in time
     // order scheduling its stop — the simulator's exact queue churn
     // pattern, isolated from server/network bookkeeping.
@@ -249,6 +279,20 @@ fn main() {
             sketch_bytes: Some(stream_report.memory.sketch_bytes),
         },
         Stage {
+            name: "ltc_ingest",
+            threads: par_threads,
+            elements: trace.len(),
+            secs: ltc_secs,
+            sketch_bytes: Some(ltc_report.memory.sketch_bytes),
+        },
+        Stage {
+            name: "convert",
+            threads: 1,
+            elements: n_lines,
+            secs: convert_secs,
+            sketch_bytes: None,
+        },
+        Stage {
             name: "wms_parse",
             threads: 1,
             elements: n_lines,
@@ -263,16 +307,19 @@ fn main() {
             sketch_bytes: None,
         },
     ];
-    let speedup = stages[1].rate() / stages[0].rate();
+    // A "speedup" measured where threads cannot actually run in parallel
+    // is pure noise, so single-CPU hosts record `null` instead of ~1.0.
+    let speedup = (host_cpus > 1).then(|| stages[1].rate() / stages[0].rate());
+    let speedup_json = speedup.map_or_else(|| "null".to_string(), |s| format!("{s:.3}"));
 
     let body: Vec<String> = stages.iter().map(Stage::json).collect();
     let json = format!(
         "{{\n  \"git_sha\": \"{}\",\n  \"host_cpus\": {},\n  \"parallel_threads\": {},\n  \
-         \"generate_speedup\": {:.3},\n  \"stages\": [\n{}\n  ]\n}}\n",
+         \"generate_speedup\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
         git_sha(),
         host_cpus,
         par_threads,
-        speedup,
+        speedup_json,
         body.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
@@ -287,16 +334,40 @@ fn main() {
             s.rate()
         );
     }
-    eprintln!(
-        "  generate speedup at {par_threads} threads: {speedup:.2}x \
-         (sessions identified: {})",
-        sessions.all().len()
-    );
+    match speedup {
+        Some(s) => eprintln!(
+            "  generate speedup at {par_threads} threads: {s:.2}x \
+             (sessions identified: {})",
+            sessions.all().len()
+        ),
+        None => eprintln!(
+            "  generate speedup: n/a on a single-CPU host \
+             (sessions identified: {})",
+            sessions.all().len()
+        ),
+    }
     eprintln!("wrote {out_path}");
 
     if let Some(baseline_path) = check_path {
-        let baseline = read_baseline(&baseline_path);
+        let (baseline, base_speedup) = read_baseline(&baseline_path);
         let mut failures = Vec::new();
+        // The parallel-generation ratio is only meaningful when both the
+        // baseline host and this host could actually run threads in
+        // parallel; a single-CPU run records (and checks against) null.
+        match (speedup, base_speedup) {
+            (Some(s), Some(base)) => {
+                let floor = base * (1.0 - CHECK_TOLERANCE);
+                let verdict = if s < floor { "FAIL" } else { "ok" };
+                eprintln!(
+                    "  check generate_speedup {s:>12.2} vs baseline {base:>12.2} \
+                     (floor {floor:>12.2}) {verdict}"
+                );
+                if s < floor {
+                    failures.push(format!("generate speedup regressed: {s:.2}x < {floor:.2}x"));
+                }
+            }
+            _ => eprintln!("  check generate_speedup skipped (single-CPU host or null baseline)"),
+        }
         for (name, threads, base_rate) in &baseline {
             let Some(stage) = stages
                 .iter()

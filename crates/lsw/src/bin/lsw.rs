@@ -3,12 +3,14 @@
 //! ```text
 //! lsw generate  [--days D] [--clients N] [--sessions N] [--seed S]
 //!               [--threads T] [--sampler cdf|alias] [--simulate]
-//!               [--scale-matched] --out LOG
-//! lsw characterize LOG [--horizon SECS] [--timeout TO] [--json FILE]
-//! lsw analyze     LOG [--stream] [--compare] [--shards N]
-//!                 [--memory-budget BYTES] [--horizon SECS] [--timeout TO]
-//!                 [--json FILE]
-//! lsw summary     LOG [--horizon SECS]
+//!               [--scale-matched] [--emit wms|ltc] --out LOG
+//! lsw characterize LOG [--format auto|wms|ltc] [--horizon SECS]
+//!                 [--timeout TO] [--json FILE]
+//! lsw analyze     LOG [--format auto|wms|ltc] [--stream] [--compare]
+//!                 [--shards N] [--memory-budget BYTES] [--horizon SECS]
+//!                 [--timeout TO] [--json FILE]
+//! lsw summary     LOG [--format auto|wms|ltc] [--horizon SECS]
+//! lsw convert     IN OUT [--format auto|wms|ltc]
 //! ```
 //!
 //! `analyze` is the streaming front end: with `--stream` the log is
@@ -19,9 +21,14 @@
 //! table is printed. Without either flag it behaves like `characterize`
 //! plus the §2.4 ingest accounting.
 //!
-//! Logs are the WMS-style text format (`lsw_trace::wms`); `generate`
-//! writes one, the other commands read one. All times are seconds since
-//! the log's epoch.
+//! Logs come in two formats: the WMS-style text format (`lsw_trace::wms`)
+//! and the columnar binary container (`lsw_trace::ltc`), which is smaller
+//! and several times faster to ingest. Every reading command sniffs the
+//! 4-byte `ltc` magic by default (`--format auto`); `--format wms|ltc`
+//! forces a format. `convert` transcodes between the two — the direction
+//! follows from the input's format — and `generate --emit ltc` writes the
+//! binary container directly. All times are seconds since the log's
+//! epoch.
 //!
 //! `--threads` (or the `LSW_THREADS` environment variable) sets the
 //! worker count; the default is the number of available cores. Output is
@@ -38,9 +45,12 @@ use lsw::sim::{SimConfig, Simulator};
 use lsw::stats::dist::SamplerBackend;
 use lsw::stats::par::Parallelism;
 use lsw::stream::{StreamAnalyzer, StreamConfig};
+use lsw::trace::event::LogEntry;
+use lsw::trace::ltc;
 use lsw::trace::sanitize::sanitize;
 use lsw::trace::session::SessionConfig;
 use lsw::trace::wms;
+use std::path::Path;
 use std::process::exit;
 
 fn main() {
@@ -50,14 +60,17 @@ fn main() {
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage:\n  lsw generate [--days D] [--clients N] [--sessions N] [--seed S] \
-                 [--threads T] [--sampler cdf|alias] [--simulate] [--scale-matched] --out \
-                 LOG\n  lsw characterize LOG \
-                 [--horizon SECS] [--timeout TO] [--json FILE]\n  lsw analyze LOG [--stream] \
+                 [--threads T] [--sampler cdf|alias] [--simulate] [--scale-matched] \
+                 [--emit wms|ltc] --out LOG\n  lsw characterize LOG [--format auto|wms|ltc] \
+                 [--horizon SECS] [--timeout TO] [--json FILE]\n  lsw analyze LOG \
+                 [--format auto|wms|ltc] [--stream] \
                  [--compare] [--shards N] [--memory-budget BYTES] [--horizon SECS] [--timeout TO] \
-                 [--json FILE]\n  lsw summary LOG [--horizon SECS]"
+                 [--json FILE]\n  lsw summary LOG [--format auto|wms|ltc] [--horizon SECS]\n  \
+                 lsw convert IN OUT [--format auto|wms|ltc]"
             );
         }
         Some(other) => {
@@ -81,6 +94,79 @@ fn parse_or<T: std::str::FromStr>(v: Option<&str>, default: T, name: &str) -> T 
             eprintln!("bad value for {name}: {s:?}");
             exit(2);
         }),
+    }
+}
+
+/// On-disk log encodings the reading commands accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LogFormat {
+    /// WMS-style text lines (`lsw_trace::wms`).
+    Wms,
+    /// Columnar binary container (`lsw_trace::ltc`).
+    Ltc,
+}
+
+/// Reads the first bytes of `path` and checks for the `ltc` magic.
+fn sniff_format(path: &str) -> LogFormat {
+    use std::io::Read;
+    let mut prefix = [0u8; 4];
+    let n = std::fs::File::open(path)
+        .and_then(|mut f| f.read(&mut prefix))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+    if ltc::is_ltc(&prefix[..n]) {
+        LogFormat::Ltc
+    } else {
+        LogFormat::Wms
+    }
+}
+
+/// Resolves `--format auto|wms|ltc` (default `auto` = sniff the magic).
+fn resolve_format(args: &[String], path: &str) -> LogFormat {
+    match flag_value(args, "--format") {
+        None | Some("auto") => sniff_format(path),
+        Some("wms") => LogFormat::Wms,
+        Some("ltc") => LogFormat::Ltc,
+        Some(other) => {
+            eprintln!("bad value for --format: {other:?} (expected auto, wms or ltc)");
+            exit(2);
+        }
+    }
+}
+
+/// Loads every record of `path` in the given format, reporting (but
+/// tolerating) corrupt `ltc` blocks the way the streaming engine does.
+fn read_entries(path: &str, format: LogFormat) -> Vec<LogEntry> {
+    match format {
+        LogFormat::Wms => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            });
+            wms::parse_log(&text).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1);
+            })
+        }
+        LogFormat::Ltc => {
+            let (entries, stats) = ltc::FileSource::open(Path::new(path))
+                .and_then(|src| ltc::BlockReader::open(src)?.read_all())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1);
+                });
+            if stats.corrupt_blocks > 0 {
+                eprintln!(
+                    "skipped {} corrupt block(s) / {} record(s): {}",
+                    stats.corrupt_blocks,
+                    stats.corrupt_records,
+                    stats.first_corrupt.as_deref().unwrap_or("?"),
+                );
+            }
+            entries
+        }
     }
 }
 
@@ -143,12 +229,97 @@ fn cmd_generate(args: &[String]) {
     } else {
         workload.render()
     };
-    let text = wms::format_log(trace.entries());
-    std::fs::write(out, &text).unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
-        exit(1);
-    });
+    let emit = match flag_value(args, "--emit") {
+        None | Some("wms") => LogFormat::Wms,
+        Some("ltc") => LogFormat::Ltc,
+        Some(other) => {
+            eprintln!("bad value for --emit: {other:?} (expected wms or ltc)");
+            exit(2);
+        }
+    };
+    match emit {
+        LogFormat::Wms => {
+            let text = wms::format_log(trace.entries());
+            std::fs::write(out, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1);
+            });
+        }
+        LogFormat::Ltc => {
+            std::fs::File::create(out)
+                .and_then(|f| ltc::write_entries(trace.entries(), std::io::BufWriter::new(f)))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1);
+                });
+        }
+    }
     eprintln!("wrote {} entries to {out}", trace.len());
+}
+
+/// Transcodes between the text and binary formats; the direction follows
+/// from the input's (sniffed or forced) format.
+fn cmd_convert(args: &[String]) {
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let (Some(input), Some(output)) = (positional.next(), positional.next()) else {
+        eprintln!("convert expects IN and OUT file arguments");
+        exit(2);
+    };
+    match resolve_format(args, input) {
+        LogFormat::Wms => {
+            // wms -> ltc in bounded memory: parse chunks of whole lines
+            // and push records straight into the block writer.
+            let file = std::fs::File::open(input).unwrap_or_else(|e| {
+                eprintln!("cannot open {input}: {e}");
+                exit(1);
+            });
+            let sink = std::fs::File::create(output).unwrap_or_else(|e| {
+                eprintln!("cannot write {output}: {e}");
+                exit(1);
+            });
+            let mut writer =
+                ltc::LtcWriter::new(std::io::BufWriter::new(sink)).unwrap_or_else(|e| {
+                    eprintln!("cannot write {output}: {e}");
+                    exit(1);
+                });
+            let summary = (|| -> std::io::Result<ltc::LtcSummary> {
+                for chunk in wms::LineChunks::new(std::io::BufReader::new(file), 1 << 20) {
+                    let chunk = chunk?;
+                    for parsed in wms::parse_lines_bytes_from(&chunk.bytes, chunk.first_line) {
+                        match parsed {
+                            Ok((_, e)) => writer.push(&e)?,
+                            Err(e) => {
+                                eprintln!("{e}");
+                                exit(1);
+                            }
+                        }
+                    }
+                }
+                writer.finish()
+            })()
+            .unwrap_or_else(|e| {
+                eprintln!("convert failed: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "wrote {} records in {} block(s) ({} bytes{}) to {output}",
+                summary.records,
+                summary.blocks,
+                summary.bytes,
+                if summary.sorted { ", sorted" } else { "" },
+            );
+        }
+        LogFormat::Ltc => {
+            // ltc -> wms: decode every block, render the text log.
+            let entries = read_entries(input, LogFormat::Ltc);
+            let text = wms::format_log(&entries);
+            std::fs::write(output, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {output}: {e}");
+                exit(1);
+            });
+            eprintln!("wrote {} entries to {output}", entries.len());
+        }
+    }
 }
 
 fn load(
@@ -162,14 +333,7 @@ fn load(
         eprintln!("expected a LOG file argument");
         exit(2);
     };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1);
-    });
-    let entries = wms::parse_log(&text).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        exit(1);
-    });
+    let entries = read_entries(path, resolve_format(args, path));
     // Horizon: explicit flag, or inferred from the last stop time.
     let inferred = entries.iter().map(|e| e.stop()).max().unwrap_or(0) + 1;
     let horizon: u32 = parse_or(flag_value(args, "--horizon"), inferred, "--horizon");
@@ -223,18 +387,17 @@ fn stream_config(args: &[String]) -> StreamConfig {
     cfg
 }
 
-fn run_stream(path: &str, cfg: StreamConfig) -> lsw::stream::StreamReport {
-    let file = std::fs::File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
+fn run_stream(path: &str, format: LogFormat, cfg: StreamConfig) -> lsw::stream::StreamReport {
+    let mut engine = StreamAnalyzer::new(cfg);
+    let ingested = match format {
+        LogFormat::Ltc => engine.ingest_ltc_path(Path::new(path)),
+        LogFormat::Wms => std::fs::File::open(path)
+            .and_then(|file| engine.ingest_read(std::io::BufReader::new(file))),
+    };
+    ingested.unwrap_or_else(|e| {
+        eprintln!("read error on {path}: {e}");
         exit(1);
     });
-    let mut engine = StreamAnalyzer::new(cfg);
-    engine
-        .ingest_read(std::io::BufReader::new(file))
-        .unwrap_or_else(|e| {
-            eprintln!("read error on {path}: {e}");
-            exit(1);
-        });
     engine.finalize()
 }
 
@@ -249,9 +412,11 @@ fn cmd_analyze(args: &[String]) {
     // Parse up front so a bad stream flag exits 2 in every analyze mode.
     let stream_cfg = stream_config(args);
 
+    let format = resolve_format(args, &path);
+
     if streaming && !comparing {
         // One pass, bounded memory: the log never has to fit in RAM.
-        let report = run_stream(&path, stream_cfg);
+        let report = run_stream(&path, format, stream_cfg);
         println!("{}", report.headline());
         if let Some(json_path) = flag_value(args, "--json") {
             std::fs::write(json_path, report.to_json()).unwrap_or_else(|e| {
@@ -276,7 +441,7 @@ fn cmd_analyze(args: &[String]) {
         // apply identical rejection rules.
         let mut cfg = stream_cfg;
         cfg.horizon = Some(horizon);
-        let stream = run_stream(&path, cfg);
+        let stream = run_stream(&path, format, cfg);
         println!("{}", lsw::analysis::stream_compare::render(&batch, &stream));
         if let Some(json_path) = flag_value(args, "--json") {
             std::fs::write(json_path, stream.to_json()).unwrap_or_else(|e| {

@@ -13,7 +13,6 @@ use crate::quantile::LogQuantileSketch;
 use crate::sample::ClientSample;
 use crate::session::{ClosedSession, StreamSessionizer};
 use lsw_trace::event::LogEntry;
-use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
 
 /// Fixed-point scale for CPU-audit sums (2^-32 per unit).
@@ -28,13 +27,17 @@ const CPU_BLOCK: usize = 1 << CPU_BLOCK_BITS;
 /// 64 consecutive one-second bins of `(fixed-point sum, sample count)`.
 #[derive(Debug)]
 struct CpuBlock {
+    /// Owning block key (`timestamp >> CPU_BLOCK_BITS`), kept so ring
+    /// growth can re-place the block without external bookkeeping.
+    key: u32,
     sums: [i64; CPU_BLOCK],
     counts: [u32; CPU_BLOCK],
 }
 
 impl CpuBlock {
-    fn new() -> Box<Self> {
+    fn new(key: u32) -> Box<Self> {
         Box::new(Self {
+            key,
             sums: [0; CPU_BLOCK],
             counts: [0; CPU_BLOCK],
         })
@@ -51,13 +54,40 @@ impl CpuBlock {
 /// final and fold into two counters. Folding happens a whole 64-bin block
 /// at a time — deferral only delays *when* a final bin is counted, never
 /// what it contributes, so the finish-time fractions are unchanged.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CpuAudit {
-    blocks: BTreeMap<u32, Box<CpuBlock>>,
+    /// Power-of-two ring of live blocks, indexed by block key mod the
+    /// ring length. Live keys span `[min_block, max_block]`; the ring
+    /// grows until that span fits, so distinct live keys never collide
+    /// and the hot `observe` probe is one indexed load plus a compare.
+    ring: Vec<Option<Box<CpuBlock>>>,
+    /// Occupied ring slots.
+    live: usize,
+    /// Smallest live block key (`u32::MAX` when empty), so the
+    /// once-per-entry flush probe is a register compare instead of a
+    /// tree descent. Doubles as the flush cursor over the ring.
+    min_block: u32,
+    /// Largest live block key (0 when empty).
+    max_block: u32,
     done_bins: u64,
     done_under: u64,
     transfers: u64,
     under_transfers: u64,
+}
+
+impl Default for CpuAudit {
+    fn default() -> Self {
+        Self {
+            ring: Vec::new(),
+            live: 0,
+            min_block: u32::MAX,
+            max_block: 0,
+            done_bins: 0,
+            done_under: 0,
+            transfers: 0,
+            under_transfers: 0,
+        }
+    }
 }
 
 impl CpuAudit {
@@ -67,30 +97,67 @@ impl CpuAudit {
         if cpu < lsw_trace::sanitize::CPU_THRESHOLD {
             self.under_transfers += 1;
         }
-        let block = self
-            .blocks
-            .entry(timestamp >> CPU_BLOCK_BITS)
-            .or_insert_with(CpuBlock::new);
-        let slot = (timestamp as usize) & (CPU_BLOCK - 1);
-        block.sums[slot] += (f64::from(cpu) * CPU_SCALE).round() as i64;
-        block.counts[slot] += 1;
+        let key = timestamp >> CPU_BLOCK_BITS;
+        let (min, max) = if self.live == 0 {
+            (key, key)
+        } else {
+            (self.min_block.min(key), self.max_block.max(key))
+        };
+        if u64::from(max - min) >= self.ring.len() as u64 {
+            self.grow_ring(max - min);
+        }
+        self.min_block = min;
+        self.max_block = max;
+        let slot = key as usize & (self.ring.len() - 1);
+        let block = match &mut self.ring[slot] {
+            Some(b) => b,
+            vacant => {
+                self.live += 1;
+                vacant.insert(CpuBlock::new(key))
+            }
+        };
+        debug_assert_eq!(block.key, key, "live key span exceeded the ring");
+        let bin = (timestamp as usize) & (CPU_BLOCK - 1);
+        block.sums[bin] += (f64::from(cpu) * CPU_SCALE).round() as i64;
+        block.counts[bin] += 1;
+    }
+
+    /// Doubles the ring until a live key span of `span` fits, re-placing
+    /// every live block (distinct keys stay distinct mod the new length).
+    fn grow_ring(&mut self, span: u32) {
+        let mut new_len = self.ring.len().max(16);
+        while new_len as u64 <= u64::from(span) {
+            new_len *= 2;
+        }
+        let old = std::mem::take(&mut self.ring);
+        self.ring.resize_with(new_len, || None);
+        for block in old.into_iter().flatten() {
+            let slot = block.key as usize & (new_len - 1);
+            debug_assert!(self.ring[slot].is_none());
+            self.ring[slot] = Some(block);
+        }
     }
 
     /// Folds every block strictly below `watermark` into the totals (a
     /// block folds once *all* its bins are below the watermark).
     pub fn flush_below(&mut self, watermark: u32) {
-        // Called once per released entry: bail with a read-only probe for
+        // Called once per released entry: bail on the cached minimum for
         // the (overwhelmingly common) case where no block is final yet.
         let limit = u64::from(watermark) >> CPU_BLOCK_BITS;
-        while self
-            .blocks
-            .first_key_value()
-            .is_some_and(|(&b, _)| u64::from(b) < limit)
-        {
-            let Some((_, block)) = self.blocks.pop_first() else {
-                break;
-            };
-            self.fold(&block);
+        while u64::from(self.min_block) < limit && self.live > 0 {
+            let slot = self.min_block as usize & (self.ring.len() - 1);
+            if let Some(block) = self.ring[slot].take() {
+                self.fold(&block);
+                self.live -= 1;
+            }
+            if self.live == 0 {
+                self.min_block = u32::MAX;
+                self.max_block = 0;
+            } else {
+                // The cursor walks key by key; each block key is visited
+                // at most once over the whole stream.
+                self.min_block += 1;
+            }
         }
     }
 
@@ -110,9 +177,22 @@ impl CpuAudit {
     /// Final underload fractions `(time, transfers)`, batch conventions:
     /// empty audits count as fully underloaded.
     pub fn finish(&mut self) -> (f64, f64) {
-        while let Some((_, block)) = self.blocks.pop_first() {
-            self.fold(&block);
+        // Fold survivors in ascending key order (the span fits the ring,
+        // so one pass of the cursor visits every live block).
+        while self.live > 0 {
+            let slot = self.min_block as usize & (self.ring.len() - 1);
+            if let Some(block) = self.ring[slot].take() {
+                self.fold(&block);
+                self.live -= 1;
+            }
+            if self.min_block == self.max_block {
+                break;
+            }
+            self.min_block += 1;
         }
+        self.live = 0;
+        self.min_block = u32::MAX;
+        self.max_block = 0;
         let time = if self.done_bins == 0 {
             1.0
         } else {
@@ -128,8 +208,9 @@ impl CpuAudit {
 
     /// Live window size (non-empty bins currently held).
     pub fn window_bins(&self) -> usize {
-        self.blocks
-            .values()
+        self.ring
+            .iter()
+            .flatten()
             .map(|b| b.counts.iter().filter(|&&n| n > 0).count())
             .sum()
     }
@@ -138,16 +219,36 @@ impl CpuAudit {
 /// Number of 15-minute bins in a day (the paper's piecewise window).
 pub const DAILY_BINS: usize = 96;
 
+/// Slot cap of the concurrency timing wheel (seconds). Removal leads at
+/// or beyond this (transfers longer than ~36 hours) fall back to the
+/// overflow heap, bounding wheel memory at 512 KiB.
+const CONC_WHEEL_CAP: usize = 1 << 17;
+
 /// Online transfer-concurrency sweep over the released stream.
 ///
 /// Equivalent to the batch difference-array profile but without the
-/// per-second array: the stream arrives start-ordered, a min-heap holds
-/// pending removal times (`stop + 1`), and time advances piecewise —
-/// each constant-concurrency segment is accumulated into a level → seconds
-/// marginal, a time-weighted total, and a 96-bin time-of-day fold.
+/// per-second array: the stream arrives start-ordered, pending removal
+/// times (`stop + 1`) sit in a timing wheel of per-second counts, and
+/// time advances piecewise — each constant-concurrency segment is
+/// accumulated into a level → seconds marginal, a time-weighted total,
+/// and a 96-bin time-of-day fold.
+///
+/// The wheel replaces a removal min-heap on the per-entry hot path: a
+/// push is one counter bump and retirement scans each elapsed second
+/// once globally (clock time, already bounded by the horizon), instead
+/// of paying a heap sift per transfer. Leads the wheel cannot hold go
+/// to a (normally empty) overflow heap; removals still retire in
+/// nondecreasing time order, so every accounted segment — and thus
+/// every published statistic — is identical to the heap formulation.
 #[derive(Debug)]
 pub struct OnlineConcurrency {
-    removals: BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Power-of-two ring of removal counts, indexed by absolute second
+    /// mod the wheel length. Grows with the largest lead seen (capped).
+    wheel: Vec<u32>,
+    /// Removals currently resident in the wheel.
+    wheel_pending: u64,
+    /// Removals whose lead exceeded [`CONC_WHEEL_CAP`].
+    overflow: BinaryHeap<std::cmp::Reverse<u32>>,
     level: u32,
     t_cur: u32,
     peak: u32,
@@ -159,13 +260,20 @@ pub struct OnlineConcurrency {
     weighted: u128,
     fold_secs: [u64; DAILY_BINS],
     fold_weighted: [u64; DAILY_BINS],
+    /// Time-of-day bin containing `t_cur` and the absolute second where it
+    /// ends: the common segment fits one bin, making the fold a compare
+    /// and two adds instead of a div/mod pair.
+    bin: usize,
+    bin_end: u64,
     peak_pending: usize,
 }
 
 impl Default for OnlineConcurrency {
     fn default() -> Self {
         Self {
-            removals: BinaryHeap::new(),
+            wheel: Vec::new(),
+            wheel_pending: 0,
+            overflow: BinaryHeap::new(),
             level: 0,
             t_cur: 0,
             peak: 0,
@@ -173,6 +281,8 @@ impl Default for OnlineConcurrency {
             weighted: 0,
             fold_secs: [0; DAILY_BINS],
             fold_weighted: [0; DAILY_BINS],
+            bin: 0,
+            bin_end: 900,
             peak_pending: 0,
         }
     }
@@ -193,19 +303,93 @@ impl OnlineConcurrency {
         self.level += 1;
         self.peak = self.peak.max(self.level);
         let removal = stop.max(s).saturating_add(1);
-        self.removals.push(std::cmp::Reverse(removal));
-        self.peak_pending = self.peak_pending.max(self.removals.len());
+        self.push_removal(removal);
+        self.peak_pending = self
+            .peak_pending
+            .max(self.wheel_pending as usize + self.overflow.len());
+    }
+
+    /// Files one pending removal at absolute second `r` (`r > t_cur`).
+    fn push_removal(&mut self, r: u32) {
+        // The wheel addresses the window `(t_cur, t_cur + len]`; a lead
+        // strictly below `len` always fits, leaving the `t_cur` slot free.
+        let lead = (r - self.t_cur) as usize;
+        if lead >= CONC_WHEEL_CAP {
+            self.overflow.push(std::cmp::Reverse(r));
+            return;
+        }
+        if lead >= self.wheel.len() {
+            self.grow_wheel(lead);
+        }
+        let mask = self.wheel.len() - 1;
+        self.wheel[r as usize & mask] += 1;
+        self.wheel_pending += 1;
+    }
+
+    /// Doubles the wheel until `lead` fits, re-bucketing pending counts.
+    ///
+    /// Every pending removal lies in `(t_cur, t_cur + old_len]`, so each
+    /// old slot maps to exactly one absolute second in that window and
+    /// the re-bucketing is a bijection.
+    fn grow_wheel(&mut self, lead: usize) {
+        let mut new_len = self.wheel.len().max(64);
+        while new_len <= lead {
+            new_len *= 2;
+        }
+        let old = std::mem::replace(&mut self.wheel, vec![0u32; new_len]);
+        if !old.is_empty() && self.wheel_pending > 0 {
+            let from = u64::from(self.t_cur) + 1;
+            let to = (u64::from(self.t_cur) + old.len() as u64).min(u64::from(u32::MAX));
+            for sec in from..=to {
+                let cnt = old[sec as usize & (old.len() - 1)];
+                if cnt > 0 {
+                    self.wheel[sec as usize & (new_len - 1)] = cnt;
+                }
+            }
+        }
     }
 
     /// Runs the sweep clock forward to `t`, retiring due removals.
+    ///
+    /// Scans second by second only while removals are pending — each
+    /// elapsed second is visited at most once over the whole stream
+    /// (`t_cur` jumps to `t` at every call), so retirement is O(clock
+    /// seconds + removals), not O(removals · log pending).
     fn advance(&mut self, t: u32) {
-        while let Some(&std::cmp::Reverse(r)) = self.removals.peek() {
-            if r > t {
-                break;
+        if self.wheel_pending > 0 || !self.overflow.is_empty() {
+            let end = u64::from(t);
+            let mut sec = u64::from(self.t_cur) + 1;
+            while sec <= end
+                && (self.wheel_pending > 0
+                    || self
+                        .overflow
+                        .peek()
+                        .is_some_and(|&std::cmp::Reverse(r)| u64::from(r) <= end))
+            {
+                let s32 = sec as u32;
+                let mut cnt = 0u32;
+                if self.wheel_pending > 0 {
+                    let slot = sec as usize & (self.wheel.len() - 1);
+                    cnt = self.wheel[slot];
+                    if cnt > 0 {
+                        self.wheel[slot] = 0;
+                        self.wheel_pending -= u64::from(cnt);
+                    }
+                }
+                while self
+                    .overflow
+                    .peek()
+                    .is_some_and(|&std::cmp::Reverse(r)| r == s32)
+                {
+                    self.overflow.pop();
+                    cnt += 1;
+                }
+                if cnt > 0 {
+                    self.account(s32);
+                    self.level -= cnt;
+                }
+                sec += 1;
             }
-            self.removals.pop();
-            self.account(r);
-            self.level -= 1;
         }
         self.account(t);
     }
@@ -222,16 +406,22 @@ impl OnlineConcurrency {
         }
         self.marginal[level] += dur;
         self.weighted += u128::from(self.level) * u128::from(dur);
-        // Time-of-day fold over 15-minute bins.
+        // Time-of-day fold over 15-minute bins. `bin`/`bin_end` track the
+        // bin holding `t_cur`, so whole-segment-in-bin (the overwhelming
+        // case) costs one compare and two adds.
         let mut t = u64::from(self.t_cur);
         let end = u64::from(until);
-        while t < end {
-            let bin = ((t % 86_400) / 900) as usize;
-            let next = ((t / 900) + 1) * 900;
-            let seg = next.min(end) - t;
-            self.fold_secs[bin] += seg;
-            self.fold_weighted[bin] += u64::from(self.level) * seg;
-            t = next.min(end);
+        loop {
+            let stop = self.bin_end.min(end);
+            let seg = stop - t;
+            self.fold_secs[self.bin] += seg;
+            self.fold_weighted[self.bin] += u64::from(self.level) * seg;
+            t = stop;
+            if t >= end {
+                break;
+            }
+            self.bin = (self.bin + 1) % DAILY_BINS;
+            self.bin_end += 900;
         }
         self.t_cur = until;
     }
@@ -241,7 +431,9 @@ impl OnlineConcurrency {
         self.advance(horizon);
         // Removals beyond the horizon are clamped (batch behaviour: an
         // entry is active through `stop.min(horizon - 1)`).
-        self.removals.clear();
+        self.wheel.fill(0);
+        self.wheel_pending = 0;
+        self.overflow.clear();
         self.level = 0;
     }
 
@@ -302,8 +494,9 @@ pub struct Coordinator {
     pub on_moments: LogMoments,
     /// ON-time quantile sketch (display-transformed).
     pub on_quant: LogQuantileSketch,
-    /// Exact transfers-per-session histogram.
-    pub tps: BTreeMap<u32, u64>,
+    /// Exact transfers-per-session histogram, dense by transfer count
+    /// (bounded by the longest session; bumped once per closed session).
+    pub tps: Vec<u64>,
     /// Intra-session interarrival log-moments (display-transformed).
     pub intra_moments: LogMoments,
     /// Transfer interarrival quantile sketch (display-transformed gaps
@@ -330,7 +523,7 @@ impl Coordinator {
             n_sessions: 0,
             on_moments: LogMoments::new(),
             on_quant: LogQuantileSketch::new(),
-            tps: BTreeMap::new(),
+            tps: Vec::new(),
             intra_moments: LogMoments::new(),
             iat_quant: LogQuantileSketch::new(),
             prev_start: None,
@@ -343,6 +536,13 @@ impl Coordinator {
 
     /// Consumes one released (start-ordered) kept entry.
     pub fn process(&mut self, e: &LogEntry) {
+        self.process_hashed(e, crate::sketch::hash64(u64::from(e.client.0)));
+    }
+
+    /// [`process`](Self::process) with the client hash already computed —
+    /// the fused `ltc` ingest path shares one `hash64` per entry between
+    /// the shard HyperLogLog, the client sample and the sessionizer.
+    pub fn process_hashed(&mut self, e: &LogEntry, client_hash: u64) {
         self.released += 1;
         if e.start < self.prev_start.unwrap_or(0) {
             self.late_entries += 1;
@@ -359,11 +559,15 @@ impl Coordinator {
         self.conc.observe(e.start, e.stop());
         self.cpu.observe(e.timestamp, e.cpu_util);
         self.cpu.flush_below(e.start);
-        self.sample.observe_transfer(e.client.0);
+        self.sample.observe_transfer_hashed(client_hash, e.client.0);
 
-        let intra = self
-            .sessionizer
-            .observe(e.client.0, e.start, e.stop(), &mut self.closed);
+        let intra = self.sessionizer.observe_hashed(
+            client_hash,
+            e.client.0,
+            e.start,
+            e.stop(),
+            &mut self.closed,
+        );
         if let Some(gap) = intra {
             self.intra_moments
                 .insert(lsw_stats::paper::log_display_time(f64::from(gap)));
@@ -390,7 +594,11 @@ impl Coordinator {
             let on_disp = f64::from(c.on_time()) + 1.0;
             self.on_moments.insert(on_disp);
             self.on_quant.insert_value(on_disp);
-            *self.tps.entry(c.transfers).or_insert(0) += 1;
+            let k = c.transfers as usize;
+            if k >= self.tps.len() {
+                self.tps.resize(k + 1, 0);
+            }
+            self.tps[k] += 1;
             self.sample.observe_session(c.client, c.start, c.end);
         }
     }
@@ -398,13 +606,15 @@ impl Coordinator {
     /// Transfers-per-session frequency points `(k, P[K = k])`, identical
     /// to the batch layer's construction (the histogram is exact).
     pub fn tps_points(&self) -> Vec<(f64, f64)> {
-        let total: u64 = self.tps.values().sum();
+        let total: u64 = self.tps.iter().sum();
         if total == 0 {
             return Vec::new();
         }
         self.tps
             .iter()
-            .map(|(&k, &n)| (f64::from(k), n as f64 / total as f64))
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(k, &n)| (k as f64, n as f64 / total as f64))
             .collect()
     }
 
@@ -425,7 +635,7 @@ impl Coordinator {
             + self.sample.bytes()
             + self.on_quant.bytes()
             + self.iat_quant.bytes()
-            + self.tps.len() * 2 * 12
+            + self.tps.len() * 8
             + std::mem::size_of::<Self>()
     }
 }
@@ -433,6 +643,7 @@ impl Coordinator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     #[test]
     fn concurrency_matches_batch_profile() {

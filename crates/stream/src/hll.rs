@@ -38,7 +38,12 @@ impl HyperLogLog {
 
     /// Observes a raw key (hashed internally).
     pub fn insert_key(&mut self, key: u64) {
-        let h = hash64(key);
+        self.insert_hash(hash64(key));
+    }
+
+    /// Observes a pre-hashed key (`hash64` of the raw key) — for callers
+    /// that already computed the hash for another per-entry structure.
+    pub fn insert_hash(&mut self, h: u64) {
         let idx = (h >> (64 - self.precision)) as usize;
         // Rank of the first set bit in the remaining 64-p bits, in 1..=64-p+1.
         let rest = h << self.precision;

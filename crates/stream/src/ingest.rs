@@ -33,6 +33,7 @@ use crate::topk::SpaceSaving;
 use lsw_stats::paper;
 use lsw_stats::par::Parallelism;
 use lsw_trace::event::LogEntry;
+use lsw_trace::ltc;
 use lsw_trace::sanitize::{classify, RejectReason};
 use lsw_trace::wms;
 use std::cmp::Reverse;
@@ -172,8 +173,15 @@ impl ShardSketches {
 
     /// Folds one kept entry into every per-entry sketch.
     fn observe(&mut self, e: &LogEntry) {
+        self.observe_hashed(e, crate::sketch::hash64(u64::from(e.client.0)));
+    }
+
+    /// [`observe`](Self::observe) with the client hash already computed —
+    /// the fused direct path shares one hash per entry between the shard
+    /// HLL and the coordinator's client-keyed structures.
+    fn observe_hashed(&mut self, e: &LogEntry, client_hash: u64) {
         self.kept += 1;
-        self.clients.insert_key(u64::from(e.client.0));
+        self.clients.insert_hash(client_hash);
         self.ips.insert_key(u64::from(e.ip.0));
         let disp = e.display_duration();
         self.length_moments.insert(disp);
@@ -272,6 +280,9 @@ pub struct StreamAnalyzer {
     max_stop_parsed: u32,
     peak_heap: usize,
     peak_active: usize,
+    corrupt_blocks: u64,
+    corrupt_records: u64,
+    first_corrupt: Option<String>,
 }
 
 impl StreamAnalyzer {
@@ -294,6 +305,9 @@ impl StreamAnalyzer {
             max_stop_parsed: 0,
             peak_heap: 0,
             peak_active: 0,
+            corrupt_blocks: 0,
+            corrupt_records: 0,
+            first_corrupt: None,
         }
     }
 
@@ -310,6 +324,204 @@ impl StreamAnalyzer {
     pub fn ingest_str(&mut self, text: &str) {
         let first = self.next_line;
         self.ingest_chunk(text.as_bytes(), first);
+    }
+
+    /// Streams an in-memory `ltc` container image through the engine.
+    pub fn ingest_ltc_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.ingest_ltc(ltc::SliceSource::new(bytes))
+    }
+
+    /// Streams an `ltc` file through the engine in bounded memory (one
+    /// round of blocks resident at a time).
+    pub fn ingest_ltc_path(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.ingest_ltc(ltc::FileSource::open(path)?)
+    }
+
+    /// Streams any [`ltc::BlockSource`] through the engine.
+    ///
+    /// Blocks fan out to the parse shards in rounds — block `k` of a round
+    /// decodes into shard `k`'s sketches — and each round merges back in
+    /// shard-index (= file block) order, with a watermark release after
+    /// every block so the heap evolution is invariant to the shard count.
+    /// Containers whose footer certifies `(start, timestamp)` order skip
+    /// the look-ahead heap entirely and feed the coordinator directly.
+    /// Corrupt blocks are counted and skipped, never fatal; only source
+    /// I/O failures and a non-`ltc` header abort the ingest.
+    pub fn ingest_ltc<S: ltc::BlockSource>(&mut self, mut src: S) -> std::io::Result<()> {
+        let index = ltc::read_index(&mut src)?;
+        // A sorted container releases in record order with no look-ahead —
+        // exactly what the heap would emit — so bypass it unless entries
+        // from an earlier text ingest are still pending.
+        let direct = index.sorted && self.heap.is_empty();
+        let n_shards = self.cfg.shards.max(1);
+        let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); n_shards];
+        let mut scratch: Vec<ltc::RecordBlock> = vec![ltc::RecordBlock::default(); n_shards];
+        let mut block_no = 0usize;
+        let mut ordinal = self.lines_total;
+        for round in index.blocks.chunks(n_shards) {
+            // Sequentially lend each block's raw bytes into a per-worker
+            // buffer (one memcpy; the source owns at most one view).
+            for (buf, meta) in bufs.iter_mut().zip(round) {
+                let len = ltc::BLOCK_HEADER_LEN + meta.payload_len as usize;
+                buf.clear();
+                buf.extend_from_slice(src.view(meta.offset, len)?);
+            }
+            // Fused fast path: a sorted container on a single-block round
+            // releases in record order anyway, so decode, classify,
+            // observe and coordinate in one pass — no intermediate buffer
+            // of kept entries to fill and drain again in the same order.
+            if direct && round.len() == 1 {
+                let meta = round[0];
+                ordinal += u64::from(meta.n_records);
+                self.lines_total += u64::from(meta.n_records);
+                match self.process_ltc_block_direct(&bufs[0], meta, &mut scratch[0]) {
+                    Err(what) => {
+                        self.corrupt_blocks += 1;
+                        self.corrupt_records += u64::from(meta.n_records);
+                        if self.first_corrupt.is_none() {
+                            self.first_corrupt = Some(format!("block {block_no}: {what}"));
+                        }
+                    }
+                    Ok(max_stop) => self.max_stop_parsed = self.max_stop_parsed.max(max_stop),
+                }
+                block_no += 1;
+                self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
+                continue;
+            }
+            let mut firsts = Vec::with_capacity(round.len());
+            for meta in round {
+                firsts.push(ordinal + 1);
+                ordinal += u64::from(meta.n_records);
+            }
+            let horizon = self.cfg.horizon;
+            type BlockOut = Result<(Vec<(u64, LogEntry)>, u32), &'static str>;
+            let outputs: Vec<BlockOut> = if round.len() == 1 {
+                vec![decode_ltc_block(
+                    &bufs[0],
+                    round[0],
+                    firsts[0],
+                    horizon,
+                    &mut self.shards[0],
+                    &mut scratch[0],
+                )]
+            } else {
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(bufs.iter())
+                        .zip(scratch.iter_mut())
+                        .zip(round.iter().zip(&firsts))
+                        .map(|(((shard, buf), block), (meta, &first))| {
+                            s.spawn(move || {
+                                decode_ltc_block(buf, *meta, first, horizon, shard, block)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(out) => out,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            };
+
+            for (out, meta) in outputs.into_iter().zip(round) {
+                self.lines_total += u64::from(meta.n_records);
+                match out {
+                    Err(what) => {
+                        self.corrupt_blocks += 1;
+                        self.corrupt_records += u64::from(meta.n_records);
+                        if self.first_corrupt.is_none() {
+                            self.first_corrupt = Some(format!("block {block_no}: {what}"));
+                        }
+                    }
+                    Ok((kept, max_stop)) => {
+                        self.max_stop_parsed = self.max_stop_parsed.max(max_stop);
+                        for (line, e) in kept {
+                            self.max_start = self.max_start.max(e.start);
+                            self.max_ts = self.max_ts.max(e.timestamp);
+                            self.max_dur = self.max_dur.max(e.duration);
+                            if direct {
+                                self.coord.process(&e);
+                            } else {
+                                self.heap.push(Reverse(Pending {
+                                    start: e.start,
+                                    timestamp: e.timestamp,
+                                    line,
+                                    entry: e,
+                                }));
+                            }
+                        }
+                        if !direct {
+                            self.peak_heap = self.peak_heap.max(self.heap.len());
+                            self.release_below_watermark();
+                        }
+                    }
+                }
+                block_no += 1;
+            }
+            self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
+        }
+        self.next_line = ordinal + 1;
+        Ok(())
+    }
+
+    /// Decodes one raw block and feeds kept records straight into the
+    /// coordinator — the fused path for a sorted container, where the
+    /// per-block merge buffer would only be drained again in the same
+    /// order. Returns the block's max stop, or the corruption reason.
+    fn process_ltc_block_direct(
+        &mut self,
+        raw: &[u8],
+        meta: ltc::BlockMeta,
+        block: &mut ltc::RecordBlock,
+    ) -> Result<u32, &'static str> {
+        let header = ltc::parse_block_header(raw).ok_or("truncated block header")?;
+        if header.payload_len != meta.payload_len || header.n_records != meta.n_records {
+            return Err("block header disagrees with index");
+        }
+        let payload = &raw[ltc::BLOCK_HEADER_LEN..];
+        if !ltc::decode_block(payload, header, block) {
+            return Err("crc mismatch or undecodable columns");
+        }
+        let shard = &mut self.shards[0];
+        shard.parsed += block.len() as u64;
+        let classify_horizon = self.cfg.horizon.unwrap_or(u32::MAX);
+        let mut max_stop = 0u32;
+        for e in block.entries() {
+            max_stop = max_stop.max(e.stop());
+            match classify(&e, classify_horizon) {
+                Some(r) => shard.rejects[reason_index(r)] += 1,
+                None => {
+                    let h = crate::sketch::hash64(u64::from(e.client.0));
+                    shard.observe_hashed(&e, h);
+                    self.max_start = self.max_start.max(e.start);
+                    self.max_ts = self.max_ts.max(e.timestamp);
+                    self.max_dur = self.max_dur.max(e.duration);
+                    self.coord.process_hashed(&e, h);
+                }
+            }
+        }
+        Ok(max_stop)
+    }
+
+    /// Pops every heap entry strictly below the look-ahead watermark into
+    /// the coordinator.
+    fn release_below_watermark(&mut self) {
+        let watermark = self.max_start.max(self.max_ts.saturating_sub(self.max_dur));
+        while self
+            .heap
+            .peek()
+            .is_some_and(|Reverse(p)| p.start < watermark)
+        {
+            let Some(Reverse(p)) = self.heap.pop() else {
+                break;
+            };
+            self.coord.process(&p.entry);
+        }
     }
 
     fn ingest_chunk(&mut self, text: &[u8], first_line: u64) {
@@ -370,17 +582,7 @@ impl StreamAnalyzer {
             }
         }
         self.peak_heap = self.peak_heap.max(self.heap.len());
-        let watermark = self.max_start.max(self.max_ts.saturating_sub(self.max_dur));
-        while self
-            .heap
-            .peek()
-            .is_some_and(|Reverse(p)| p.start < watermark)
-        {
-            let Some(Reverse(p)) = self.heap.pop() else {
-                break;
-            };
-            self.coord.process(&p.entry);
-        }
+        self.release_below_watermark();
         self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
     }
 
@@ -427,6 +629,7 @@ impl StreamAnalyzer {
             .top()
             .into_iter()
             .map(|(code, c)| {
+                // lsw::allow(L006): once per finalize, bounded by top-k capacity
                 let code = std::str::from_utf8(&code).unwrap_or("??").to_string();
                 (code, c.count as f64 / country_total as f64)
             })
@@ -451,6 +654,9 @@ impl StreamAnalyzer {
                 malformed_lines: merged.malformed,
                 first_malformed: merged.first_malformed,
                 late_entries: coord.late_entries,
+                corrupt_blocks: self.corrupt_blocks,
+                corrupt_records: self.corrupt_records,
+                first_corrupt: self.first_corrupt,
                 examined: merged.parsed,
                 kept: merged.kept,
                 rejects,
@@ -540,6 +746,7 @@ fn parse_range(
                 shard.malformed += 1;
                 if shard.first_malformed.is_none() {
                     err.line = line_no as usize;
+                    // lsw::allow(L006): first malformed line only, guarded above
                     shard.first_malformed = Some(err.to_string());
                 }
             }
@@ -548,12 +755,53 @@ fn parse_range(
     (kept, max_stop)
 }
 
+/// Kept entries in record order, tagged with 1-based record ordinals,
+/// plus the block's max stop time.
+type DecodedBlock = (Vec<(u64, LogEntry)>, u32);
+
+/// Decodes one raw `ltc` block (header + payload bytes) into `block`,
+/// classifies every record and folds kept entries into `shard`; returns
+/// kept entries in record order (tagged with 1-based record ordinals from
+/// `first_record`) plus the block's max stop, or the corruption reason.
+fn decode_ltc_block(
+    raw: &[u8],
+    meta: ltc::BlockMeta,
+    first_record: u64,
+    horizon: Option<u32>,
+    shard: &mut ShardSketches,
+    block: &mut ltc::RecordBlock,
+) -> Result<DecodedBlock, &'static str> {
+    let header = ltc::parse_block_header(raw).ok_or("truncated block header")?;
+    if header.payload_len != meta.payload_len || header.n_records != meta.n_records {
+        return Err("block header disagrees with index");
+    }
+    let payload = &raw[ltc::BLOCK_HEADER_LEN..];
+    if !ltc::decode_block(payload, header, block) {
+        return Err("crc mismatch or undecodable columns");
+    }
+    shard.parsed += block.len() as u64;
+    let classify_horizon = horizon.unwrap_or(u32::MAX);
+    let mut kept = Vec::with_capacity(block.len());
+    let mut max_stop = 0u32;
+    for (i, e) in block.entries().enumerate() {
+        max_stop = max_stop.max(e.stop());
+        match classify(&e, classify_horizon) {
+            Some(r) => shard.rejects[reason_index(r)] += 1,
+            None => {
+                shard.observe(&e);
+                kept.push((first_record + i as u64, e));
+            }
+        }
+    }
+    Ok((kept, max_stop))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn tiny_log() -> String {
-        let entries: Vec<LogEntry> = (0..200u32)
+    fn tiny_entries() -> Vec<LogEntry> {
+        (0..200u32)
             .map(|i| {
                 lsw_trace::event::LogEntryBuilder::new()
                     .span(i * 20, (i % 9) + 1)
@@ -561,8 +809,21 @@ mod tests {
                     .transfer_stats(u64::from(i) * 100, 30_000 + i, 0.0)
                     .build()
             })
-            .collect();
-        String::from_utf8(wms::format_log(&entries).to_vec()).unwrap()
+            .collect()
+    }
+
+    fn tiny_log() -> String {
+        String::from_utf8(wms::format_log(&tiny_entries()).to_vec()).unwrap()
+    }
+
+    fn tiny_ltc(entries: &[LogEntry], block_records: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut w = ltc::LtcWriter::with_block_records(&mut out, block_records).unwrap();
+        for e in entries {
+            w.push(e).unwrap();
+        }
+        w.finish().unwrap();
+        out
     }
 
     #[test]
@@ -625,6 +886,105 @@ mod tests {
         whole.memory.peak_heap_entries = 0;
         chunked.memory.peak_heap_entries = 0;
         assert_eq!(whole.to_json(), chunked.to_json());
+    }
+
+    #[test]
+    fn ltc_shard_counts_produce_identical_reports() {
+        let image = tiny_ltc(&tiny_entries(), 32);
+        let mut reports = Vec::new();
+        for shards in [1usize, 2, 8] {
+            let mut a = StreamAnalyzer::new(StreamConfig {
+                shards,
+                ..StreamConfig::default()
+            });
+            a.ingest_ltc_bytes(&image).expect("in-memory ltc");
+            reports.push({
+                let mut r = a.finalize();
+                r.shards = 0; // neutralize the config echo before comparing
+                r.to_json()
+            });
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+    }
+
+    #[test]
+    fn ltc_and_wms_reports_agree() {
+        let entries = tiny_entries();
+        let mut text = StreamAnalyzer::new(StreamConfig::default());
+        text.ingest_str(&tiny_log());
+        let mut text = text.finalize();
+
+        let mut bin = StreamAnalyzer::new(StreamConfig::default());
+        bin.ingest_ltc_bytes(&tiny_ltc(&entries, 32)).unwrap();
+        let mut bin = bin.finalize();
+
+        // A sorted container bypasses the look-ahead heap, so only the
+        // heap high-water audit may differ between the two formats; the
+        // text side also counts its `#` header lines in `lines_total`.
+        assert_eq!(bin.memory.peak_heap_entries, 0);
+        text.memory.peak_heap_entries = 0;
+        bin.memory.peak_heap_entries = 0;
+        assert_eq!(text.accounting.lines_total, 203);
+        assert_eq!(bin.accounting.lines_total, 200);
+        text.accounting.lines_total = 0;
+        bin.accounting.lines_total = 0;
+        assert_eq!(text.to_json(), bin.to_json());
+    }
+
+    #[test]
+    fn unsorted_ltc_takes_heap_path_and_agrees_with_text() {
+        // Local disorder (adjacent swaps) clears the writer's sorted flag
+        // and makes the heap genuinely reorder, while staying inside the
+        // look-ahead bound so no release cadence can produce late entries.
+        let mut entries = tiny_entries();
+        for i in [50usize, 100, 150] {
+            entries.swap(i, i + 1);
+        }
+        let text_src = String::from_utf8(wms::format_log(&entries).to_vec()).unwrap();
+        let mut text = StreamAnalyzer::new(StreamConfig {
+            shards: 3,
+            ..StreamConfig::default()
+        });
+        text.ingest_str(&text_src);
+        let mut text = text.finalize();
+
+        let mut bin = StreamAnalyzer::new(StreamConfig {
+            shards: 3,
+            ..StreamConfig::default()
+        });
+        bin.ingest_ltc_bytes(&tiny_ltc(&entries, 32)).unwrap();
+        let mut bin = bin.finalize();
+
+        // Both sides re-order through the heap; release cadence (chunk vs
+        // block) legitimately moves only the heap high-water audit, and
+        // the text side counts its `#` header lines in `lines_total`.
+        assert!(bin.memory.peak_heap_entries > 0, "heap path must engage");
+        text.memory.peak_heap_entries = 0;
+        bin.memory.peak_heap_entries = 0;
+        text.accounting.lines_total = 0;
+        bin.accounting.lines_total = 0;
+        assert_eq!(text.to_json(), bin.to_json());
+    }
+
+    #[test]
+    fn corrupt_ltc_block_is_counted_not_fatal() {
+        let mut image = tiny_ltc(&tiny_entries(), 50);
+        // Walk to the second block and flip one payload byte.
+        let first_payload = u32::from_le_bytes(image[8..12].try_into().unwrap()) as usize;
+        let second = 8 + ltc::BLOCK_HEADER_LEN + first_payload;
+        image[second + ltc::BLOCK_HEADER_LEN + 3] ^= 0x40;
+        let mut a = StreamAnalyzer::new(StreamConfig::default());
+        a.ingest_ltc_bytes(&image)
+            .expect("corruption is not an error");
+        let r = a.finalize();
+        assert_eq!(r.accounting.corrupt_blocks, 1);
+        assert_eq!(r.accounting.corrupt_records, 50);
+        assert_eq!(r.accounting.kept, 150);
+        assert_eq!(r.accounting.lines_total, 200);
+        let first = r.accounting.first_corrupt.as_deref().unwrap();
+        assert!(first.contains("block 1"), "diagnostic was {first:?}");
+        assert!(r.headline().contains("corrupt ltc blocks: 1"));
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! the reported quantiles under the 1% acceptance bound for the smooth
 //! lognormal-ish marginals this crate summarizes.
 //!
-//! All state is a `BTreeMap<bucket, count>`; merging adds counts per
-//! bucket, so the sketch is exactly mergeable — shard splits cannot change
-//! a single count.
+//! All state is a dense `Vec<u64>` indexed by bucket and grown on demand
+//! (second-valued inputs stay under ~4k buckets; the absolute ceiling for
+//! finite doubles is 2^17 buckets = 1 MB); merging adds counts per bucket,
+//! so the sketch is exactly mergeable — shard splits cannot change a
+//! single count. The dense layout keeps the per-insert cost at one
+//! bounds-checked increment, an order of magnitude cheaper than the
+//! `BTreeMap` walk it replaced — this sits on the ingest hot path, twice
+//! per released entry.
 //!
 //! Inputs are expected to be display-transformed values `>= 1` (the
 //! paper's `⌊t⌋ + 1` convention); smaller or non-finite values are clamped
@@ -20,7 +25,6 @@
 
 use crate::sketch::Sketch;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Sub-bucket resolution bits: 2^7 linear sub-buckets per power of two.
 const SUB_BITS: u32 = 7;
@@ -42,11 +46,28 @@ pub struct QuantileSummary {
 }
 
 /// A mergeable log-bucketed histogram over values `>= 1`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct LogQuantileSketch {
-    counts: BTreeMap<u32, u64>,
+    /// Count per bucket, dense; indices past the end are empty buckets.
+    counts: Vec<u64>,
     n: u64,
 }
+
+// Content equality: trailing empty buckets are not state, only capacity.
+impl PartialEq for LogQuantileSketch {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.counts.len() <= other.counts.len() {
+            (&self.counts, &other.counts)
+        } else {
+            (&other.counts, &self.counts)
+        };
+        self.n == other.n
+            && short[..] == long[..short.len()]
+            && long[short.len()..].iter().all(|&c| c == 0)
+    }
+}
+
+impl Eq for LogQuantileSketch {}
 
 /// Bucket index of a value: IEEE-754 exponent and top 7 mantissa bits.
 fn bucket_of(v: f64) -> u32 {
@@ -72,7 +93,11 @@ impl LogQuantileSketch {
 
     /// Observes one value.
     pub fn insert_value(&mut self, v: f64) {
-        *self.counts.entry(bucket_of(v)).or_insert(0) += 1;
+        let b = bucket_of(v) as usize;
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
         self.n += 1;
     }
 
@@ -91,14 +116,17 @@ impl LogQuantileSketch {
         // data and indexing at floor(q * (n-1)).
         let target = (q.clamp(0.0, 1.0) * (self.n - 1) as f64).floor() as u64;
         let mut cum = 0u64;
-        for (&b, &c) in &self.counts {
+        for (b, &c) in self.counts.iter().enumerate() {
             cum += c;
-            if cum > target {
-                return Some(value_of(b));
+            if c > 0 && cum > target {
+                return Some(value_of(b as u32));
             }
         }
         // Unreachable: cum == n > target by construction.
-        self.counts.last_key_value().map(|(&b, _)| value_of(b))
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|b| value_of(b as u32))
     }
 
     /// CCDF points `(value, P[X >= value])`, one per non-empty bucket in
@@ -109,10 +137,12 @@ impl LogQuantileSketch {
         let mut below = 0u64;
         self.counts
             .iter()
-            .map(|(&b, &c)| {
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| {
                 let p = (self.n - below) as f64 / n;
                 below += c;
-                (value_of(b), p)
+                (value_of(b as u32), p)
             })
             .collect()
     }
@@ -122,8 +152,9 @@ impl LogQuantileSketch {
         if self.n == 0 {
             return 0.0;
         }
-        let b = bucket_of(v);
-        let cum: u64 = self.counts.range(..=b).map(|(_, &c)| c).sum();
+        let b = bucket_of(v) as usize;
+        let end = self.counts.len().min(b + 1);
+        let cum: u64 = self.counts[..end].iter().sum();
         cum as f64 / self.n as f64
     }
 }
@@ -137,8 +168,11 @@ impl Sketch for LogQuantileSketch {
     }
 
     fn merge(&mut self, other: &Self) {
-        for (&b, &c) in &other.counts {
-            *self.counts.entry(b).or_insert(0) += c;
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
         }
         self.n += other.n;
     }
@@ -154,8 +188,9 @@ impl Sketch for LogQuantileSketch {
     }
 
     fn bytes(&self) -> usize {
-        // BTreeMap node overhead approximated at 2x the payload.
-        std::mem::size_of::<Self>() + self.counts.len() * 2 * (4 + 8)
+        // len, not capacity: the audit must be a function of sketch
+        // *content* so reports stay shard-count invariant.
+        std::mem::size_of::<Self>() + self.counts.len() * 8
     }
 }
 

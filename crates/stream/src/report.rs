@@ -31,6 +31,13 @@ pub struct StreamAccounting {
     /// Entries that arrived below the released watermark and were clamped
     /// into the ordered stream (look-ahead misses).
     pub late_entries: u64,
+    /// Binary (`ltc`) blocks rejected by CRC or decode checks — the
+    /// container analogue of `malformed_lines`: counted, never fatal.
+    pub corrupt_blocks: u64,
+    /// Records lost inside rejected blocks, per the container index.
+    pub corrupt_records: u64,
+    /// First block corruption observed, for diagnostics.
+    pub first_corrupt: Option<String>,
     /// Entries parsed successfully (the batch sanitizer's `examined`).
     pub examined: u64,
     /// Entries kept after the §2.4 sanitization rules.
@@ -178,6 +185,15 @@ impl StreamReport {
             a.malformed_lines,
             a.late_entries
         );
+        if a.corrupt_blocks > 0 {
+            let _ = writeln!(
+                out,
+                "  corrupt ltc blocks: {} ({} records lost; first: {})",
+                a.corrupt_blocks,
+                a.corrupt_records,
+                a.first_corrupt.as_deref().unwrap_or("?")
+            );
+        }
         let _ = writeln!(
             out,
             "  clients: ~{:.0} users, ~{:.0} IPs, {} ASes, {} countries, {} objects, {:.2} TB",
@@ -319,6 +335,9 @@ mod tests {
                 malformed_lines: 2,
                 first_malformed: Some("line 7: bad field".into()),
                 late_entries: 0,
+                corrupt_blocks: 0,
+                corrupt_records: 0,
+                first_corrupt: None,
                 examined: 1_008,
                 kept: 1_000,
                 rejects: vec![(RejectReason::FailedStatus, 8)],

@@ -29,8 +29,7 @@
 //! layout — which depends on insertion order — never leaks into results.
 
 use crate::sketch::{hash64, Sketch};
-use lsw_stats::empirical::RankFrequency;
-use lsw_stats::fit::{fit_zipf_rank_frequency, ZipfFit};
+use lsw_stats::fit::{fit_zipf_points, ZipfFit};
 use std::collections::BinaryHeap;
 
 /// Complete per-sampled-client tallies.
@@ -174,7 +173,13 @@ impl ClientSample {
 
     /// Observes one transfer by `client`; tallies it if sampled.
     pub fn observe_transfer(&mut self, client: u32) {
-        let h = hash64(u64::from(client));
+        self.observe_transfer_hashed(hash64(u64::from(client)), client);
+    }
+
+    /// [`observe_transfer`](Self::observe_transfer) with the client hash
+    /// already computed (the coordinator shares one hash per entry across
+    /// every client-keyed structure).
+    pub fn observe_transfer_hashed(&mut self, h: u64, client: u32) {
         if let Some(i) = self.find(h) {
             // find() only returns occupied slot indices.
             if let Some(slot) = self.slots[i].as_mut() {
@@ -271,28 +276,38 @@ impl ClientSample {
     }
 
     fn zipf_of(&self, field: impl Fn(&ClientTally) -> u64) -> Option<ZipfFit> {
-        // RankFrequency sorts internally, so slot order cannot leak.
-        let counts: Vec<u64> = self
+        // Fit body: ranks while the raw count stays >= 10 (mirrors the
+        // batch layer's cut), floor 20 ranks, cap at what exists. The
+        // fit reads only ranks `<= body`, so rank just the top of the
+        // distribution (select + sort of the body prefix) instead of
+        // sorting every sampled client: ties across the cut carry equal
+        // counts, so the fitted points — and the resulting slope and
+        // r² — are bit-identical to the full descending sort.
+        let mut counts: Vec<u64> = self
             .slots
             .iter()
             .flatten()
             .map(|e| field(&e.tally))
+            .filter(|&c| c > 0)
             .collect();
-        let rf = RankFrequency::from_counts(counts);
-        if rf.n() < 2 {
+        let n = counts.len();
+        if n < 2 {
             return None;
         }
-        // Fit body: keep ranks while the raw count stays >= 10 (mirrors
-        // the batch layer's cut), floor 20 ranks, cap at what exists.
-        let mut k = rf.n();
-        for rank in 1..=rf.n() {
-            if rf.count_at(rank).is_some_and(|c| c < 10) {
-                k = rank - 1;
-                break;
-            }
+        let total: u64 = counts.iter().sum();
+        let k = counts.iter().filter(|&&c| c >= 10).count();
+        let body = k.max(20).min(n);
+        if body < n {
+            counts.select_nth_unstable_by(body, |a, b| b.cmp(a));
+            counts.truncate(body);
         }
-        let body = (k.max(20) as f64).min(rf.n() as f64);
-        fit_zipf_rank_frequency(&rf, Some(body)).ok()
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let points: Vec<(f64, f64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((i + 1) as f64, c as f64 / total as f64))
+            .collect();
+        fit_zipf_points(&points, Some(body as f64)).ok()
     }
 }
 

@@ -87,6 +87,20 @@ impl StreamSessionizer {
         closed: &mut Vec<ClosedSession>,
     ) -> Option<u32> {
         let hash = crate::sketch::hash64(u64::from(client));
+        self.observe_hashed(hash, client, start, stop, closed)
+    }
+
+    /// [`observe`](Self::observe) with the client hash already computed
+    /// (the coordinator shares one hash per entry across every
+    /// client-keyed structure).
+    pub fn observe_hashed(
+        &mut self,
+        hash: u64,
+        client: u32,
+        start: u32,
+        stop: u32,
+        closed: &mut Vec<ClosedSession>,
+    ) -> Option<u32> {
         let mask = self.slots.len() - 1;
         let mut i = (hash as usize) & mask;
         while let Some(a) = &mut self.slots[i] {

@@ -26,26 +26,11 @@ impl ConcurrencyProfile {
     /// 1-second log resolution) still count as active for their start
     /// second, matching how the server would have seen them.
     pub fn from_intervals(intervals: impl Iterator<Item = (u32, u32)>, horizon: u32) -> Self {
-        let h = horizon as usize;
-        // Difference array: +1 at start, −1 after stop.
-        let mut delta = vec![0i32; h + 1];
+        let mut sweep = ConcurrencySweep::new(horizon);
         for (start, stop) in intervals {
-            let s = (start as usize).min(h);
-            if s >= h {
-                continue;
-            }
-            let e = ((stop as usize) + 1).min(h);
-            delta[s] += 1;
-            delta[e] -= 1;
+            sweep.add(start, stop);
         }
-        let mut counts = Vec::with_capacity(h);
-        let mut acc = 0i32;
-        for d in delta.iter().take(h) {
-            acc += d;
-            debug_assert!(acc >= 0, "sweep went negative");
-            counts.push(acc as u32);
-        }
-        Self { counts }
+        sweep.finish()
     }
 
     /// Builds the profile from a slice of `(start, stop)` pairs, sharding
@@ -146,6 +131,56 @@ impl ConcurrencyProfile {
             values.push(sum as f64 / chunk.len() as f64);
         }
         BinnedSeries::new(values, f64::from(bin_width))
+    }
+}
+
+/// Incremental builder for [`ConcurrencyProfile`]: feed intervals in any
+/// order — e.g. block by block straight from `ltc` start/stop columns,
+/// with no interval vector materialized — then [`finish`](Self::finish)
+/// once. Addition into the difference array is order-free, so the result
+/// equals [`ConcurrencyProfile::from_intervals`] on the same multiset.
+#[derive(Debug, Clone)]
+pub struct ConcurrencySweep {
+    /// Difference array: +1 at start, −1 after stop.
+    delta: Vec<i32>,
+    horizon: usize,
+}
+
+impl ConcurrencySweep {
+    /// An empty sweep over `[0, horizon)` seconds.
+    pub fn new(horizon: u32) -> Self {
+        let h = horizon as usize;
+        Self {
+            delta: vec![0i32; h + 1],
+            horizon: h,
+        }
+    }
+
+    /// Accumulates one interval (active during `start..=stop`, clipped to
+    /// the horizon; zero-length intervals count for their start second).
+    #[inline]
+    pub fn add(&mut self, start: u32, stop: u32) {
+        let h = self.horizon;
+        let s = (start as usize).min(h);
+        if s >= h {
+            return;
+        }
+        let e = ((stop as usize) + 1).min(h);
+        self.delta[s] += 1;
+        self.delta[e] -= 1;
+    }
+
+    /// Prefix-scans the accumulated deltas into the per-second profile.
+    pub fn finish(self) -> ConcurrencyProfile {
+        let h = self.horizon;
+        let mut counts = Vec::with_capacity(h);
+        let mut acc = 0i32;
+        for d in self.delta.iter().take(h) {
+            acc += d;
+            debug_assert!(acc >= 0, "sweep went negative");
+            counts.push(acc as u32);
+        }
+        ConcurrencyProfile { counts }
     }
 }
 

@@ -9,6 +9,9 @@
 //!   including its 1-second timestamp resolution.
 //! * [`wms`] — a textual, W3C-style wire format for log entries with a
 //!   writer and a strict parser, so traces can round-trip through files.
+//! * [`ltc`] — the columnar binary trace container: blocked
+//!   struct-of-arrays encoding with per-block CRCs and a footer index,
+//!   the fast path for repeated re-analysis of the same trace.
 //! * [`trace`] — the [`Trace`] container with summary
 //!   statistics (Table 1).
 //! * [`sanitize`] — the paper's §2.4 log sanitization: dropping entries
@@ -30,6 +33,7 @@
 pub mod concurrency;
 pub mod event;
 pub mod ids;
+pub mod ltc;
 pub mod sanitize;
 pub mod session;
 pub mod trace;

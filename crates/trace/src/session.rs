@@ -64,6 +64,71 @@ pub struct Sessions {
     entry_order: Vec<u32>,
 }
 
+/// Borrowed column views of the four transfer fields sessionization
+/// reads — the `ltc` columnar fast path hands these straight out of block
+/// columns, so no `LogEntry` array is ever materialized.
+///
+/// All slices must have equal length; record `i` is the transfer
+/// `(client[i], start[i], timestamp[i], stop[i])`.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferColumns<'a> {
+    /// Client ids.
+    pub client: &'a [u32],
+    /// Transfer start times (seconds).
+    pub start: &'a [u32],
+    /// Log timestamps (seconds) — the canonical-order tiebreak.
+    pub timestamp: &'a [u32],
+    /// Transfer stop times (seconds).
+    pub stop: &'a [u32],
+}
+
+/// Uniform read access to the transfer fields the sessionizer needs, so
+/// one core algorithm serves both the entry-array path and the columnar
+/// (`ltc`) path.
+trait TransferView: Sync {
+    fn len(&self) -> usize;
+    fn client(&self, i: u32) -> ClientId;
+    fn start(&self, i: u32) -> u32;
+    fn timestamp(&self, i: u32) -> u32;
+    fn stop(&self, i: u32) -> u32;
+}
+
+impl TransferView for &[LogEntry] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn client(&self, i: u32) -> ClientId {
+        self[i as usize].client
+    }
+    fn start(&self, i: u32) -> u32 {
+        self[i as usize].start
+    }
+    fn timestamp(&self, i: u32) -> u32 {
+        self[i as usize].timestamp
+    }
+    fn stop(&self, i: u32) -> u32 {
+        self[i as usize].stop()
+    }
+}
+
+impl TransferView for TransferColumns<'_> {
+    fn len(&self) -> usize {
+        self.client.len()
+    }
+    fn client(&self, i: u32) -> ClientId {
+        ClientId(self.client[i as usize])
+    }
+    fn start(&self, i: u32) -> u32 {
+        self.start[i as usize]
+    }
+    fn timestamp(&self, i: u32) -> u32 {
+        self.timestamp[i as usize]
+    }
+    fn stop(&self, i: u32) -> u32 {
+        self.stop[i as usize]
+    }
+}
+
 impl Sessions {
     /// Identifies sessions in a trace, using the automatic worker count.
     ///
@@ -81,29 +146,49 @@ impl Sessions {
     /// index list is partitioned at client boundaries, and each worker
     /// sessionizes whole clients independently.
     pub fn identify_with(trace: &Trace, config: SessionConfig, par: Parallelism) -> Self {
+        Self::identify_view(&trace.entries(), config, par)
+    }
+
+    /// Identifies sessions directly from column slices — the `ltc`
+    /// columnar fast path. Produces exactly what [`identify`](Self::identify)
+    /// produces on the equivalent entry array: the canonical `(client,
+    /// start, timestamp, index)` sort makes [`Sessions::all`] independent
+    /// of the input record order.
+    pub fn identify_columns(
+        cols: TransferColumns<'_>,
+        config: SessionConfig,
+        par: Parallelism,
+    ) -> Self {
+        assert!(
+            cols.start.len() == cols.client.len()
+                && cols.timestamp.len() == cols.client.len()
+                && cols.stop.len() == cols.client.len(),
+            "transfer columns must have equal lengths"
+        );
+        Self::identify_view(&cols, config, par)
+    }
+
+    /// The shared core behind both identify paths.
+    fn identify_view<V: TransferView>(view: &V, config: SessionConfig, par: Parallelism) -> Self {
         assert!(config.timeout >= 0.0, "negative session timeout");
-        let entries = trace.entries();
         // Canonical order: (client, start, stop, index) is a total key, so
         // the unstable sort is deterministic even on duplicate entries.
-        let mut order: Vec<u32> = (0..entries.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            let e = &entries[i as usize];
-            (e.client, e.start, e.timestamp, i)
-        });
+        let mut order: Vec<u32> = (0..view.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (view.client(i), view.start(i), view.timestamp(i), i));
 
         // Partition the ordered list into contiguous shards, nudging each
         // boundary forward to the next client boundary so no client's run
         // is split across workers.
-        let shards = client_shards(&order, entries, par.threads());
+        let shards = client_shards(&order, view, par.threads());
         let parts: Vec<(Vec<Session>, Vec<u32>)> = if shards.len() == 1 {
-            vec![sessionize_run(&order, entries, config.timeout)]
+            vec![sessionize_run(&order, view, config.timeout)]
         } else {
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = shards
                     .iter()
                     .map(|r| {
                         let run = &order[r.clone()];
-                        s.spawn(move || sessionize_run(run, entries, config.timeout))
+                        s.spawn(move || sessionize_run(run, view, config.timeout))
                     })
                     .collect();
                 handles
@@ -120,7 +205,7 @@ impl Sessions {
         // canonical order, so the joined entry_order equals the sequential
         // one exactly; session `first` offsets shift by the prefix length.
         let mut sessions = Vec::new();
-        let mut entry_order = Vec::with_capacity(entries.len());
+        let mut entry_order = Vec::with_capacity(view.len());
         for (mut shard_sessions, mut shard_order) in parts {
             let offset = entry_order.len() as u32;
             for s in &mut shard_sessions {
@@ -256,9 +341,9 @@ impl Sessions {
 /// Splits the canonically ordered index list into at most `workers`
 /// contiguous shards whose boundaries always coincide with client
 /// boundaries (a client's whole run lands in exactly one shard).
-fn client_shards(
+fn client_shards<V: TransferView>(
     order: &[u32],
-    entries: &[LogEntry],
+    view: &V,
     workers: usize,
 ) -> Vec<std::ops::Range<usize>> {
     let n = order.len();
@@ -275,9 +360,7 @@ fn client_shards(
             (n * w / workers).max(start + 1)
         };
         // Advance to the next client boundary.
-        while end < n
-            && entries[order[end] as usize].client == entries[order[end - 1] as usize].client
-        {
+        while end < n && view.client(order[end]) == view.client(order[end - 1]) {
             end += 1;
         }
         shards.push(start..end);
@@ -292,26 +375,30 @@ fn client_shards(
 /// Sessionizes one canonical-order run of transfer indices (whole clients
 /// only). Returns sessions in client-run order plus the run's entry order;
 /// `Session::first` offsets are local to the returned entry order.
-fn sessionize_run(order: &[u32], entries: &[LogEntry], timeout: f64) -> (Vec<Session>, Vec<u32>) {
+fn sessionize_run<V: TransferView>(
+    order: &[u32],
+    view: &V,
+    timeout: f64,
+) -> (Vec<Session>, Vec<u32>) {
     let mut sessions = Vec::new();
     let mut entry_order = Vec::with_capacity(order.len());
     let mut i = 0usize;
     while i < order.len() {
-        let client = entries[order[i] as usize].client;
+        let client = view.client(order[i]);
         // The run of this client's transfers.
         let mut j = i;
-        while j < order.len() && entries[order[j] as usize].client == client {
+        while j < order.len() && view.client(order[j]) == client {
             j += 1;
         }
         // Split the run into sessions.
-        let mut s_start = entries[order[i] as usize].start;
-        let mut s_end = entries[order[i] as usize].stop();
+        let mut s_start = view.start(order[i]);
+        let mut s_end = view.stop(order[i]);
         let mut first = entry_order.len() as u32;
         let mut count = 1u32;
         entry_order.push(order[i]);
         for &idx in &order[i + 1..j] {
-            let e = &entries[idx as usize];
-            let gap = e.start as f64 - s_end as f64;
+            let (e_start, e_stop) = (view.start(idx), view.stop(idx));
+            let gap = e_start as f64 - s_end as f64;
             if gap > timeout {
                 sessions.push(Session {
                     client,
@@ -320,12 +407,12 @@ fn sessionize_run(order: &[u32], entries: &[LogEntry], timeout: f64) -> (Vec<Ses
                     first,
                     transfers: count,
                 });
-                s_start = e.start;
-                s_end = e.stop();
+                s_start = e_start;
+                s_end = e_stop;
                 first = entry_order.len() as u32;
                 count = 1;
             } else {
-                s_end = s_end.max(e.stop());
+                s_end = s_end.max(e_stop);
                 count += 1;
             }
             entry_order.push(idx);
@@ -524,6 +611,39 @@ mod tests {
                 seq.entry_order(),
                 "entry order differs at {workers} workers"
             );
+        }
+    }
+
+    #[test]
+    fn columnar_path_matches_entry_path() {
+        // Unsorted, interleaved record order: the canonical sort inside
+        // identify makes both paths agree session-for-session.
+        let mut entries = Vec::new();
+        for c in 0..23u32 {
+            for k in 0..9u32 {
+                entries.push(entry(c, ((k * 1_700 + c * 31) % 20_000) + k, 10 + (k % 7)));
+            }
+        }
+        let t = Trace::from_entries(entries.clone(), 86_400);
+        let from_trace = Sessions::identify(&t, cfg(1500.0));
+
+        // Columns in raw (pre-sort) record order.
+        let client: Vec<u32> = entries.iter().map(|e| e.client.0).collect();
+        let start: Vec<u32> = entries.iter().map(|e| e.start).collect();
+        let timestamp: Vec<u32> = entries.iter().map(|e| e.timestamp).collect();
+        let stop: Vec<u32> = entries.iter().map(|e| e.stop()).collect();
+        for workers in [1, 3, 8] {
+            let from_cols = Sessions::identify_columns(
+                TransferColumns {
+                    client: &client,
+                    start: &start,
+                    timestamp: &timestamp,
+                    stop: &stop,
+                },
+                cfg(1500.0),
+                Parallelism::fixed(workers),
+            );
+            assert_eq!(from_cols.all(), from_trace.all(), "workers = {workers}");
         }
     }
 

@@ -235,6 +235,7 @@ fn field_error(i: usize, field: Option<&[u8]>) -> ParseError {
     let name = FIELD_NAMES.get(i).copied().unwrap_or("?");
     let message = match field {
         None => format!("missing field {name}"),
+        // lsw::allow(L006): #[cold] error constructor, off the per-record path
         Some(f) => format!("bad {name} {:?}", String::from_utf8_lossy(f)),
     };
     ParseError { line: 0, message }
@@ -567,6 +568,7 @@ impl LineChunk {
     /// The chunk as text, replacing invalid UTF-8 — diagnostics only; the
     /// ingest path parses [`bytes`](Self::bytes) directly.
     pub fn text_lossy(&self) -> std::borrow::Cow<'_, str> {
+        // lsw::allow(L006): diagnostics helper, never called by ingest
         String::from_utf8_lossy(&self.bytes)
     }
 

@@ -4,6 +4,7 @@
 use lsw_trace::concurrency::ConcurrencyProfile;
 use lsw_trace::event::{LogEntry, LogEntryBuilder};
 use lsw_trace::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+use lsw_trace::ltc;
 use lsw_trace::session::{transfer_counts_per_client, SessionConfig, Sessions};
 use lsw_trace::trace::Trace;
 use lsw_trace::wms;
@@ -38,8 +39,55 @@ fn arb_entry() -> impl Strategy<Value = LogEntry> {
         )
 }
 
+/// Like [`arb_entry`], but roughly half the entries carry one of the
+/// §2.4 defects (failed status, malformed stats, horizon violations,
+/// inconsistent timestamps). The `ltc` container must preserve these
+/// verbatim — sanitization is the reader's job, not the format's.
+fn arb_any_entry() -> impl Strategy<Value = LogEntry> {
+    (arb_entry(), 0u8..8).prop_map(|(mut e, tweak)| {
+        match tweak {
+            0 => e.status = 404,
+            1 => e.status = 503,
+            2 => e.packet_loss = 1.5,
+            3 => e.cpu_util = -0.25,
+            4 => e.start = e.start.saturating_add(200_000),
+            5 => e.timestamp = e.timestamp.wrapping_add(977),
+            6 => e.duration = 300_000,
+            _ => {}
+        }
+        e
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ltc_round_trip_exact(entries in prop::collection::vec(arb_any_entry(), 0..300)) {
+        let image = ltc::encode(&entries).unwrap();
+        let (decoded, stats) = ltc::BlockReader::open(ltc::SliceSource::new(&image))
+            .unwrap()
+            .read_all()
+            .unwrap();
+        prop_assert_eq!(stats.corrupt_blocks, 0);
+        // Bit-identical, floats included: ltc columns store raw f32 bits,
+        // so unlike the text round trip no tolerance is needed.
+        prop_assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn ltc_trace_round_trip(entries in prop::collection::vec(arb_any_entry(), 0..200)) {
+        let trace = Trace::from_entries(entries, 400_000);
+        let image = ltc::encode(trace.entries()).unwrap();
+        let mut src = ltc::SliceSource::new(&image);
+        let index = ltc::read_index(&mut src).unwrap();
+        // Trace order is nondecreasing (start, timestamp): the writer must
+        // notice and set the sorted flag that enables direct ingest.
+        prop_assert!(index.sorted);
+        let (decoded, _) = ltc::BlockReader::open(src).unwrap().read_all().unwrap();
+        let round = Trace::from_entries(decoded, 400_000);
+        prop_assert_eq!(round.entries(), trace.entries());
+    }
 
     #[test]
     fn wms_round_trip(entries in prop::collection::vec(arb_entry(), 0..50)) {

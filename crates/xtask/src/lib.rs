@@ -3,8 +3,8 @@
 //!
 //! Entry point is `cargo xtask lint` (aliased in `.cargo/config.toml`).
 //! The pass walks every first-party crate's `src/` tree, tokenizes each
-//! file with the scanner in [`lexer`], and applies the five project
-//! rules in [`rules`] (L001–L005). See `DESIGN.md` §10 for the rule
+//! file with the scanner in [`lexer`], and applies the six project
+//! rules in [`rules`] (L001–L006). See `DESIGN.md` §10 for the rule
 //! catalog and rationale.
 
 pub mod lexer;

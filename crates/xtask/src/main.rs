@@ -6,7 +6,7 @@ const USAGE: &str = "\
 Usage: cargo xtask <command> [options]
 
 Commands:
-  lint          Run the lsw static-analysis rules (L001-L005) over the
+  lint          Run the lsw static-analysis rules (L001-L006) over the
                 workspace's first-party crates.
   rules         List the rules with one-line summaries.
 

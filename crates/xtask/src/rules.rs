@@ -1,4 +1,4 @@
-//! The five lsw lint rules.
+//! The six lsw lint rules.
 //!
 //! Each rule guards a piece of the workspace's headline guarantee —
 //! bit-identical reports at any thread/shard count — or the soundness
@@ -19,6 +19,12 @@
 //!   the blessed k-way-merge modules.
 //! * **L005** — no `unwrap()`/`expect()`/`panic!` in library crates'
 //!   non-test code (CLI binaries and tests are exempt).
+//! * **L006** — no allocating text conversions (`from_utf8_lossy`,
+//!   `.to_string()`, `.to_owned()`, `String::from*`) in the ingest
+//!   hot-path files. These paths budget ~hundreds of ns per record;
+//!   one hidden per-record allocation erases a whole optimization pass.
+//!   Cold diagnostics (error constructors, once-per-report rendering)
+//!   carry an `lsw::allow(L006)` with the reason.
 //!
 //! ## Opt-out
 //!
@@ -45,6 +51,7 @@ pub enum RuleId {
     L003,
     L004,
     L005,
+    L006,
 }
 
 impl RuleId {
@@ -56,6 +63,7 @@ impl RuleId {
             RuleId::L003 => "L003",
             RuleId::L004 => "L004",
             RuleId::L005 => "L005",
+            RuleId::L006 => "L006",
         }
     }
 
@@ -67,17 +75,19 @@ impl RuleId {
             RuleId::L003 => "no f64/f32 `+=` on fields of shard-merge participants",
             RuleId::L004 => "no unordered rayon reductions outside blessed merge modules",
             RuleId::L005 => "no unwrap/expect/panic! in library non-test code",
+            RuleId::L006 => "no allocating text conversions in ingest hot-path files",
         }
     }
 
     /// All rules, in id order.
-    pub fn all() -> [RuleId; 5] {
+    pub fn all() -> [RuleId; 6] {
         [
             RuleId::L001,
             RuleId::L002,
             RuleId::L003,
             RuleId::L004,
             RuleId::L005,
+            RuleId::L006,
         ]
     }
 }
@@ -103,6 +113,9 @@ pub struct FileClass {
     /// True for modules blessed to use unordered reductions (the k-way
     /// merge implementations themselves).
     pub blessed_reduction: bool,
+    /// True for the per-record ingest hot-path files (the wms scanner,
+    /// the ltc codec, the streaming ingest loop), where L006 applies.
+    pub ingest_hot: bool,
 }
 
 /// Crates whose library code must be free of ambient nondeterminism
@@ -161,6 +174,7 @@ pub fn lint_source(class: &FileClass, src: &str) -> Vec<Diagnostic> {
     rule_l003(&ctx, &mut diags);
     rule_l004(&ctx, &mut diags);
     rule_l005(&ctx, &mut diags);
+    rule_l006(&ctx, &mut diags);
     diags.retain(|d| !ctx.allowed(d.rule, d.line));
     diags.sort_by_key(|d| (d.line, d.col, d.rule));
     diags
@@ -685,6 +699,61 @@ fn rule_l005(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Allocating conversion methods flagged in ingest-hot files (L006).
+const L006_METHODS: &[&str] = &["to_string", "to_owned"];
+
+/// `String::<fn>(` constructors flagged in ingest-hot files (L006).
+const L006_STRING_FNS: &[&str] = &["from_utf8_lossy", "from_utf8", "from"];
+
+/// L006: allocating text conversions on the per-record ingest paths.
+fn rule_l006(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if !ctx.class.ingest_hot {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        // `.to_string()` / `.to_owned()`
+        if L006_METHODS.contains(&name)
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            ctx.flag(
+                diags,
+                RuleId::L006,
+                &toks[i],
+                format!(
+                    "`.{name}()` in an ingest hot-path file: per-record allocation; parse from \
+                     raw bytes, or annotate `// lsw::allow(L006): <why this is off the per-record \
+                     path>`"
+                ),
+            );
+            continue;
+        }
+        // `String::from_utf8_lossy(` / `String::from_utf8(` / `String::from(`
+        if name == "String" {
+            for f in L006_STRING_FNS {
+                if path_call(toks, i, f) {
+                    ctx.flag(
+                        diags,
+                        RuleId::L006,
+                        &toks[i],
+                        format!(
+                            "`String::{f}` in an ingest hot-path file: per-record allocation; \
+                             parse from raw bytes (str::from_utf8 borrows), or annotate \
+                             `// lsw::allow(L006): <why this is off the per-record path>`"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +763,7 @@ mod tests {
             crate_name: name.to_owned(),
             is_bin: false,
             blessed_reduction: false,
+            ingest_hot: false,
         }
     }
 
@@ -804,6 +874,28 @@ mod tests {
             "fn f(v: &[u64]) -> u64 { v.iter().sum() }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn l006_scoped_to_ingest_hot_files() {
+        let src = "fn f(b: &[u8]) -> String { String::from_utf8_lossy(b).to_string() }";
+        // Out of scope by default…
+        assert!(rules_fired(&lib_class("trace"), src).is_empty());
+        // …fires twice (constructor + `.to_string()`) in an ingest-hot file.
+        let hot = FileClass {
+            ingest_hot: true,
+            ..lib_class("trace")
+        };
+        assert_eq!(
+            rules_fired(&hot, src),
+            [(RuleId::L006, 1), (RuleId::L006, 1)]
+        );
+        // Borrowing conversions are fine.
+        assert!(rules_fired(&hot, "fn f(b: &[u8]) { let _ = std::str::from_utf8(b); }").is_empty());
+        // Cold paths opt out with a reasoned allow.
+        let cold = "// lsw::allow(L006): error constructor, cold path\n\
+                    fn e(b: &[u8]) -> String { String::from_utf8_lossy(b).into_owned() }";
+        assert!(rules_fired(&hot, cold).is_empty());
     }
 
     #[test]

@@ -10,6 +10,14 @@ use std::process::Command;
 /// else must preserve).
 const BLESSED_REDUCTION_FILES: &[&str] = &["crates/stream/src/coord.rs"];
 
+/// Per-record ingest hot paths, where L006 forbids allocating text
+/// conversions: the wms byte scanner, the ltc block codec, and the
+/// streaming ingest loop.
+const INGEST_HOT_FILES: &[&str] = &["crates/trace/src/wms.rs", "crates/stream/src/ingest.rs"];
+
+/// Directory prefixes whose every file is an ingest hot path.
+const INGEST_HOT_DIRS: &[&str] = &["crates/trace/src/ltc/"];
+
 /// Locates the workspace root: the directory two levels above this
 /// crate's manifest (`crates/xtask` → repo root).
 pub fn workspace_root() -> PathBuf {
@@ -43,10 +51,13 @@ pub fn classify(rel_path: &str) -> FileClass {
             .rsplit('/')
             .next()
             .is_some_and(|f| f.contains("merge"));
+    let ingest_hot = INGEST_HOT_FILES.contains(&rel_path)
+        || INGEST_HOT_DIRS.iter().any(|d| rel_path.starts_with(d));
     FileClass {
         crate_name,
         is_bin,
         blessed_reduction,
+        ingest_hot,
     }
 }
 
@@ -146,6 +157,11 @@ mod tests {
         assert!(classify("crates/xtask/src/main.rs").is_bin);
         assert!(classify("crates/stream/src/coord.rs").blessed_reduction);
         assert!(classify("crates/core/src/kway_merge.rs").blessed_reduction);
+
+        assert!(classify("crates/trace/src/wms.rs").ingest_hot);
+        assert!(classify("crates/trace/src/ltc/codec.rs").ingest_hot);
+        assert!(classify("crates/stream/src/ingest.rs").ingest_hot);
+        assert!(!classify("crates/stream/src/hll.rs").ingest_hot);
     }
 
     #[test]

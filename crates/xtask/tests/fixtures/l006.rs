@@ -1,0 +1,19 @@
+//! L006 fixture: allocating text conversions in an ingest hot-path file.
+//! Linted with `ingest_hot: true`.
+
+fn per_record(line: &[u8]) -> String {
+    String::from_utf8_lossy(line).into_owned()
+}
+
+fn also_per_record(field: &str) -> String {
+    field.to_string()
+}
+
+fn borrowing_is_fine(line: &[u8]) -> Option<&str> {
+    std::str::from_utf8(line).ok()
+}
+
+fn cold_diagnostic(field: &[u8]) -> String {
+    // lsw::allow(L006): error constructor, cold path
+    String::from_utf8_lossy(field).into_owned()
+}

@@ -21,6 +21,7 @@ fn fixture_class() -> FileClass {
         crate_name: "stream".to_owned(),
         is_bin: false,
         blessed_reduction: false,
+        ingest_hot: false,
     }
 }
 
@@ -68,6 +69,22 @@ fn l005_unwrap_before_expect_on_same_line() {
     assert!(diags[0].message.contains("unwrap"));
     assert!(diags[1].message.contains("expect"));
     assert!(diags[0].col < diags[1].col);
+}
+
+#[test]
+fn l006_fires_on_ingest_hot_allocations() {
+    // The fixture represents an ingest hot-path file, so lint it as one.
+    let hot = FileClass {
+        ingest_hot: true,
+        ..fixture_class()
+    };
+    let diags: Vec<(RuleId, usize)> = lint_source(&hot, &fixture("l006.rs"))
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    assert_eq!(diags, [(RuleId::L006, 5), (RuleId::L006, 9)]);
+    // The same source is silent outside the hot-path scope.
+    assert!(lint_source(&fixture_class(), &fixture("l006.rs")).is_empty());
 }
 
 #[test]

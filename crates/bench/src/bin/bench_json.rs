@@ -31,17 +31,50 @@ fn bench_config() -> WorkloadConfig {
     WorkloadConfig::paper().scaled(15_000, 86_400, 25_000)
 }
 
-/// Run `f` [`ITERS`] times and return (result of last run, best secs).
-fn time<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+/// Total CPU seconds (user + system, summed over every thread) this
+/// process has burned so far, from `/proc/self/stat`. `None` off Linux
+/// or when the file cannot be read. CPU time is what makes per-stage
+/// numbers comparable across hosts: on a 1-CPU box a "parallel" stage's
+/// wall time hides the serialization that its CPU time exposes.
+fn process_cpu_secs() -> Option<f64> {
+    #[cfg(target_os = "linux")]
+    {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        // comm (field 2) may contain spaces; everything after the closing
+        // paren is fixed-position, starting at field 3 (state).
+        let rest = stat.rsplit_once(')')?.1;
+        let mut fields = rest.split_ascii_whitespace();
+        let utime: f64 = fields.nth(11)?.parse().ok()?; // field 14
+        let stime: f64 = fields.next()?.parse().ok()?; // field 15
+                                                       // Clock-tick unit: USER_HZ is 100 on every mainstream Linux.
+        Some((utime + stime) / 100.0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Run `f` [`ITERS`] times and return (result of last run, best wall
+/// secs, CPU secs spent during that best run).
+fn time<T>(mut f: impl FnMut() -> T) -> (T, f64, Option<f64>) {
     let mut best = f64::INFINITY;
+    let mut best_cpu = None;
     let mut out = None;
     for _ in 0..ITERS {
+        let c0 = process_cpu_secs();
         let t0 = Instant::now();
         let v = f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        let wall = t0.elapsed().as_secs_f64();
+        if wall < best {
+            best = wall;
+            best_cpu = process_cpu_secs()
+                .zip(c0)
+                .map(|(c1, c0)| (c1 - c0).max(0.0));
+        }
         out = Some(v);
     }
-    (out.expect("ITERS > 0"), best)
+    (out.expect("ITERS > 0"), best, best_cpu)
 }
 
 fn git_sha() -> String {
@@ -59,7 +92,13 @@ struct Stage {
     name: &'static str,
     threads: usize,
     elements: usize,
+    /// Best wall-clock seconds over [`ITERS`] runs.
     secs: f64,
+    /// Process CPU seconds burned during the best run (`null` when the
+    /// host cannot report them). Wall alone misleads on small hosts: at 1
+    /// CPU a parallel stage's wall time equals its CPU time, and any
+    /// wall-derived "speedup" is pure scheduler noise.
+    cpu_secs: Option<f64>,
     /// Resident sketch bytes, for bounded-memory stages.
     sketch_bytes: Option<u64>,
 }
@@ -70,16 +109,20 @@ impl Stage {
     }
 
     fn json(&self) -> String {
+        let cpu = self
+            .cpu_secs
+            .map_or("null".to_string(), |c| format!("{c:.6}"));
         let sketch = self
             .sketch_bytes
             .map_or(String::new(), |b| format!(", \"sketch_bytes\": {b}"));
         format!(
             "    {{ \"stage\": \"{}\", \"threads\": {}, \"elements\": {}, \
-             \"secs\": {:.6}, \"elements_per_sec\": {:.1}{} }}",
+             \"secs\": {:.6}, \"cpu_secs\": {}, \"elements_per_sec\": {:.1}{} }}",
             self.name,
             self.threads,
             self.elements,
             self.secs,
+            cpu,
             self.rate(),
             sketch
         )
@@ -143,12 +186,12 @@ fn main() {
         }
     };
 
-    let (workload, secs_1) = time(gen(1));
+    let (workload, secs_1, cpu_1) = time(gen(1));
     let n_transfers = workload.len();
-    let (_, secs_n) = time(gen(par_threads));
+    let (_, secs_n, cpu_n) = time(gen(par_threads));
     let trace = workload.render();
 
-    let (sessions, sess_secs) = time(|| {
+    let (sessions, sess_secs, sess_cpu) = time(|| {
         Sessions::identify_with(
             &trace,
             SessionConfig::default(),
@@ -161,7 +204,7 @@ fn main() {
         .map(|e| (e.start, e.start + e.duration))
         .collect();
     let horizon = intervals.iter().map(|&(_, hi)| hi).max().unwrap_or(0) + 1;
-    let (_, conc_secs) = time(|| {
+    let (_, conc_secs, conc_cpu) = time(|| {
         ConcurrencyProfile::from_intervals_par(&intervals, horizon, Parallelism::fixed(par_threads))
     });
 
@@ -171,7 +214,7 @@ fn main() {
     let log_text =
         String::from_utf8(lsw_trace::wms::format_log(trace.entries()).to_vec()).expect("ASCII log");
     let n_lines = log_text.lines().count();
-    let (stream_report, stream_secs) = time(|| {
+    let (stream_report, stream_secs, stream_cpu) = time(|| {
         let mut engine = lsw_stream::StreamAnalyzer::new(lsw_stream::StreamConfig {
             shards: par_threads,
             ..lsw_stream::StreamConfig::default()
@@ -182,7 +225,7 @@ fn main() {
 
     // Zero-copy parse alone (no sketches, no sessionization): the raw
     // byte-scanner throughput over the same rendered log.
-    let (parsed_ok, parse_secs) = time(|| {
+    let (parsed_ok, parse_secs, parse_cpu) = time(|| {
         let mut ok = 0u64;
         for item in lsw_trace::wms::parse_lines_bytes(log_text.as_bytes()) {
             ok += u64::from(item.is_ok());
@@ -197,7 +240,7 @@ fn main() {
 
     // Text → columnar conversion: parse every line and append to the
     // block writer — the `lsw convert` hot path.
-    let (ltc_image, convert_secs) = time(|| {
+    let (ltc_image, convert_secs, convert_cpu) = time(|| {
         let mut out = Vec::new();
         let mut w = lsw_trace::ltc::LtcWriter::new(&mut out).expect("vec sink");
         for (_, e) in lsw_trace::wms::parse_lines_bytes(log_text.as_bytes()).flatten() {
@@ -210,7 +253,7 @@ fn main() {
     // Columnar block ingest: the same one-pass characterization fed from
     // the ltc container — block decode replaces text parse, and the
     // sorted footer flag bypasses the look-ahead heap.
-    let (ltc_report, ltc_secs) = time(|| {
+    let (ltc_report, ltc_secs, ltc_cpu) = time(|| {
         let mut engine = lsw_stream::StreamAnalyzer::new(lsw_stream::StreamConfig {
             shards: par_threads,
             ..lsw_stream::StreamConfig::default()
@@ -226,7 +269,7 @@ fn main() {
     // DES event pump: schedule every transfer's start, then pop in time
     // order scheduling its stop — the simulator's exact queue churn
     // pattern, isolated from server/network bookkeeping.
-    let (des_pops, des_secs) = time(|| {
+    let (des_pops, des_secs, des_cpu) = time(|| {
         let mut q = lsw_sim::des::EventQueue::with_capacity(n_transfers * 2);
         for t in workload.transfers() {
             q.schedule(t.start, (t.duration, false));
@@ -248,6 +291,7 @@ fn main() {
             threads: 1,
             elements: n_transfers,
             secs: secs_1,
+            cpu_secs: cpu_1,
             sketch_bytes: None,
         },
         Stage {
@@ -255,6 +299,7 @@ fn main() {
             threads: par_threads,
             elements: n_transfers,
             secs: secs_n,
+            cpu_secs: cpu_n,
             sketch_bytes: None,
         },
         Stage {
@@ -262,6 +307,7 @@ fn main() {
             threads: par_threads,
             elements: trace.len(),
             secs: sess_secs,
+            cpu_secs: sess_cpu,
             sketch_bytes: None,
         },
         Stage {
@@ -269,6 +315,7 @@ fn main() {
             threads: par_threads,
             elements: intervals.len(),
             secs: conc_secs,
+            cpu_secs: conc_cpu,
             sketch_bytes: None,
         },
         Stage {
@@ -276,6 +323,7 @@ fn main() {
             threads: par_threads,
             elements: n_lines,
             secs: stream_secs,
+            cpu_secs: stream_cpu,
             sketch_bytes: Some(stream_report.memory.sketch_bytes),
         },
         Stage {
@@ -283,6 +331,7 @@ fn main() {
             threads: par_threads,
             elements: trace.len(),
             secs: ltc_secs,
+            cpu_secs: ltc_cpu,
             sketch_bytes: Some(ltc_report.memory.sketch_bytes),
         },
         Stage {
@@ -290,6 +339,7 @@ fn main() {
             threads: 1,
             elements: n_lines,
             secs: convert_secs,
+            cpu_secs: convert_cpu,
             sketch_bytes: None,
         },
         Stage {
@@ -297,6 +347,7 @@ fn main() {
             threads: 1,
             elements: n_lines,
             secs: parse_secs,
+            cpu_secs: parse_cpu,
             sketch_bytes: None,
         },
         Stage {
@@ -304,6 +355,7 @@ fn main() {
             threads: 1,
             elements: des_pops as usize,
             secs: des_secs,
+            cpu_secs: des_cpu,
             sketch_bytes: None,
         },
     ];
@@ -325,12 +377,16 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark json");
 
     for s in &stages {
+        let cpu = s
+            .cpu_secs
+            .map_or("     n/a".to_string(), |c| format!("{c:>7.3}s"));
         eprintln!(
-            "  {:<12} threads={:<2} {:>9} elems in {:>8.3}s = {:>12.0} elems/s",
+            "  {:<12} threads={:<2} {:>9} elems in {:>8.3}s wall / {} cpu = {:>12.0} elems/s",
             s.name,
             s.threads,
             s.elements,
             s.secs,
+            cpu,
             s.rate()
         );
     }

@@ -11,6 +11,12 @@
 //!                 [--timeout TO] [--json FILE]
 //! lsw summary     LOG [--format auto|wms|ltc] [--horizon SECS]
 //! lsw convert     IN OUT [--format auto|wms|ltc]
+//! lsw replay      LOG [--format auto|wms|ltc] [--compression C]
+//!                 [--virtual-time] [--admission N] [--workers N]
+//!                 [--expose SECS] [--json FILE] [--no-assert]
+//! lsw serve       LOG [--format auto|wms|ltc] [--listen ADDR]
+//!                 [--compression C] [--admission N] [--workers N]
+//!                 [--for SECS] [--expose SECS]
 //! ```
 //!
 //! `analyze` is the streaming front end: with `--stream` the log is
@@ -30,6 +36,20 @@
 //! binary container directly. All times are seconds since the log's
 //! epoch.
 //!
+//! `replay` extracts the replayable transfer schedule from a log and
+//! replays it against an in-process localhost server at `--compression`×
+//! real time (`lsw_replay`), then closes the loop: the traffic actually
+//! served is re-characterized through the embedded `lsw-stream` tap and
+//! diffed against the schedule's own characterization. The command exits
+//! nonzero when any headline metric falls outside its documented sketch
+//! error bound (suppress with `--no-assert`, e.g. when an `--admission`
+//! cap is *meant* to shed traffic). `--virtual-time` runs the same
+//! replay as a deterministic single-threaded simulation — no sockets, no
+//! wall clock — with bit-identical output on every run. `serve` runs the
+//! paced serving harness standalone on `--listen` for `--for` seconds so
+//! an external driver can connect. `--admission N` caps concurrent
+//! transfers (`RejectAbove`); 0 or absent accepts everything.
+//!
 //! `--threads` (or the `LSW_THREADS` environment variable) sets the
 //! worker count; the default is the number of available cores. Output is
 //! bit-identical at every thread count — the setting only changes speed.
@@ -41,6 +61,8 @@
 use lsw::analysis::characterize_with;
 use lsw::core::config::WorkloadConfig;
 use lsw::core::generator::Generator;
+use lsw::replay::Registry;
+use lsw::sim::server::AdmissionPolicy;
 use lsw::sim::{SimConfig, Simulator};
 use lsw::stats::dist::SamplerBackend;
 use lsw::stats::par::Parallelism;
@@ -48,6 +70,7 @@ use lsw::stream::{StreamAnalyzer, StreamConfig};
 use lsw::trace::event::LogEntry;
 use lsw::trace::ltc;
 use lsw::trace::sanitize::sanitize;
+use lsw::trace::schedule::Schedule;
 use lsw::trace::session::SessionConfig;
 use lsw::trace::wms;
 use std::path::Path;
@@ -61,6 +84,8 @@ fn main() {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage:\n  lsw generate [--days D] [--clients N] [--sessions N] [--seed S] \
@@ -70,7 +95,11 @@ fn main() {
                  [--format auto|wms|ltc] [--stream] \
                  [--compare] [--shards N] [--memory-budget BYTES] [--horizon SECS] [--timeout TO] \
                  [--json FILE]\n  lsw summary LOG [--format auto|wms|ltc] [--horizon SECS]\n  \
-                 lsw convert IN OUT [--format auto|wms|ltc]"
+                 lsw convert IN OUT [--format auto|wms|ltc]\n  lsw replay LOG \
+                 [--format auto|wms|ltc] [--compression C] [--virtual-time] [--admission N] \
+                 [--workers N] [--expose SECS] [--json FILE] [--no-assert]\n  lsw serve LOG \
+                 [--format auto|wms|ltc] [--listen ADDR] [--compression C] [--admission N] \
+                 [--workers N] [--for SECS] [--expose SECS]"
             );
         }
         Some(other) => {
@@ -311,13 +340,29 @@ fn cmd_convert(args: &[String]) {
         }
         LogFormat::Ltc => {
             // ltc -> wms: decode every block, render the text log.
-            let entries = read_entries(input, LogFormat::Ltc);
+            let (entries, stats) = ltc::FileSource::open(Path::new(input.as_str()))
+                .and_then(|src| ltc::BlockReader::open(src)?.read_all())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot read {input}: {e}");
+                    exit(1);
+                });
             let text = wms::format_log(&entries);
             std::fs::write(output, &text).unwrap_or_else(|e| {
                 eprintln!("cannot write {output}: {e}");
                 exit(1);
             });
             eprintln!("wrote {} entries to {output}", entries.len());
+            if stats.corrupt_blocks > 0 {
+                // Data was lost in transit: say how much, and make the
+                // loss visible to scripts via the exit status.
+                eprintln!(
+                    "convert: skipped {} corrupt block(s) / {} record(s): {}",
+                    stats.corrupt_blocks,
+                    stats.corrupt_records,
+                    stats.first_corrupt.as_deref().unwrap_or("?"),
+                );
+                exit(1);
+            }
         }
     }
 }
@@ -466,4 +511,249 @@ fn cmd_analyze(args: &[String]) {
 fn cmd_summary(args: &[String]) {
     let (trace, _, _) = load(args);
     println!("{}", trace.summary());
+}
+
+/// Extracts the replayable transfer schedule from a log file, reporting
+/// (to stderr) what extraction had to skip.
+fn load_schedule(args: &[String]) -> Schedule {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("expected a LOG file argument");
+        exit(2);
+    };
+    let schedule = match resolve_format(args, path) {
+        LogFormat::Wms => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            });
+            Schedule::from_wms_bytes(&bytes)
+        }
+        LogFormat::Ltc => Schedule::from_ltc_path(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        }),
+    };
+    let st = &schedule.stats;
+    if st.rejected + st.malformed + st.corrupt_blocks > 0 {
+        eprintln!(
+            "schedule: kept {} of {} records ({} rejected, {} malformed line(s), \
+             {} corrupt block(s))",
+            schedule.len(),
+            st.examined,
+            st.rejected,
+            st.malformed,
+            st.corrupt_blocks,
+        );
+    }
+    if schedule.is_empty() {
+        eprintln!("no replayable transfers in {path}");
+        exit(1);
+    }
+    schedule
+}
+
+/// `--admission N`: cap concurrent transfers; 0 or absent accepts all.
+fn admission_flag(args: &[String]) -> AdmissionPolicy {
+    match parse_or(flag_value(args, "--admission"), 0u64, "--admission") {
+        0 => AdmissionPolicy::AcceptAll,
+        n => AdmissionPolicy::RejectAbove { max_concurrent: n },
+    }
+}
+
+/// A background thread printing metric snapshots to stderr on a cadence.
+struct Exposition {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Exposition {
+    /// Starts the exposition loop; `every_secs == 0` disables it.
+    fn start(registry: &std::sync::Arc<Registry>, every_secs: u64) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let handle = (every_secs > 0).then(|| {
+            let registry = std::sync::Arc::clone(registry);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut elapsed_ms = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                    elapsed_ms += 250;
+                    if elapsed_ms >= every_secs * 1000 {
+                        elapsed_ms = 0;
+                        eprint!("-- metrics --\n{}", registry.snapshot().render());
+                    }
+                }
+            })
+        });
+        Self { stop, handle }
+    }
+
+    fn finish(mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Prints the closed-loop result, writes `--json`, and returns whether
+/// every metric stayed inside its documented sketch error bound.
+fn report_loop(
+    args: &[String],
+    tap: &lsw::stream::StreamReport,
+    diff: &lsw::replay::LoopDiff,
+    metrics: &lsw::replay::Snapshot,
+) -> bool {
+    println!("{}", tap.headline());
+    println!("closed-loop characterization diff:");
+    print!("{}", diff.render());
+    if let Some(json_path) = flag_value(args, "--json") {
+        use serde_json::Value;
+        let tap_value: Value = serde_json::from_str(&tap.to_json()).unwrap_or(Value::Null);
+        let combined = Value::Object(vec![
+            ("tap".to_string(), tap_value),
+            ("diff".to_string(), diff.to_json()),
+            ("metrics".to_string(), metrics.to_json()),
+        ]);
+        let rendered = serde_json::to_string_pretty(&combined).unwrap_or_default();
+        std::fs::write(json_path, rendered).unwrap_or_else(|e| {
+            eprintln!("cannot write {json_path}: {e}");
+            exit(1);
+        });
+        eprintln!("replay report written to {json_path}");
+    }
+    diff.within_bounds()
+}
+
+fn cmd_replay(args: &[String]) {
+    use lsw::replay::{
+        closed_loop, drive, reference_report, run_virtual, DriverConfig, ReplayServer,
+        ServerConfig, WallClock,
+    };
+    use std::sync::Arc;
+
+    let schedule = load_schedule(args);
+    let compression: f64 = parse_or(flag_value(args, "--compression"), 100.0, "--compression");
+    let admission = admission_flag(args);
+    let stream_cfg = StreamConfig::default();
+    let registry = Arc::new(Registry::new());
+    let reference = reference_report(&schedule, stream_cfg.clone());
+
+    let (tap, closed) = if args.iter().any(|a| a == "--virtual-time") {
+        let out = run_virtual(&schedule, admission, stream_cfg, &registry);
+        eprintln!(
+            "virtual replay: {} completed, {} rejected, {} bytes served",
+            out.completed, out.rejected, out.bytes_served
+        );
+        (out.tap, registry.snapshot())
+    } else {
+        let workers = parse_or(flag_value(args, "--workers"), 2usize, "--workers").max(1);
+        let expose: u64 = parse_or(flag_value(args, "--expose"), 10, "--expose");
+        let clock = Arc::new(WallClock::start());
+        let server = ReplayServer::start(
+            ServerConfig {
+                compression,
+                admission,
+                workers,
+                stream: stream_cfg,
+                lookahead: schedule.max_duration(),
+                ..ServerConfig::default()
+            },
+            &schedule.object_rates(),
+            Arc::clone(&clock),
+            Arc::clone(&registry),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind replay server: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "replaying {} transfers over {} trace-second(s) at {compression}x against {}",
+            schedule.len(),
+            schedule.horizon(),
+            server.local_addr(),
+        );
+        let exposition = Exposition::start(&registry, expose);
+        let driver_cfg = DriverConfig {
+            workers: workers.max(2),
+            ..DriverConfig::new(server.local_addr(), compression)
+        };
+        let outcome = drive(&schedule, &driver_cfg, &clock, &registry).unwrap_or_else(|e| {
+            eprintln!("replay driver failed: {e}");
+            exit(1);
+        });
+        let served = server.finish();
+        exposition.finish();
+        eprintln!(
+            "replayed {} transfer(s): {} completed, {} rejected, {} short, {} connect failure(s)",
+            outcome.launched + outcome.connect_failures,
+            outcome.completed,
+            outcome.rejected,
+            outcome.short,
+            outcome.connect_failures,
+        );
+        (served.tap, served.metrics)
+    };
+
+    let diff = closed_loop(&reference, &tap);
+    let within = report_loop(args, &tap, &diff, &closed);
+    if !within && !args.iter().any(|a| a == "--no-assert") {
+        eprintln!(
+            "closed-loop check FAILED: {} metric(s) outside sketch error bounds",
+            diff.violations().len()
+        );
+        exit(1);
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    use lsw::replay::{ReplayServer, ServerConfig, WallClock};
+    use std::sync::Arc;
+
+    let schedule = load_schedule(args);
+    let compression: f64 = parse_or(flag_value(args, "--compression"), 100.0, "--compression");
+    let listen = flag_value(args, "--listen")
+        .unwrap_or("127.0.0.1:0")
+        .to_string();
+    let workers = parse_or(flag_value(args, "--workers"), 2usize, "--workers").max(1);
+    let expose: u64 = parse_or(flag_value(args, "--expose"), 10, "--expose");
+    // Default lifetime: the whole compressed trace span plus drain slack.
+    let default_for = f64::from(schedule.horizon()) / compression.max(1.0) + 5.0;
+    let for_secs: f64 = parse_or(flag_value(args, "--for"), default_for, "--for");
+
+    let registry = Arc::new(Registry::new());
+    let clock = Arc::new(WallClock::start());
+    let server = ReplayServer::start(
+        ServerConfig {
+            listen,
+            compression,
+            admission: admission_flag(args),
+            workers,
+            lookahead: schedule.max_duration(),
+            ..ServerConfig::default()
+        },
+        &schedule.object_rates(),
+        Arc::clone(&clock),
+        Arc::clone(&registry),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind replay server: {e}");
+        exit(1);
+    });
+    println!("{}", server.local_addr());
+    eprintln!(
+        "serving {} feed(s) at {compression}x for {for_secs:.1}s on {}",
+        schedule.object_rates().len(),
+        server.local_addr(),
+    );
+    let exposition = Exposition::start(&registry, expose);
+    std::thread::sleep(std::time::Duration::from_secs_f64(for_secs.max(0.0)));
+    let served = server.finish();
+    exposition.finish();
+    eprintln!(
+        "served: {} accepted, {} rejected",
+        served.admission.accepted, served.admission.rejected
+    );
+    println!("{}", served.tap.headline());
 }

@@ -18,6 +18,8 @@
 //! * [`stream`] — the one-pass, bounded-memory streaming characterizer
 //!   ([`lsw_stream`]).
 //! * [`sim`] — the discrete-event media-server simulator ([`lsw_sim`]).
+//! * [`replay`] — live-socket trace replay with a closed-loop
+//!   characterization tap ([`lsw_replay`]).
 //! * [`figures`] — per-table/figure reproduction experiments
 //!   ([`lsw_figures`]).
 //!
@@ -46,6 +48,7 @@
 pub use lsw_analysis as analysis;
 pub use lsw_core as core;
 pub use lsw_figures as figures;
+pub use lsw_replay as replay;
 pub use lsw_sim as sim;
 pub use lsw_stats as stats;
 pub use lsw_stream as stream;

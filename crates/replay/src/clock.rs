@@ -1,0 +1,94 @@
+//! Replay time: nanoseconds since the run's origin.
+//!
+//! Every wall-time acquisition in this crate happens through
+//! [`WallClock`], so the determinism lint surface is one reasoned site —
+//! not a file exemption. The virtual-time executor never constructs a
+//! `WallClock` at all; it advances a plain integer ([`virt`]).
+//!
+//! [`virt`]: crate::virt
+
+use std::time::{Duration, Instant};
+
+/// Nanoseconds of replay time (since a clock's origin).
+pub type Nanos = u64;
+
+/// One nanosecond-resolution monotonic clock anchored at construction.
+///
+/// Shared (via `Arc`) by the server's pacing loops and the driver's
+/// schedule so both sides agree on what "now" means.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Anchors a clock at the current instant.
+    pub fn start() -> Self {
+        // The replay harness is the one workspace component whose whole
+        // point is real elapsed time; acquisition is confined to this
+        // constructor and `now` below.
+        #[allow(clippy::disallowed_methods)]
+        Self {
+            // lsw::allow(L002): replay pacing is anchored to real time by design
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the origin.
+    pub fn now(&self) -> Nanos {
+        #[allow(clippy::disallowed_methods)]
+        // lsw::allow(L002): single sanctioned wall-time read for pacing loops
+        let elapsed = Instant::now() - self.origin;
+        saturating_nanos(elapsed)
+    }
+
+    /// Sleeps until the given replay time (returns immediately if past).
+    pub fn sleep_until(&self, t: Nanos) {
+        let now = self.now();
+        if t > now {
+            std::thread::sleep(Duration::from_nanos(t - now));
+        }
+    }
+}
+
+fn saturating_nanos(d: Duration) -> Nanos {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Converts trace seconds to replay nanoseconds under a compression
+/// factor: `t` trace seconds pass in `t / compression` wall seconds.
+pub fn trace_to_nanos(trace_secs: u32, compression: f64) -> Nanos {
+    let wall = f64::from(trace_secs) / compression.max(1e-9);
+    if wall >= u64::MAX as f64 / 1e9 {
+        u64::MAX
+    } else {
+        (wall * 1e9) as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = WallClock::start();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sleep_until_reaches_target() {
+        let c = WallClock::start();
+        c.sleep_until(2_000_000); // 2 ms
+        assert!(c.now() >= 2_000_000);
+    }
+
+    #[test]
+    fn compression_scales_trace_time() {
+        assert_eq!(trace_to_nanos(100, 100.0), 1_000_000_000);
+        assert_eq!(trace_to_nanos(1, 1.0), 1_000_000_000);
+        assert_eq!(trace_to_nanos(0, 50.0), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The trace-driven load driver.
+//!
+//! Transfers are dealt round-robin to a fixed pool of client workers
+//! (each partition stays start-ordered, so a worker never has to look
+//! ahead). A worker opens each connection when the compressed clock
+//! reaches the transfer's scheduled start, sends the request line, and
+//! then reads nonblocking until the server closes — so a handful of
+//! threads sustain thousands of concurrent connections.
+
+use crate::clock::{trace_to_nanos, Nanos, WallClock};
+use crate::metrics::Registry;
+use crate::proto;
+use lsw_trace::schedule::{Schedule, ScheduledTransfer};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Load driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Server address to replay against.
+    pub addr: SocketAddr,
+    /// Time-compression factor (shared with the server).
+    pub compression: f64,
+    /// Client worker threads.
+    pub workers: usize,
+    /// Poll tick, nanoseconds.
+    pub tick: Nanos,
+}
+
+impl DriverConfig {
+    /// A driver aimed at `addr` with the given compression.
+    pub fn new(addr: SocketAddr, compression: f64) -> Self {
+        Self {
+            addr,
+            compression: compression.max(1.0),
+            workers: 4,
+            tick: 2_000_000,
+        }
+    }
+}
+
+/// What one replay run offered and got back, summed over all workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// Connections opened (request line sent).
+    pub launched: u64,
+    /// Connections that failed to open or to send the request.
+    pub connect_failures: u64,
+    /// Transfers answered `BUSY` by admission control.
+    pub rejected: u64,
+    /// Transfers that delivered their full wire byte budget.
+    pub completed: u64,
+    /// Transfers closed short of their budget (slow-client drop, drain).
+    pub short: u64,
+    /// Wire payload bytes received.
+    pub bytes_received: u64,
+}
+
+impl DriveOutcome {
+    fn absorb(&mut self, o: DriveOutcome) {
+        self.launched += o.launched;
+        self.connect_failures += o.connect_failures;
+        self.rejected += o.rejected;
+        self.completed += o.completed;
+        self.short += o.short;
+        self.bytes_received += o.bytes_received;
+    }
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    /// Status line bytes until the first newline.
+    header: Vec<u8>,
+    /// Expected payload bytes, known once the `OK` line arrives.
+    expected: Option<u64>,
+    received: u64,
+}
+
+/// Replays the whole schedule against a live server; blocks until every
+/// transfer has been offered and every connection has closed.
+pub fn drive(
+    schedule: &Schedule,
+    cfg: &DriverConfig,
+    clock: &WallClock,
+    registry: &Registry,
+) -> io::Result<DriveOutcome> {
+    if schedule.is_empty() {
+        return Ok(DriveOutcome::default());
+    }
+    let t0 = schedule.transfers[0].start;
+    let workers = cfg.workers.max(1);
+    let connects = registry.counter("drv.connects");
+    let bytes_received = registry.counter("drv.bytes_received");
+    let lateness = registry.histogram("drv.lateness_ms");
+
+    let partials: Vec<DriveOutcome> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mine: Vec<&ScheduledTransfer> =
+                    schedule.transfers.iter().skip(w).step_by(workers).collect();
+                let connects = &connects;
+                let bytes_received = &bytes_received;
+                let lateness = &lateness;
+                s.spawn(move || {
+                    let mut out = DriveOutcome::default();
+                    let mut next = 0usize;
+                    let mut active: Vec<ClientConn> = Vec::new();
+                    let mut scratch = [0u8; 16384];
+                    loop {
+                        let now = clock.now();
+                        while next < mine.len() {
+                            let t = mine[next];
+                            let due = trace_to_nanos(t.start - t0, cfg.compression);
+                            if due > now {
+                                break;
+                            }
+                            next += 1;
+                            match open(cfg.addr, t) {
+                                Ok(conn) => {
+                                    out.launched += 1;
+                                    connects.inc();
+                                    lateness.record((now - due) / 1_000_000);
+                                    active.push(conn);
+                                }
+                                Err(_) => out.connect_failures += 1,
+                            }
+                        }
+                        let mut i = 0;
+                        while i < active.len() {
+                            if pump(&mut active[i], &mut scratch, &mut out, bytes_received) {
+                                active.swap_remove(i);
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        if next == mine.len() && active.is_empty() {
+                            return out;
+                        }
+                        std::thread::sleep(std::time::Duration::from_nanos(cfg.tick.max(100_000)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut total = DriveOutcome::default();
+    for p in partials {
+        total.absorb(p);
+    }
+    Ok(total)
+}
+
+/// Opens one connection and sends the request line.
+fn open(addr: SocketAddr, t: &ScheduledTransfer) -> io::Result<ClientConn> {
+    #[allow(clippy::disallowed_methods)]
+    // lsw::allow(L002): the load driver opens real sockets by design
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut line = proto::encode_request(t);
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.set_nonblocking(true)?;
+    Ok(ClientConn {
+        stream,
+        header: Vec::new(),
+        expected: None,
+        received: 0,
+    })
+}
+
+/// Reads whatever the server has for one connection; returns true when
+/// the connection is finished and accounted.
+fn pump(
+    conn: &mut ClientConn,
+    scratch: &mut [u8],
+    out: &mut DriveOutcome,
+    bytes_received: &crate::metrics::Counter,
+) -> bool {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                settle(conn, out);
+                return true;
+            }
+            Ok(n) if conn.expected.is_none() => {
+                conn.header.extend_from_slice(&scratch[..n]);
+                let Some(nl) = conn.header.iter().position(|&b| b == b'\n') else {
+                    if conn.header.len() > proto::MAX_REQUEST_LINE {
+                        out.short += 1; // protocol garbage
+                        return true;
+                    }
+                    continue;
+                };
+                let line = String::from_utf8_lossy(&conn.header[..nl]).into_owned();
+                let Some(budget) = line.strip_prefix("OK ").and_then(|v| v.parse().ok()) else {
+                    // BUSY (or unparseable): admission turned us away.
+                    out.rejected += 1;
+                    return true;
+                };
+                conn.expected = Some(budget);
+                // Bytes past the status line are already payload.
+                let rest = (conn.header.len() - nl - 1) as u64;
+                conn.header.clear();
+                conn.received += rest;
+                out.bytes_received += rest;
+                bytes_received.add(rest);
+            }
+            Ok(n) => {
+                conn.received += n as u64;
+                out.bytes_received += n as u64;
+                bytes_received.add(n as u64);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                settle(conn, out);
+                return true;
+            }
+        }
+    }
+}
+
+/// Accounts a closed connection as completed or short.
+fn settle(conn: &ClientConn, out: &mut DriveOutcome) {
+    match conn.expected {
+        Some(exp) if conn.received >= exp => out.completed += 1,
+        _ => out.short += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_sum() {
+        let mut a = DriveOutcome {
+            launched: 1,
+            completed: 1,
+            ..DriveOutcome::default()
+        };
+        a.absorb(DriveOutcome {
+            launched: 2,
+            short: 1,
+            bytes_received: 10,
+            ..DriveOutcome::default()
+        });
+        assert_eq!(a.launched, 3);
+        assert_eq!(a.completed, 1);
+        assert_eq!(a.short, 1);
+        assert_eq!(a.bytes_received, 10);
+    }
+}

@@ -1,0 +1,557 @@
+//! The paced localhost serving harness.
+//!
+//! One accept thread hands connections round-robin to a fixed pool of
+//! worker shards; each shard owns its connections outright and advances
+//! them on a tick loop over nonblocking sockets, so the thread count is
+//! bounded by `workers + 2` no matter how many clients are connected.
+//!
+//! **Pacing.** Each live feed is a broadcast: a feed encoded at `rate`
+//! trace-bytes/second has a global position `rate × elapsed`, and a
+//! subscriber is entitled to the bytes the broadcast produced since it
+//! joined, capped by its transfer's wire byte budget. Time compression
+//! divides both the budget and the wall duration, so the *wire rate* is
+//! the trace rate unchanged.
+//!
+//! **Admission.** Every parsed request goes through the simulator's
+//! [`MediaServer`] — the same [`AdmissionPolicy`] semantics the DES uses
+//! — and a rejection is answered with `BUSY`, logged to the tap with
+//! [`STATUS_REJECTED`], and charged as denied viewer-seconds.
+//!
+//! **Slow clients.** A subscriber whose backlog (entitlement minus bytes
+//! actually written) exceeds the configured send-buffer bound is either
+//! dropped (logged truncated) or allowed to lag, per
+//! [`SlowClientPolicy`].
+//!
+//! **Tap.** Completions are logged WMS-style — at connection close, in
+//! trace coordinates taken from the request line — into an embedded
+//! [`StreamAnalyzer`], which is finalized into the run's closed-loop
+//! [`StreamReport`] on drain.
+
+use crate::clock::{trace_to_nanos, Nanos, WallClock};
+use crate::metrics::{Counter, Gauge, LogHistogram, Registry, Snapshot};
+use crate::proto::{self, MAX_REQUEST_LINE};
+use crate::{STATUS_REJECTED, STATUS_TRUNCATED};
+use lsw_sim::server::{AdmissionPolicy, MediaServer, ServerStats};
+use lsw_stream::{StreamAnalyzer, StreamConfig, StreamReport};
+use lsw_trace::schedule::ScheduledTransfer;
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// What to do with a subscriber that cannot keep up with its feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowClientPolicy {
+    /// Close the connection and log the transfer truncated — the live
+    /// answer (the broadcast cannot wait).
+    Drop,
+    /// Let the backlog grow and the client lag the broadcast — the
+    /// stored-media answer. Memory stays bounded either way: payload is
+    /// generated at write time, never queued.
+    Backpressure,
+}
+
+/// Serving harness configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub listen: String,
+    /// Admission policy (the DES semantics, on real sockets).
+    pub admission: AdmissionPolicy,
+    /// Time-compression factor shared with the driver.
+    pub compression: f64,
+    /// Per-client backlog bound in wire bytes before the slow-client
+    /// policy applies.
+    pub send_buffer: u64,
+    /// Slow-client policy.
+    pub slow_policy: SlowClientPolicy,
+    /// Worker shards.
+    pub workers: usize,
+    /// Pacing tick, nanoseconds.
+    pub tick: Nanos,
+    /// Maximum wait for in-flight transfers during drain, nanoseconds;
+    /// survivors are then truncated.
+    pub drain: Nanos,
+    /// Tap (characterization) configuration.
+    pub stream: StreamConfig,
+    /// Longest transfer duration the tap will see (trace seconds),
+    /// usually `Schedule::max_duration`. Completions reach the tap in
+    /// stop order, so this presets its look-ahead reorder window; 0 lets
+    /// the tap infer the window from what it has seen.
+    pub lookahead: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            admission: AdmissionPolicy::AcceptAll,
+            compression: 100.0,
+            send_buffer: 256 << 10,
+            slow_policy: SlowClientPolicy::Drop,
+            workers: 2,
+            tick: 2_000_000,
+            drain: 10_000_000_000,
+            stream: StreamConfig::default(),
+            lookahead: 0,
+        }
+    }
+}
+
+/// Everything a drained server hands back.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The tap's characterization of the traffic actually served.
+    pub tap: StreamReport,
+    /// Admission accounting (accepted/rejected/denied viewer-seconds).
+    pub admission: ServerStats,
+    /// Final metrics capture.
+    pub metrics: Snapshot,
+}
+
+struct ServerMetrics {
+    accepted_conns: Arc<Counter>,
+    active: Arc<Gauge>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    slow_dropped: Arc<Counter>,
+    truncated: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    backlog: Arc<LogHistogram>,
+    transfer_wall_ms: Arc<LogHistogram>,
+}
+
+impl ServerMetrics {
+    fn register(r: &Registry) -> Self {
+        Self {
+            accepted_conns: r.counter("srv.conns"),
+            active: r.gauge("srv.active"),
+            completed: r.counter("srv.completed"),
+            rejected: r.counter("srv.rejected"),
+            slow_dropped: r.counter("srv.slow_dropped"),
+            truncated: r.counter("srv.truncated"),
+            bad_requests: r.counter("srv.bad_requests"),
+            bytes_sent: r.counter("srv.bytes_sent"),
+            backlog: r.histogram("srv.backlog_bytes"),
+            transfer_wall_ms: r.histogram("srv.transfer_wall_ms"),
+        }
+    }
+}
+
+struct Shared {
+    compression: f64,
+    send_buffer: u64,
+    slow_policy: SlowClientPolicy,
+    tick: Nanos,
+    /// Encoded trace-byte rate per object id (dense, indexed by id).
+    rates: Vec<u64>,
+    admission: Mutex<MediaServer>,
+    tap: Mutex<StreamAnalyzer>,
+    clock: Arc<WallClock>,
+    metrics: ServerMetrics,
+    /// Stop accepting; workers finish in-flight transfers.
+    shutdown: AtomicBool,
+    /// Truncate whatever is still in flight and exit.
+    force: AtomicBool,
+}
+
+impl Shared {
+    fn rate_for(&self, t: &ScheduledTransfer) -> u64 {
+        // Feeds absent from the rate table (standalone `lsw serve`
+        // against an unknown trace) fall back to the transfer's own byte
+        // rate, which still covers its budget within its duration.
+        match self.rates.get(usize::from(t.object.0)) {
+            Some(&r) if r > 0 => r,
+            _ => t.byte_rate().max(1),
+        }
+    }
+
+    /// Logs one finished (or refused) transfer into the tap.
+    fn log_tap(&self, t: &ScheduledTransfer, status: u16) {
+        let mut e = t.to_entry();
+        e.status = status;
+        self.tap.lock().ingest_entry(&e);
+    }
+}
+
+enum ConnState {
+    Request { buf: Vec<u8> },
+    Streaming(Box<Streaming>),
+}
+
+struct Streaming {
+    t: ScheduledTransfer,
+    rate: u64,
+    join: Nanos,
+    hold_until: Nanos,
+    budget: u64,
+    sent: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+}
+
+/// Payload pattern written to subscribers (content is irrelevant to the
+/// characterization; only bytes-on-the-wire matter).
+static PATTERN: [u8; 8192] = [0x5A; 8192];
+
+/// The running serving harness.
+pub struct ReplayServer {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept_handle: std::thread::JoinHandle<()>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    registry: Arc<Registry>,
+    drain: Nanos,
+}
+
+impl ReplayServer {
+    /// Binds, spawns the accept thread and worker shards, and returns.
+    ///
+    /// `rates` is the per-object encoded-rate table (usually
+    /// `Schedule::object_rates`); `clock` is shared with the driver so
+    /// both sides agree on replay time.
+    pub fn start(
+        cfg: ServerConfig,
+        rates: &[(lsw_trace::ids::ObjectId, u64)],
+        clock: Arc<WallClock>,
+        registry: Arc<Registry>,
+    ) -> io::Result<Self> {
+        #[allow(clippy::disallowed_methods)]
+        // lsw::allow(L002): the serving harness binds a real socket by design
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let mut rate_table = Vec::new();
+        for &(obj, rate) in rates {
+            let idx = usize::from(obj.0);
+            if rate_table.len() <= idx {
+                rate_table.resize(idx + 1, 0u64);
+            }
+            rate_table[idx] = rate;
+        }
+
+        let shared = Arc::new(Shared {
+            compression: cfg.compression.max(1.0),
+            send_buffer: cfg.send_buffer,
+            slow_policy: cfg.slow_policy,
+            tick: cfg.tick.max(100_000),
+            rates: rate_table,
+            admission: Mutex::new(MediaServer::new(lsw_sim::server::ServerConfig {
+                admission: cfg.admission,
+                ..lsw_sim::server::ServerConfig::default()
+            })),
+            tap: Mutex::new({
+                let mut tap = StreamAnalyzer::new(cfg.stream.clone());
+                tap.preset_lookahead(cfg.lookahead);
+                tap
+            }),
+            clock,
+            metrics: ServerMetrics::register(&registry),
+            shutdown: AtomicBool::new(false),
+            force: AtomicBool::new(false),
+        });
+
+        let workers = cfg.workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_shared, &senders);
+            // Dropping the senders here disconnects every worker's
+            // channel, which is their cue that no more work is coming.
+        });
+
+        Ok(Self {
+            shared,
+            addr,
+            accept_handle,
+            worker_handles,
+            registry,
+            drain: cfg.drain,
+        })
+    }
+
+    /// The actually-bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The metrics registry this server reports into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops accepting, waits up to the drain budget for in-flight
+    /// transfers, truncates survivors, joins every thread, and finalizes
+    /// the tap.
+    pub fn finish(self) -> ServeOutcome {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let deadline = self.shared.clock.now().saturating_add(self.drain);
+        while self.shared.metrics.active.get() > 0 && self.shared.clock.now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        self.shared.force.store(true, Ordering::SeqCst);
+        join_or_propagate(self.accept_handle);
+        for h in self.worker_handles {
+            join_or_propagate(h);
+        }
+        let admission = self.shared.admission.lock().stats().clone();
+        let analyzer = std::mem::replace(
+            &mut *self.shared.tap.lock(),
+            StreamAnalyzer::new(StreamConfig::default()),
+        );
+        ServeOutcome {
+            tap: analyzer.finalize(),
+            admission,
+            metrics: self.registry.snapshot(),
+        }
+    }
+}
+
+fn join_or_propagate(h: std::thread::JoinHandle<()>) {
+    if let Err(payload) = h.join() {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, senders: &[mpsc::Sender<TcpStream>]) {
+    let mut next = 0usize;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue; // peer already gone
+                }
+                shared.metrics.accepted_conns.inc();
+                shared.metrics.active.inc();
+                if senders[next % senders.len()].send(stream).is_err() {
+                    shared.metrics.active.dec();
+                    return; // worker gone; shutting down
+                }
+                next += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<TcpStream>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut disconnected = false;
+    loop {
+        while let Ok(stream) = rx.try_recv() {
+            conns.push(Conn {
+                stream,
+                state: ConnState::Request { buf: Vec::new() },
+            });
+        }
+        if let Err(mpsc::TryRecvError::Disconnected) = rx.try_recv() {
+            disconnected = true;
+        }
+        let force = shared.force.load(Ordering::Relaxed);
+        let now = shared.clock.now();
+        let mut i = 0;
+        while i < conns.len() {
+            let done = advance(shared, &mut conns[i], now, force);
+            if done {
+                shared.metrics.active.dec();
+                conns.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let draining = disconnected || shared.shutdown.load(Ordering::Relaxed);
+        if conns.is_empty() && draining {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_nanos(shared.tick));
+    }
+}
+
+/// Advances one connection by one tick; returns true when it is done and
+/// its slot can be reclaimed.
+fn advance(shared: &Shared, conn: &mut Conn, now: Nanos, force: bool) -> bool {
+    match &mut conn.state {
+        ConnState::Request { buf } => {
+            if force {
+                shared.metrics.bad_requests.inc();
+                return true;
+            }
+            let mut scratch = [0u8; 512];
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        shared.metrics.bad_requests.inc();
+                        return true; // peer closed before requesting
+                    }
+                    Ok(n) => {
+                        buf.extend_from_slice(&scratch[..n]);
+                        if buf.len() > MAX_REQUEST_LINE {
+                            shared.metrics.bad_requests.inc();
+                            return true;
+                        }
+                        if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                            let line = String::from_utf8_lossy(&buf[..nl]).into_owned();
+                            return begin_streaming(shared, conn, &line, now);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        shared.metrics.bad_requests.inc();
+                        return true;
+                    }
+                }
+            }
+        }
+        ConnState::Streaming(s) => {
+            if force {
+                finish_streaming(shared, s, now, STATUS_TRUNCATED);
+                shared.metrics.truncated.inc();
+                return true;
+            }
+            // Broadcast entitlement since join, capped by the budget.
+            let pos = proto::paced_position(s.rate, now.saturating_sub(s.join));
+            let entitled = pos.min(s.budget);
+            while s.sent < entitled {
+                let want = usize::try_from((entitled - s.sent).min(PATTERN.len() as u64))
+                    .unwrap_or(PATTERN.len());
+                match conn.stream.write(&PATTERN[..want]) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        s.sent += n as u64;
+                        shared.metrics.bytes_sent.add(n as u64);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Peer vanished mid-stream.
+                        finish_streaming(shared, s, now, STATUS_TRUNCATED);
+                        shared.metrics.truncated.inc();
+                        return true;
+                    }
+                }
+            }
+            let backlog = entitled - s.sent;
+            shared.metrics.backlog.record(backlog);
+            if backlog > shared.send_buffer && shared.slow_policy == SlowClientPolicy::Drop {
+                finish_streaming(shared, s, now, STATUS_TRUNCATED);
+                shared.metrics.slow_dropped.inc();
+                return true;
+            }
+            if s.sent == s.budget && now >= s.hold_until {
+                // Transfer complete: log in trace coordinates with the
+                // original status, then close.
+                finish_streaming(shared, s, now, s.t.status);
+                shared.metrics.completed.inc();
+                return true;
+            }
+            false
+        }
+    }
+}
+
+/// Parses the request, runs admission, answers the status line.
+fn begin_streaming(shared: &Shared, conn: &mut Conn, line: &str, now: Nanos) -> bool {
+    let Some(t) = proto::parse_request(line.trim_end_matches('\r')) else {
+        shared.metrics.bad_requests.inc();
+        return true;
+    };
+    let admitted = shared.admission.lock().request(t.display_duration());
+    if !admitted {
+        let _ = conn.stream.write_all(b"BUSY\n");
+        shared.log_tap(&t, STATUS_REJECTED);
+        shared.metrics.rejected.inc();
+        return true;
+    }
+    let budget = proto::wire_budget(t.bytes, shared.compression);
+    if conn
+        .stream
+        .write_all(format!("OK {budget}\n").as_bytes())
+        .is_err()
+    {
+        // Admission slot granted but the peer is already gone.
+        shared.admission.lock().release();
+        shared.log_tap(&t, STATUS_TRUNCATED);
+        shared.metrics.truncated.inc();
+        return true;
+    }
+    let rate = shared.rate_for(&t);
+    let hold_until = now.saturating_add(trace_to_nanos(t.duration, shared.compression));
+    conn.state = ConnState::Streaming(Box::new(Streaming {
+        rate,
+        join: now,
+        hold_until,
+        budget,
+        sent: 0,
+        t,
+    }));
+    false
+}
+
+/// Releases the admission slot and logs the tap entry for a transfer
+/// that is ending (complete, truncated, or force-drained).
+fn finish_streaming(shared: &Shared, s: &Streaming, now: Nanos, status: u16) {
+    shared.admission.lock().release();
+    shared.log_tap(&s.t, status);
+    shared
+        .metrics
+        .transfer_wall_ms
+        .record(now.saturating_sub(s.join) / 1_000_000);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_fallback_covers_unknown_objects() {
+        let shared = Shared {
+            compression: 1.0,
+            send_buffer: 0,
+            slow_policy: SlowClientPolicy::Drop,
+            tick: 1,
+            rates: vec![0, 500],
+            admission: Mutex::new(MediaServer::new(lsw_sim::server::ServerConfig::default())),
+            tap: Mutex::new(StreamAnalyzer::new(StreamConfig::default())),
+            clock: Arc::new(WallClock::start()),
+            metrics: ServerMetrics::register(&Registry::new()),
+            shutdown: AtomicBool::new(false),
+            force: AtomicBool::new(false),
+        };
+        let mut t = ScheduledTransfer {
+            start: 0,
+            duration: 9,
+            client: lsw_trace::ids::ClientId(1),
+            ip: lsw_trace::ids::Ipv4Addr(1),
+            as_id: lsw_trace::ids::AsId(1),
+            country: lsw_trace::ids::CountryCode(*b"US"),
+            object: lsw_trace::ids::ObjectId(1),
+            camera: 0,
+            bytes: 1000,
+            avg_bandwidth: 1,
+            status: 200,
+        };
+        assert_eq!(shared.rate_for(&t), 500);
+        t.object = lsw_trace::ids::ObjectId(0); // zero-rate table slot
+        assert_eq!(shared.rate_for(&t), 100); // 1000 / (9 + 1)
+        t.object = lsw_trace::ids::ObjectId(9); // beyond the table
+        assert_eq!(shared.rate_for(&t), 100);
+    }
+}

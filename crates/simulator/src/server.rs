@@ -170,6 +170,43 @@ mod tests {
     }
 
     #[test]
+    fn denied_viewer_seconds_accumulate_over_churn() {
+        // Fill-reject-drain cycles: every rejection charges exactly the
+        // duration it asked for, admitted traffic charges nothing, and
+        // the tally never resets across churn.
+        let mut s = MediaServer::new(ServerConfig {
+            admission: AdmissionPolicy::RejectAbove { max_concurrent: 3 },
+            ..ServerConfig::default()
+        });
+        let mut expected = 0.0;
+        for round in 0..50u32 {
+            for _ in 0..3 {
+                assert!(s.request(f64::from(round)));
+            }
+            for k in 0..2u32 {
+                let d = f64::from(round * 10 + k) + 0.5;
+                assert!(!s.request(d));
+                expected += d;
+            }
+            for _ in 0..3 {
+                s.release();
+            }
+        }
+        assert_eq!(s.stats().accepted, 150);
+        assert_eq!(s.stats().rejected, 100);
+        assert_eq!(s.stats().peak_concurrent, 3);
+        assert!((s.stats().denied_viewer_seconds - expected).abs() < 1e-9);
+        // A hostile negative duration counts the rejection but can never
+        // shrink the viewer-seconds already owed.
+        for _ in 0..3 {
+            assert!(s.request(1.0));
+        }
+        assert!(!s.request(-7.0));
+        assert_eq!(s.stats().rejected, 101);
+        assert!((s.stats().denied_viewer_seconds - expected).abs() < 1e-9);
+    }
+
+    #[test]
     fn cpu_tracks_concurrency() {
         let mut s = MediaServer::new(ServerConfig {
             cpu_capacity_transfers: 100.0,

@@ -326,6 +326,72 @@ impl StreamAnalyzer {
         self.ingest_chunk(text.as_bytes(), first);
     }
 
+    /// Widens the look-ahead window to at least `max_duration` seconds.
+    ///
+    /// The reorder heap releases an entry once no future arrival can
+    /// precede it, inferring the window from the longest duration *seen
+    /// so far* — so an entry whose duration breaks the running record can
+    /// arrive late and be clamped. A tap that knows the longest transfer
+    /// it will ever deliver (e.g. `lsw-replay`, which extracted the whole
+    /// schedule) can declare it upfront and make the release exact.
+    pub fn preset_lookahead(&mut self, max_duration: u32) {
+        self.max_dur = self.max_dur.max(max_duration);
+    }
+
+    /// Ingests one already-decoded entry — the tap entry point for live
+    /// sources (the `lsw-replay` serving harness feeds each completed
+    /// transfer here as its connection drains). The entry flows through
+    /// the same §2.4 classification, shard sketches, and look-ahead
+    /// reorder heap as the text path, so a tap stream and the equivalent
+    /// log text produce the same report. The watermark release runs after
+    /// every entry; when feeding many at once, prefer
+    /// [`ingest_entries`](Self::ingest_entries), which batches it.
+    pub fn ingest_entry(&mut self, e: &LogEntry) {
+        self.tap_entry(e);
+        self.peak_heap = self.peak_heap.max(self.heap.len());
+        self.release_below_watermark(false);
+        self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
+    }
+
+    /// Ingests a batch of already-decoded entries (see
+    /// [`ingest_entry`](Self::ingest_entry)), deferring the look-ahead
+    /// watermark release to the end of the batch — the same cadence the
+    /// text path uses per chunk.
+    pub fn ingest_entries<'a, I: IntoIterator<Item = &'a LogEntry>>(&mut self, entries: I) {
+        for e in entries {
+            self.tap_entry(e);
+        }
+        self.peak_heap = self.peak_heap.max(self.heap.len());
+        self.release_below_watermark(false);
+        self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
+    }
+
+    /// Classifies and enqueues one decoded entry (shared tap plumbing;
+    /// callers handle the watermark release and peak accounting).
+    fn tap_entry(&mut self, e: &LogEntry) {
+        let line = self.next_line;
+        self.next_line += 1;
+        self.lines_total += 1;
+        let shard = &mut self.shards[0];
+        shard.parsed += 1;
+        self.max_stop_parsed = self.max_stop_parsed.max(e.stop());
+        match classify(e, self.cfg.horizon.unwrap_or(u32::MAX)) {
+            Some(r) => shard.rejects[reason_index(r)] += 1,
+            None => {
+                shard.observe(e);
+                self.max_start = self.max_start.max(e.start);
+                self.max_ts = self.max_ts.max(e.timestamp);
+                self.max_dur = self.max_dur.max(e.duration);
+                self.heap.push(Reverse(Pending {
+                    start: e.start,
+                    timestamp: e.timestamp,
+                    line,
+                    entry: *e,
+                }));
+            }
+        }
+    }
+
     /// Streams an in-memory `ltc` container image through the engine.
     pub fn ingest_ltc_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.ingest_ltc(ltc::SliceSource::new(bytes))
@@ -457,7 +523,7 @@ impl StreamAnalyzer {
                         }
                         if !direct {
                             self.peak_heap = self.peak_heap.max(self.heap.len());
-                            self.release_below_watermark();
+                            self.release_below_watermark(true);
                         }
                     }
                 }
@@ -510,8 +576,20 @@ impl StreamAnalyzer {
 
     /// Pops every heap entry strictly below the look-ahead watermark into
     /// the coordinator.
-    fn release_below_watermark(&mut self) {
-        let watermark = self.max_start.max(self.max_ts.saturating_sub(self.max_dur));
+    ///
+    /// The watermark is the tightest start no future entry can undercut.
+    /// Text logs are start-ordered, so `max_start` is a valid bound and
+    /// keeps the heap at one start cohort. A live tap delivers entries in
+    /// *completion* order, where `max_start` is no bound at all (a long
+    /// transfer completes after — but starts before — many short ones), so
+    /// tap callers rely only on the stop-order bound `max_ts − max_dur`.
+    fn release_below_watermark(&mut self, start_ordered: bool) {
+        let lookahead = self.max_ts.saturating_sub(self.max_dur);
+        let watermark = if start_ordered {
+            self.max_start.max(lookahead)
+        } else {
+            lookahead
+        };
         while self
             .heap
             .peek()
@@ -582,7 +660,7 @@ impl StreamAnalyzer {
             }
         }
         self.peak_heap = self.peak_heap.max(self.heap.len());
-        self.release_below_watermark();
+        self.release_below_watermark(true);
         self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
     }
 
@@ -844,6 +922,38 @@ mod tests {
         }
         assert_eq!(reports[0], reports[1]);
         assert_eq!(reports[0], reports[2]);
+    }
+
+    #[test]
+    fn tap_and_text_ingest_agree() {
+        // The replay tap feeds decoded entries; the report must match
+        // analyzing the equivalent log text (same sketches, same heap).
+        // Text logs carry header/comment lines and their own release
+        // cadence; neutralize the two fields that legitimately reflect
+        // that (raw line count, peak heap) before comparing.
+        fn neutral(mut r: crate::report::StreamReport) -> String {
+            r.accounting.lines_total = 0;
+            r.memory.peak_heap_entries = 0;
+            r.to_json()
+        }
+        let entries = tiny_entries();
+        let mut text = StreamAnalyzer::new(StreamConfig::default());
+        text.ingest_str(&tiny_log());
+        let text = neutral(text.finalize());
+
+        let mut tap = StreamAnalyzer::new(StreamConfig::default());
+        for batch in entries.chunks(37) {
+            tap.ingest_entries(batch);
+        }
+        assert_eq!(text, neutral(tap.finalize()));
+
+        // Per-entry feeding only changes the release cadence, never the
+        // sketch contents or session accounting.
+        let mut single = StreamAnalyzer::new(StreamConfig::default());
+        for e in &entries {
+            single.ingest_entry(e);
+        }
+        assert_eq!(text, neutral(single.finalize()));
     }
 
     #[test]

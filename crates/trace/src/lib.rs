@@ -18,6 +18,9 @@
 //!   that span log-harvest boundaries, and the server-overload audit.
 //! * [`concurrency`] — sweep-line counting of concurrent transfers and
 //!   concurrent clients over time (Figs 3, 4, 15, 16).
+//! * [`schedule`] — replay schedule extraction: reducing a trace (text
+//!   or columnar) to the start-ordered, replayable transfer list that
+//!   drives the `lsw-replay` load harness.
 //! * [`session`] — the sessionizer: grouping a client's transfers into
 //!   sessions under the timeout `T_o` (§2.2), exposing session ON/OFF
 //!   times, transfers-per-session and intra-session interarrivals
@@ -35,6 +38,7 @@ pub mod event;
 pub mod ids;
 pub mod ltc;
 pub mod sanitize;
+pub mod schedule;
 pub mod session;
 pub mod trace;
 pub mod wms;

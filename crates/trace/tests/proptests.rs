@@ -5,6 +5,7 @@ use lsw_trace::concurrency::ConcurrencyProfile;
 use lsw_trace::event::{LogEntry, LogEntryBuilder};
 use lsw_trace::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
 use lsw_trace::ltc;
+use lsw_trace::schedule::Schedule;
 use lsw_trace::session::{transfer_counts_per_client, SessionConfig, Sessions};
 use lsw_trace::trace::Trace;
 use lsw_trace::wms;
@@ -203,6 +204,34 @@ proptest! {
             })
             .sum();
         prop_assert_eq!(integral, expected);
+    }
+
+    #[test]
+    fn schedule_extraction_format_invariant(
+        entries in prop::collection::vec(arb_any_entry(), 0..250),
+    ) {
+        // The replay schedule must not depend on which container the
+        // trace arrived in: text parse + classify and ltc column decode +
+        // classify are different code paths over the same rules, and the
+        // kept set is all-integer, so equality is exact.
+        let text = wms::format_log(&entries);
+        let from_wms = Schedule::from_wms_bytes(&text);
+        let image = ltc::encode(&entries).unwrap();
+        let from_ltc = Schedule::from_ltc(ltc::SliceSource::new(&image)).unwrap();
+        prop_assert_eq!(&from_wms.transfers, &from_ltc.transfers);
+        prop_assert_eq!(from_wms.stats.examined, from_ltc.stats.examined);
+        prop_assert_eq!(from_wms.stats.rejected, from_ltc.stats.rejected);
+        prop_assert_eq!(from_wms.stats.malformed, 0);
+        prop_assert_eq!(from_ltc.stats.corrupt_blocks, 0);
+        // Every kept transfer is replayable: start-ordered and successful.
+        prop_assert!(from_wms
+            .transfers
+            .windows(2)
+            .all(|w| w[0].start <= w[1].start));
+        for t in &from_wms.transfers {
+            prop_assert!((200..300).contains(&t.status));
+            prop_assert_eq!(u64::from(t.stop()), u64::from(t.start) + u64::from(t.duration));
+        }
     }
 
     #[test]

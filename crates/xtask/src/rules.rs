@@ -10,7 +10,11 @@
 //! * **L002** — no ambient nondeterminism (`thread_rng`, `rand::random`,
 //!   `SystemTime::now`, `Instant::now`) in the deterministic crates.
 //!   All randomness must flow through the counter-keyed substream API
-//!   (`lsw_stats::rng::SeedStream`).
+//!   (`lsw_stats::rng::SeedStream`). The rule also covers OS endpoint
+//!   acquisition (`TcpListener::bind`, `TcpStream::connect`,
+//!   `UdpSocket::bind`): a socket is a clock you don't control. The
+//!   `replay` crate exists to touch both, so each of its sites carries a
+//!   line-scoped reasoned allow — never a file-wide exemption.
 //! * **L003** — no `f64`/`f32` `+=` accumulation on fields of types that
 //!   participate in shard merge. Float addition is non-associative, so
 //!   merge order would leak into results; shard-merged sums use the
@@ -71,7 +75,9 @@ impl RuleId {
     pub fn summary(self) -> &'static str {
         match self {
             RuleId::L001 => "no iteration over hash-ordered collections (HashMap/HashSet)",
-            RuleId::L002 => "no ambient nondeterminism (thread_rng/random/SystemTime/Instant)",
+            RuleId::L002 => {
+                "no ambient nondeterminism (thread_rng/random/SystemTime/Instant/raw sockets)"
+            }
             RuleId::L003 => "no f64/f32 `+=` on fields of shard-merge participants",
             RuleId::L004 => "no unordered rayon reductions outside blessed merge modules",
             RuleId::L005 => "no unwrap/expect/panic! in library non-test code",
@@ -121,6 +127,9 @@ pub struct FileClass {
 /// Crates whose library code must be free of ambient nondeterminism
 /// (L002). These are the crates on the deterministic generate/analyze
 /// path; `figures` and `bench` time themselves with `Instant` by design.
+/// `replay` is listed even though wall time and sockets are its whole
+/// point: the rule forces every such site to carry a reasoned
+/// line-scoped `lsw::allow(L002)` instead of escaping review wholesale.
 const L002_CRATES: &[&str] = &[
     "core",
     "stream",
@@ -129,6 +138,7 @@ const L002_CRATES: &[&str] = &[
     "trace",
     "analysis",
     "topology",
+    "replay",
 ];
 
 /// Crates exempt from L005 wholesale: the CLI front-end.
@@ -492,23 +502,36 @@ fn rule_l002(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
             continue;
         };
         let flagged = match name {
-            "thread_rng" | "from_entropy" => Some(name.to_owned()),
-            "SystemTime" | "Instant" if path_call(toks, i, "now") => Some(format!("{name}::now")),
-            "rand" if path_call(toks, i, "random") => Some("rand::random".to_owned()),
+            "thread_rng" | "from_entropy" => Some((name.to_owned(), false)),
+            "SystemTime" | "Instant" if path_call(toks, i, "now") => {
+                Some((format!("{name}::now"), false))
+            }
+            "rand" if path_call(toks, i, "random") => Some(("rand::random".to_owned(), false)),
+            "TcpListener" | "UdpSocket" if path_call(toks, i, "bind") => {
+                Some((format!("{name}::bind"), true))
+            }
+            "TcpStream" if path_call(toks, i, "connect") => {
+                Some((format!("{name}::connect"), true))
+            }
             _ => None,
         };
-        if let Some(what) = flagged {
-            ctx.flag(
-                diags,
-                RuleId::L002,
-                &toks[i],
+        if let Some((what, socket)) = flagged {
+            let message = if socket {
+                format!(
+                    "OS endpoint acquisition `{what}` in deterministic crate `{}`: a live socket \
+                     injects kernel scheduling into results; confine it behind a harness seam and \
+                     annotate the site `// lsw::allow(L002): <why real I/O is the point here>`",
+                    ctx.class.crate_name
+                )
+            } else {
                 format!(
                     "ambient nondeterminism `{what}` in deterministic crate `{}`: randomness and \
                      time must flow through the counter-keyed substream API (SeedStream) or be \
                      injected by the caller",
                     ctx.class.crate_name
-                ),
-            );
+                )
+            };
+            ctx.flag(diags, RuleId::L002, &toks[i], message);
         }
     }
 }
@@ -839,6 +862,45 @@ mod tests {
         assert!(rules_fired(&lib_class("figures"), src).is_empty());
         let time = "fn g() { let t = Instant::now(); }";
         assert_eq!(rules_fired(&lib_class("stats"), time), [(RuleId::L002, 1)]);
+    }
+
+    #[test]
+    fn l002_flags_socket_acquisition() {
+        // A socket is as ambient as a clock: the kernel decides ordering.
+        let bind = "fn f() { let l = TcpListener::bind(\"127.0.0.1:0\"); }";
+        assert_eq!(rules_fired(&lib_class("replay"), bind), [(RuleId::L002, 1)]);
+        let connect = "fn f() { let s = TcpStream::connect(addr)?; }";
+        assert_eq!(
+            rules_fired(&lib_class("replay"), connect),
+            [(RuleId::L002, 1)]
+        );
+        let udp = "fn f() { let u = UdpSocket::bind(\"127.0.0.1:0\"); }";
+        assert_eq!(rules_fired(&lib_class("replay"), udp), [(RuleId::L002, 1)]);
+        // Mentioning the type without acquiring an endpoint is fine.
+        let passive = "fn f(s: &TcpStream) -> io::Result<()> { s.set_nodelay(true) }";
+        assert!(rules_fired(&lib_class("replay"), passive).is_empty());
+        // Outside the deterministic crates the rule stays silent.
+        assert!(rules_fired(&lib_class("figures"), bind).is_empty());
+    }
+
+    #[test]
+    fn l002_replay_sites_need_line_scoped_allows() {
+        // The replay crate is in scope: clocks and sockets each demand a
+        // reasoned, line-scoped annotation…
+        let clock = "fn start() -> Instant { Instant::now() }";
+        assert_eq!(
+            rules_fired(&lib_class("replay"), clock),
+            [(RuleId::L002, 1)]
+        );
+        let allowed = "// lsw::allow(L002): replay pacing is anchored to real time by design\n\
+                       fn start() -> Instant { Instant::now() }";
+        assert!(rules_fired(&lib_class("replay"), allowed).is_empty());
+        let sock = "// lsw::allow(L002): the serving harness binds a real socket by design\n\
+                    fn listen() { let l = TcpListener::bind(\"127.0.0.1:0\"); }";
+        assert!(rules_fired(&lib_class("replay"), sock).is_empty());
+        // …and a reasonless annotation still fires.
+        let bare = "// lsw::allow(L002)\nfn listen() { let l = TcpListener::bind(\"x\"); }";
+        assert_eq!(rules_fired(&lib_class("replay"), bare), [(RuleId::L002, 2)]);
     }
 
     #[test]

@@ -285,6 +285,18 @@ fn main() {
     });
     assert_eq!(des_pops as usize, n_transfers * 2, "every event pops once");
 
+    // Whole-workspace static analysis: lex + item extraction + call-graph
+    // construction + all eleven rules over every first-party source file.
+    // files/sec is the number CI's xtask-lint-strict job experiences.
+    let (lint_report, lint_secs, lint_cpu) = time(|| {
+        xtask::run_lint(
+            &xtask::workspace::workspace_root(),
+            &xtask::LintOptions::default(),
+        )
+        .expect("workspace lint")
+    });
+    assert!(lint_report.clean(), "benchmarked workspace must lint clean");
+
     let stages = [
         Stage {
             name: "generate",
@@ -356,6 +368,14 @@ fn main() {
             elements: des_pops as usize,
             secs: des_secs,
             cpu_secs: des_cpu,
+            sketch_bytes: None,
+        },
+        Stage {
+            name: "lint",
+            threads: 1,
+            elements: lint_report.scanned,
+            secs: lint_secs,
+            cpu_secs: lint_cpu,
             sketch_bytes: None,
         },
     ];

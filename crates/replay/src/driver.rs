@@ -190,12 +190,18 @@ fn pump(
                 return true;
             }
             Ok(n) if conn.expected.is_none() => {
+                // Capacity check BEFORE growth, on the status *line*
+                // only: the server streams payload right behind the
+                // newline, so the chunk itself may legitimately exceed
+                // MAX_REQUEST_LINE. Bytes past the newline are drained
+                // out of `header` below, so the buffer stays bounded.
+                let nl_in_chunk = scratch[..n].iter().position(|&b| b == b'\n');
+                if conn.header.len() + nl_in_chunk.unwrap_or(n) > proto::MAX_REQUEST_LINE {
+                    out.short += 1; // protocol garbage
+                    return true;
+                }
                 conn.header.extend_from_slice(&scratch[..n]);
                 let Some(nl) = conn.header.iter().position(|&b| b == b'\n') else {
-                    if conn.header.len() > proto::MAX_REQUEST_LINE {
-                        out.short += 1; // protocol garbage
-                        return true;
-                    }
                     continue;
                 };
                 let line = String::from_utf8_lossy(&conn.header[..nl]).into_owned();

@@ -37,8 +37,18 @@ use lsw_trace::schedule::ScheduledTransfer;
 use parking_lot::Mutex;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+
+/// Slot count of the hashed per-client backlog table. Collisions make
+/// two clients share a byte budget, which only trips the slow-client
+/// policy *sooner* — the memory bound stays conservative.
+const CLIENT_BACKLOG_SLOTS: usize = 1024;
+
+/// Maps a client id onto its backlog accounting slot.
+fn client_slot(client: lsw_trace::ids::ClientId) -> usize {
+    client.0 as usize % CLIENT_BACKLOG_SLOTS
+}
 
 /// What to do with a subscriber that cannot keep up with its feed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +72,9 @@ pub struct ServerConfig {
     /// Time-compression factor shared with the driver.
     pub compression: f64,
     /// Per-client backlog bound in wire bytes before the slow-client
-    /// policy applies.
+    /// policy applies. Accounted in bytes and aggregated across all of a
+    /// client's connections, so a few large objects cannot blow the
+    /// budget through separate sockets.
     pub send_buffer: u64,
     /// Slow-client policy.
     pub slow_policy: SlowClientPolicy,
@@ -149,6 +161,10 @@ struct Shared {
     rates: Vec<u64>,
     admission: Mutex<MediaServer>,
     tap: Mutex<StreamAnalyzer>,
+    /// Aggregate backlog per client in bytes, hashed into a fixed slot
+    /// table (see [`client_slot`]). Updated by delta from each
+    /// connection's tick so the sum stays exact per connection.
+    client_backlog: Vec<AtomicU64>,
     clock: Arc<WallClock>,
     metrics: ServerMetrics,
     /// Stop accepting; workers finish in-flight transfers.
@@ -172,7 +188,29 @@ impl Shared {
     fn log_tap(&self, t: &ScheduledTransfer, status: u16) {
         let mut e = t.to_entry();
         e.status = status;
+        // lsw::allow(L008): tap ingest is a short bounded critical section (no I/O under the lock)
         self.tap.lock().ingest_entry(&e);
+    }
+
+    /// Folds a connection's fresh backlog reading into its client's
+    /// aggregate slot (by delta against what this connection last
+    /// contributed) and returns the client's total backlog in bytes.
+    fn account_backlog(&self, t: &ScheduledTransfer, accounted: &mut u64, backlog: u64) -> u64 {
+        let slot = &self.client_backlog[client_slot(t.client)];
+        if backlog >= *accounted {
+            slot.fetch_add(backlog - *accounted, Ordering::Relaxed);
+        } else {
+            slot.fetch_sub(*accounted - backlog, Ordering::Relaxed);
+        }
+        *accounted = backlog;
+        slot.load(Ordering::Relaxed)
+    }
+
+    /// Returns a finished connection's outstanding contribution to its
+    /// client's backlog slot. Exact: each connection's adds and subs net
+    /// to `accounted`, so slot totals never underflow across clients.
+    fn release_backlog(&self, t: &ScheduledTransfer, accounted: u64) {
+        self.client_backlog[client_slot(t.client)].fetch_sub(accounted, Ordering::Relaxed);
     }
 }
 
@@ -188,6 +226,9 @@ struct Streaming {
     hold_until: Nanos,
     budget: u64,
     sent: u64,
+    /// Backlog bytes this connection currently contributes to its
+    /// client's aggregate slot (see [`Shared::account_backlog`]).
+    accounted: u64,
 }
 
 struct Conn {
@@ -251,6 +292,9 @@ impl ReplayServer {
                 tap.preset_lookahead(cfg.lookahead);
                 tap
             }),
+            client_backlog: (0..CLIENT_BACKLOG_SLOTS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             clock,
             metrics: ServerMetrics::register(&registry),
             shutdown: AtomicBool::new(false),
@@ -380,6 +424,7 @@ fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<TcpStream>) {
         if conns.is_empty() && draining {
             return;
         }
+        // lsw::allow(L008): the poll loop's own pacing tick, bounded by cfg.tick
         std::thread::sleep(std::time::Duration::from_nanos(shared.tick));
     }
 }
@@ -401,11 +446,13 @@ fn advance(shared: &Shared, conn: &mut Conn, now: Nanos, force: bool) -> bool {
                         return true; // peer closed before requesting
                     }
                     Ok(n) => {
-                        buf.extend_from_slice(&scratch[..n]);
-                        if buf.len() > MAX_REQUEST_LINE {
+                        // Capacity check BEFORE growth: the request buffer
+                        // never exceeds MAX_REQUEST_LINE, even transiently.
+                        if buf.len() + n > MAX_REQUEST_LINE {
                             shared.metrics.bad_requests.inc();
                             return true;
                         }
+                        buf.extend_from_slice(&scratch[..n]);
                         if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
                             let line = String::from_utf8_lossy(&buf[..nl]).into_owned();
                             return begin_streaming(shared, conn, &line, now);
@@ -450,7 +497,11 @@ fn advance(shared: &Shared, conn: &mut Conn, now: Nanos, force: bool) -> bool {
             }
             let backlog = entitled - s.sent;
             shared.metrics.backlog.record(backlog);
-            if backlog > shared.send_buffer && shared.slow_policy == SlowClientPolicy::Drop {
+            // The budget is enforced on the client's *aggregate* backlog
+            // in bytes: several connections to large objects draw from
+            // one budget, not one each.
+            let client_total = shared.account_backlog(&s.t, &mut s.accounted, backlog);
+            if client_total > shared.send_buffer && shared.slow_policy == SlowClientPolicy::Drop {
                 finish_streaming(shared, s, now, STATUS_TRUNCATED);
                 shared.metrics.slow_dropped.inc();
                 return true;
@@ -473,6 +524,7 @@ fn begin_streaming(shared: &Shared, conn: &mut Conn, line: &str, now: Nanos) -> 
         shared.metrics.bad_requests.inc();
         return true;
     };
+    // lsw::allow(L008): admission check is an O(1) counter update under the lock
     let admitted = shared.admission.lock().request(t.display_duration());
     if !admitted {
         let _ = conn.stream.write_all(b"BUSY\n");
@@ -487,6 +539,7 @@ fn begin_streaming(shared: &Shared, conn: &mut Conn, line: &str, now: Nanos) -> 
         .is_err()
     {
         // Admission slot granted but the peer is already gone.
+        // lsw::allow(L008): slot release is an O(1) counter update under the lock
         shared.admission.lock().release();
         shared.log_tap(&t, STATUS_TRUNCATED);
         shared.metrics.truncated.inc();
@@ -500,6 +553,7 @@ fn begin_streaming(shared: &Shared, conn: &mut Conn, line: &str, now: Nanos) -> 
         hold_until,
         budget,
         sent: 0,
+        accounted: 0,
         t,
     }));
     false
@@ -508,6 +562,8 @@ fn begin_streaming(shared: &Shared, conn: &mut Conn, line: &str, now: Nanos) -> 
 /// Releases the admission slot and logs the tap entry for a transfer
 /// that is ending (complete, truncated, or force-drained).
 fn finish_streaming(shared: &Shared, s: &Streaming, now: Nanos, status: u16) {
+    shared.release_backlog(&s.t, s.accounted);
+    // lsw::allow(L008): slot release is an O(1) counter update under the lock
     shared.admission.lock().release();
     shared.log_tap(&s.t, status);
     shared
@@ -534,6 +590,9 @@ mod tests {
             metrics: ServerMetrics::register(&Registry::new()),
             shutdown: AtomicBool::new(false),
             force: AtomicBool::new(false),
+            client_backlog: (0..CLIENT_BACKLOG_SLOTS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         };
         let mut t = ScheduledTransfer {
             start: 0,
@@ -553,5 +612,55 @@ mod tests {
         assert_eq!(shared.rate_for(&t), 100); // 1000 / (9 + 1)
         t.object = lsw_trace::ids::ObjectId(9); // beyond the table
         assert_eq!(shared.rate_for(&t), 100);
+    }
+
+    #[test]
+    fn backlog_budget_aggregates_across_a_clients_connections() {
+        let shared = Shared {
+            compression: 1.0,
+            send_buffer: 1000,
+            slow_policy: SlowClientPolicy::Drop,
+            tick: 1,
+            rates: vec![0, 500],
+            admission: Mutex::new(MediaServer::new(lsw_sim::server::ServerConfig::default())),
+            tap: Mutex::new(StreamAnalyzer::new(StreamConfig::default())),
+            clock: Arc::new(WallClock::start()),
+            metrics: ServerMetrics::register(&Registry::new()),
+            shutdown: AtomicBool::new(false),
+            force: AtomicBool::new(false),
+            client_backlog: (0..CLIENT_BACKLOG_SLOTS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        };
+        let t = ScheduledTransfer {
+            start: 0,
+            duration: 9,
+            client: lsw_trace::ids::ClientId(7),
+            ip: lsw_trace::ids::Ipv4Addr(1),
+            as_id: lsw_trace::ids::AsId(1),
+            country: lsw_trace::ids::CountryCode(*b"US"),
+            object: lsw_trace::ids::ObjectId(1),
+            camera: 0,
+            bytes: 1000,
+            avg_bandwidth: 1,
+            status: 200,
+        };
+        // Two concurrent connections from the same client: each backlog is
+        // under the 1000-byte budget, but the aggregate is not.
+        let (mut acc_a, mut acc_b) = (0u64, 0u64);
+        let total_a = shared.account_backlog(&t, &mut acc_a, 600);
+        assert_eq!(total_a, 600);
+        let total_b = shared.account_backlog(&t, &mut acc_b, 600);
+        assert!(total_b > shared.send_buffer, "aggregate exceeds budget");
+        // Shrinking one connection's backlog is reflected in the total…
+        let total_a = shared.account_backlog(&t, &mut acc_a, 100);
+        assert_eq!(total_a, 700);
+        // …and releasing both drains the slot back to zero.
+        shared.release_backlog(&t, acc_a);
+        shared.release_backlog(&t, acc_b);
+        assert_eq!(
+            shared.client_backlog[client_slot(t.client)].load(Ordering::Relaxed),
+            0
+        );
     }
 }

@@ -13,9 +13,11 @@ pub const MAX_UVARINT_BYTES: usize = 10;
 /// Appends the LEB128 encoding of `v` to `out`.
 pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
+        // lsw::allow(L011): LEB128 keeps the low 7 bits per byte on purpose
         out.push((v as u8 & 0x7f) | 0x80);
         v >>= 7;
     }
+    // lsw::allow(L011): loop guard proves v < 0x80, so the cast is exact
     out.push(v as u8);
 }
 
@@ -75,6 +77,7 @@ const CRC_TABLES: [[u32; 256]; 8] = {
     let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
+        // lsw::allow(L011): table index is bounded by the loop guard at 256
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {

@@ -164,7 +164,8 @@ impl<W: Write> LtcWriter<W> {
         encode_columns(&self.pending, &mut self.payload, &mut self.col);
         let payload_len = u32::try_from(self.payload.len())
             .map_err(|_| invalid("ltc block payload exceeds u32"))?;
-        let n_records = self.pending.len() as u32;
+        let n_records = u32::try_from(self.pending.len())
+            .map_err(|_| invalid("ltc block record count exceeds u32"))?;
         let crc = crc32(&self.payload);
         let mut header = [0u8; BLOCK_HEADER_LEN];
         header[..4].copy_from_slice(&payload_len.to_le_bytes());

@@ -1,0 +1,480 @@
+//! Brace-matched item extraction on top of the token stream: function
+//! definitions (with their `impl` owner and body token range) and named
+//! struct fields (with their type tokens).
+//!
+//! This is the structural layer the interprocedural rules build on. It
+//! is resolutely token-level — no expression parsing — so it tolerates
+//! arbitrary (even non-compiling) input: the proptests feed it lexed
+//! garbage and it must never panic and never report an out-of-bounds
+//! span. Constructs it cannot make sense of are simply skipped; the
+//! rules stay quiet rather than guess.
+
+use crate::lexer::Token;
+
+/// One `fn` definition (or trait-method declaration).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The surrounding `impl` type name, if any (`impl Foo` → `Foo`,
+    /// `impl Trait for Foo` → `Foo`).
+    pub owner: Option<String>,
+    /// Token-index range of the body, inclusive of both braces
+    /// (`toks[body.0]` is `{`, `toks[body.1]` is the matching `}`).
+    /// `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// 1-based byte column of the name token.
+    pub col: usize,
+    /// Byte span of the name identifier in the source.
+    pub name_span: (usize, usize),
+}
+
+/// One named field of a `struct { … }` body.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// The declaring struct's name.
+    pub owner: String,
+    /// The field name.
+    pub name: String,
+    /// Identifier tokens of the field's type, in order (`Arc<Mutex<T>>`
+    /// → `["Arc", "Mutex", "T"]`).
+    pub type_idents: Vec<String>,
+    /// 1-based line of the field name.
+    pub line: usize,
+}
+
+/// Everything the extractor found in one file.
+#[derive(Debug, Clone, Default)]
+pub struct Items {
+    pub fns: Vec<FnItem>,
+    pub fields: Vec<FieldItem>,
+}
+
+/// Keywords that look like callees or owners but never are.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Extracts functions and struct fields from a token stream.
+pub fn extract(toks: &[Token]) -> Items {
+    let mut items = Items::default();
+    // Stack of `(brace_depth_of_body, owner)` for open `impl` blocks.
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    // An `impl` header seen but its `{` not yet consumed.
+    let mut pending_impl: Option<String> = None;
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].kind {
+            crate::lexer::TokenKind::Punct('{') => {
+                depth += 1;
+                if let Some(owner) = pending_impl.take() {
+                    impl_stack.push((depth, owner));
+                }
+            }
+            crate::lexer::TokenKind::Punct('}') => {
+                if impl_stack.last().is_some_and(|&(d, _)| d == depth) {
+                    impl_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            crate::lexer::TokenKind::Punct(';') => {
+                // `impl Foo;` never parses, but a stray `;` before the body
+                // cancels a pending impl rather than binding it to the next
+                // unrelated block.
+                pending_impl = None;
+            }
+            crate::lexer::TokenKind::Ident(w) if w == "impl" => {
+                pending_impl = impl_owner(toks, i);
+            }
+            crate::lexer::TokenKind::Ident(w) if w == "fn" => {
+                if let Some(name_tok) = toks.get(i + 1) {
+                    if let Some(name) = name_tok.ident() {
+                        if !is_keyword(name) {
+                            let body = fn_body_range(toks, i + 2);
+                            items.fns.push(FnItem {
+                                name: name.to_owned(),
+                                owner: impl_stack.last().map(|(_, o)| o.clone()),
+                                body,
+                                line: name_tok.line,
+                                col: name_tok.col,
+                                name_span: (name_tok.start, name_tok.end),
+                            });
+                        }
+                    }
+                }
+            }
+            crate::lexer::TokenKind::Ident(w) if w == "struct" => {
+                collect_struct_fields(toks, i, &mut items.fields);
+            }
+            crate::lexer::TokenKind::Ident(w) if w == "enum" => {
+                collect_enum_fields(toks, i, &mut items.fields);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    items
+}
+
+/// Resolves the owner type of an `impl` header starting at token `i`
+/// (the `impl` keyword): `impl<T> Foo<T>` → `Foo`, `impl Trait for Foo`
+/// → `Foo`. Returns `None` for headers it cannot make sense of (e.g.
+/// `impl Trait for &[u8]`).
+fn impl_owner(toks: &[Token], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut first_type: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < toks.len() {
+        match &toks[j].kind {
+            crate::lexer::TokenKind::Punct('{') if angle <= 0 => break,
+            crate::lexer::TokenKind::Punct(';') => break,
+            crate::lexer::TokenKind::Punct('<') => angle += 1,
+            crate::lexer::TokenKind::Punct('>') => angle -= 1,
+            crate::lexer::TokenKind::Ident(w) if w == "for" && angle <= 0 => saw_for = true,
+            crate::lexer::TokenKind::Ident(w) if w == "where" && angle <= 0 => break,
+            crate::lexer::TokenKind::Ident(w) if angle <= 0 && !is_keyword(w) => {
+                // Path segments (`mod::Type`) overwrite so the last
+                // segment before generics wins.
+                if saw_for {
+                    if after_for.is_none()
+                        || toks.get(j.wrapping_sub(1)).is_some_and(|t| t.is_punct(':'))
+                    {
+                        after_for = Some(w.clone());
+                    }
+                } else if first_type.is_none()
+                    || toks.get(j.wrapping_sub(1)).is_some_and(|t| t.is_punct(':'))
+                {
+                    first_type = Some(w.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    after_for.or(first_type)
+}
+
+/// From just past `fn <name>`, finds the `{ … }` body and returns its
+/// inclusive token-index range. Returns `None` when the header ends in
+/// `;` (trait declaration) or the input runs out.
+fn fn_body_range(toks: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut j = from;
+    let mut angle = 0i32;
+    // Scan the header: generics may contain `{` only inside const-generic
+    // braces, which we conservatively treat as the body start (rare, and
+    // an over-wide body only over-approximates reachability).
+    while j < toks.len() {
+        match &toks[j].kind {
+            crate::lexer::TokenKind::Punct('<') => angle += 1,
+            crate::lexer::TokenKind::Punct('>') => angle -= 1,
+            crate::lexer::TokenKind::Punct(';') if angle <= 0 => return None,
+            crate::lexer::TokenKind::Punct('{') => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let open = j;
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match &t.kind {
+            crate::lexer::TokenKind::Punct('{') => depth += 1,
+            crate::lexer::TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, k));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open, toks.len() - 1))
+}
+
+/// True when the token at `k` sits where a field *name* can start: after
+/// the opening brace, a comma, the `]` of an attribute, `pub`, or the
+/// `)` of `pub(crate)`. Filters out identifiers inside attribute bodies
+/// (`#[serde(rename: …)]`) that would otherwise look like fields.
+fn field_position(toks: &[Token], k: usize) -> bool {
+    let Some(prev) = k.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return false;
+    };
+    prev.is_punct('{')
+        || prev.is_punct(',')
+        || prev.is_punct(']')
+        || prev.is_punct(')')
+        || prev.is_ident("pub")
+}
+
+/// Collects `name: Type` fields from a `struct Name { … }` declaration
+/// starting at token `i` (the `struct` keyword).
+fn collect_struct_fields(toks: &[Token], i: usize, out: &mut Vec<FieldItem>) {
+    let Some(struct_name) = toks.get(i + 1).and_then(Token::ident) else {
+        return;
+    };
+    if is_keyword(struct_name) {
+        return;
+    }
+    // Find the body `{`; tuple structs (`(`) and unit structs (`;`) have
+    // no named fields. Generics may appear before the brace.
+    let mut j = i + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].kind {
+            crate::lexer::TokenKind::Punct('<') => angle += 1,
+            crate::lexer::TokenKind::Punct('>') => angle -= 1,
+            crate::lexer::TokenKind::Punct('(') | crate::lexer::TokenKind::Punct(';')
+                if angle <= 0 =>
+            {
+                return;
+            }
+            crate::lexer::TokenKind::Punct('{') => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return;
+    }
+    let mut depth = 0usize;
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].kind {
+            crate::lexer::TokenKind::Punct('{') => depth += 1,
+            crate::lexer::TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+            crate::lexer::TokenKind::Ident(field)
+                if depth == 1
+                    && !is_keyword(field)
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                    && field_position(toks, k) =>
+            {
+                // Collect the type's identifier tokens until the `,` or
+                // `}` that ends the field at this nesting level.
+                let mut type_idents = Vec::new();
+                let mut m = k + 2;
+                let mut inner = 0i32;
+                while m < toks.len() {
+                    match &toks[m].kind {
+                        crate::lexer::TokenKind::Punct('<')
+                        | crate::lexer::TokenKind::Punct('(')
+                        | crate::lexer::TokenKind::Punct('[') => inner += 1,
+                        crate::lexer::TokenKind::Punct('>')
+                        | crate::lexer::TokenKind::Punct(')')
+                        | crate::lexer::TokenKind::Punct(']') => inner -= 1,
+                        crate::lexer::TokenKind::Punct(',') if inner <= 0 => break,
+                        crate::lexer::TokenKind::Punct('}') if inner <= 0 => break,
+                        crate::lexer::TokenKind::Ident(t) => type_idents.push(t.clone()),
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                out.push(FieldItem {
+                    owner: struct_name.to_owned(),
+                    name: field.clone(),
+                    type_idents,
+                    line: toks[k].line,
+                });
+                k = m;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// Collects `name: Type` fields of struct-like enum variants
+/// (`enum E { V { name: Type } }`). Variant fields live at brace depth 2
+/// of the enum body; the owner recorded is the enum name.
+fn collect_enum_fields(toks: &[Token], i: usize, out: &mut Vec<FieldItem>) {
+    let Some(enum_name) = toks.get(i + 1).and_then(Token::ident) else {
+        return;
+    };
+    if is_keyword(enum_name) {
+        return;
+    }
+    let mut j = i + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].kind {
+            crate::lexer::TokenKind::Punct('<') => angle += 1,
+            crate::lexer::TokenKind::Punct('>') => angle -= 1,
+            crate::lexer::TokenKind::Punct(';') if angle <= 0 => return,
+            crate::lexer::TokenKind::Punct('{') => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return;
+    }
+    let mut depth = 0usize;
+    let mut paren = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].kind {
+            crate::lexer::TokenKind::Punct('{') => depth += 1,
+            crate::lexer::TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+            crate::lexer::TokenKind::Punct('(') | crate::lexer::TokenKind::Punct('[') => paren += 1,
+            crate::lexer::TokenKind::Punct(')') | crate::lexer::TokenKind::Punct(']') => paren -= 1,
+            crate::lexer::TokenKind::Ident(field)
+                if depth == 2
+                    && paren <= 0
+                    && !is_keyword(field)
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                    && field_position(toks, k) =>
+            {
+                let mut type_idents = Vec::new();
+                let mut m = k + 2;
+                let mut inner = 0i32;
+                while m < toks.len() {
+                    match &toks[m].kind {
+                        crate::lexer::TokenKind::Punct('<')
+                        | crate::lexer::TokenKind::Punct('(')
+                        | crate::lexer::TokenKind::Punct('[') => inner += 1,
+                        crate::lexer::TokenKind::Punct('>')
+                        | crate::lexer::TokenKind::Punct(')')
+                        | crate::lexer::TokenKind::Punct(']') => inner -= 1,
+                        crate::lexer::TokenKind::Punct(',') if inner <= 0 => break,
+                        crate::lexer::TokenKind::Punct('}') if inner <= 0 => break,
+                        crate::lexer::TokenKind::Ident(t) => type_idents.push(t.clone()),
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                out.push(FieldItem {
+                    owner: enum_name.to_owned(),
+                    name: field.clone(),
+                    type_idents,
+                    line: toks[k].line,
+                });
+                k = m;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Items {
+        extract(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_and_method_fns() {
+        let src = "fn top() {}\n\
+                   struct S { x: u8 }\n\
+                   impl S { fn m(&self) -> u8 { self.x } }\n\
+                   impl Clone for S { fn clone(&self) -> S { S { x: self.x } } }";
+        let it = items(src);
+        let names: Vec<(String, Option<String>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("top".into(), None),
+                ("m".into(), Some("S".into())),
+                ("clone".into(), Some("S".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn body_ranges_are_brace_matched() {
+        let src = "fn f() { if x { y() } }\nfn g() {}";
+        let it = items(src);
+        let toks = lex(src).tokens;
+        for f in &it.fns {
+            let (a, b) = f.body.expect("both fns have bodies");
+            assert!(toks[a].is_punct('{') && toks[b].is_punct('}'));
+        }
+    }
+
+    #[test]
+    fn trait_decls_have_no_body() {
+        let it = items("trait T { fn req(&self); fn has(&self) {} }");
+        assert_eq!(it.fns.len(), 2);
+        assert!(it.fns[0].body.is_none());
+        assert!(it.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let src = "struct Shared { admission: Mutex<MediaServer>, tap: Arc<Mutex<Tap>>, n: u64 }";
+        let it = items(src);
+        let fields: Vec<(&str, &[String])> = it
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.type_idents.as_slice()))
+            .collect();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].0, "admission");
+        assert!(fields[0].1.contains(&"Mutex".to_owned()));
+        assert!(fields[1].1.contains(&"Mutex".to_owned()));
+        assert_eq!(fields[2].1, ["u64".to_owned()]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_yield_no_fields() {
+        assert!(items("struct P(u8, u8);\nstruct U;").fields.is_empty());
+    }
+
+    #[test]
+    fn enum_variant_fields() {
+        let src = "enum ConnState { Request { buf: Vec<u8> }, Streaming(Box<S>), Idle }";
+        let it = items(src);
+        assert_eq!(it.fields.len(), 1);
+        assert_eq!(it.fields[0].owner, "ConnState");
+        assert_eq!(it.fields[0].name, "buf");
+        assert!(it.fields[0].type_idents.contains(&"Vec".to_owned()));
+    }
+
+    #[test]
+    fn generic_impl_owner() {
+        let it = items("impl<T: Ord> Heap<T> { fn pop(&mut self) {} }");
+        assert_eq!(it.fns[0].owner.as_deref(), Some("Heap"));
+    }
+
+    #[test]
+    fn name_spans_slice_to_names() {
+        let src = "fn alpha() {} impl B { fn beta(&self) {} }";
+        for f in items(src).fns {
+            assert_eq!(&src[f.name_span.0..f.name_span.1], f.name);
+        }
+    }
+}

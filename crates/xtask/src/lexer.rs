@@ -1,17 +1,25 @@
 //! A minimal Rust token scanner: just enough lexical structure for the
-//! lint rules in [`crate::rules`].
+//! lint rules in [`crate::rules`] and the item extractor in
+//! [`crate::items`].
 //!
 //! This is deliberately *not* a parser. The rules this workspace enforces
 //! (hash-order iteration, ambient nondeterminism, float accumulation,
-//! unordered reductions, panicking calls) are all recognizable from short
-//! token sequences plus brace structure, and a hand-rolled scanner keeps
-//! the linter dependency-free in an offline build environment where `syn`
-//! is unavailable. The scanner understands the lexical constructs that
+//! unordered reductions, panicking calls, and the interprocedural checks
+//! built on the call graph) are all recognizable from short token
+//! sequences plus brace structure, and a hand-rolled scanner keeps the
+//! linter dependency-free in an offline build environment where `syn` is
+//! unavailable. The scanner understands the lexical constructs that
 //! would otherwise produce false tokens: line/block comments (nested),
 //! string and raw-string literals (including `b"…"`/`br#"…"#`), char
 //! literals vs. lifetimes, and numeric literals.
+//!
+//! Every token and comment carries its byte span `[start, end)` into the
+//! scanned source. Spans are always in bounds and always on `char`
+//! boundaries (non-ASCII bytes are consumed one whole `char` at a time),
+//! so `&src[start..end]` is safe for any reported span — the property
+//! the proptests in `tests/proptests.rs` pin down.
 
-/// One lexical token with its source position.
+/// One lexical token with its source position and byte span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub kind: TokenKind,
@@ -19,6 +27,10 @@ pub struct Token {
     pub line: usize,
     /// 1-based source column (bytes).
     pub col: usize,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
 }
 
 /// The token classes the lint rules care about.
@@ -26,7 +38,7 @@ pub struct Token {
 pub enum TokenKind {
     /// Identifier or keyword (`HashMap`, `for`, `unwrap`, …).
     Ident(String),
-    /// A single punctuation byte (`.`, `:`, `+`, `=`, `{`, …).
+    /// A single punctuation character (`.`, `:`, `+`, `=`, `{`, …).
     Punct(char),
     /// Numeric, string, byte-string or char literal (content discarded).
     Literal,
@@ -54,15 +66,25 @@ impl Token {
     }
 }
 
-/// A comment with the line it starts on. Used for `lsw::allow` opt-outs.
+/// A comment with its position and byte span. Used for `lsw::allow`
+/// opt-outs; doc comments are marked so allow parsing can skip prose
+/// that merely *describes* the annotation syntax.
 #[derive(Debug, Clone)]
 pub struct Comment {
     /// 1-based line the comment starts on.
     pub line: usize,
     /// 1-based line the comment ends on (same as `line` for `//`).
     pub end_line: usize,
+    /// 1-based column (bytes) the comment starts at.
+    pub col: usize,
+    /// Byte offset of the first delimiter byte.
+    pub start: usize,
+    /// Byte offset one past the comment's last byte.
+    pub end: usize,
     /// Raw comment text including the delimiters.
     pub text: String,
+    /// True for `///`, `//!`, `/** … */`, `/*! … */` documentation.
+    pub is_doc: bool,
 }
 
 /// Lexer output: the token stream plus the comment side-channel.
@@ -80,6 +102,7 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 struct Scanner<'a> {
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
     line: usize,
@@ -90,6 +113,7 @@ struct Scanner<'a> {
 impl<'a> Scanner<'a> {
     fn new(src: &'a str) -> Self {
         Self {
+            src,
             bytes: src.as_bytes(),
             pos: 0,
             line: 1,
@@ -114,27 +138,33 @@ impl<'a> Scanner<'a> {
         Some(b)
     }
 
-    fn push(&mut self, kind: TokenKind, line: usize, col: usize) {
-        self.out.tokens.push(Token { kind, line, col });
+    fn push(&mut self, kind: TokenKind, line: usize, col: usize, start: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            line,
+            col,
+            start,
+            end: self.pos,
+        });
     }
 
     fn run(mut self) -> Lexed {
         while let Some(b) = self.peek(0) {
-            let (line, col) = (self.line, self.col);
+            let (line, col, start) = (self.line, self.col, self.pos);
             match b {
                 b' ' | b'\t' | b'\r' | b'\n' => {
                     self.bump();
                 }
-                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
-                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line, col),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line, col),
                 b'"' => {
                     self.string_literal();
-                    self.push(TokenKind::Literal, line, col);
+                    self.push(TokenKind::Literal, line, col, start);
                 }
-                b'\'' => self.quote(line, col),
+                b'\'' => self.quote(line, col, start),
                 b'0'..=b'9' => {
                     self.number();
-                    self.push(TokenKind::Literal, line, col);
+                    self.push(TokenKind::Literal, line, col, start);
                 }
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                     let ident = self.ident_text();
@@ -145,17 +175,26 @@ impl<'a> Scanner<'a> {
                     let str_capable = matches!(ident.as_str(), "r" | "b" | "br");
                     if str_capable && self.peek(0) == Some(b'"') {
                         self.string_literal();
-                        self.push(TokenKind::Literal, line, col);
+                        self.push(TokenKind::Literal, line, col, start);
                     } else if raw_capable && self.peek(0) == Some(b'#') {
                         self.raw_string_literal();
-                        self.push(TokenKind::Literal, line, col);
+                        self.push(TokenKind::Literal, line, col, start);
                     } else {
-                        self.push(TokenKind::Ident(ident), line, col);
+                        self.push(TokenKind::Ident(ident), line, col, start);
                     }
                 }
-                _ => {
+                _ if b < 0x80 => {
                     self.bump();
-                    self.push(TokenKind::Punct(b as char), line, col);
+                    self.push(TokenKind::Punct(b as char), line, col, start);
+                }
+                _ => {
+                    // A non-ASCII char outside strings/comments: consume the
+                    // whole char so the span stays on a char boundary.
+                    let c = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                    for _ in 0..c.len_utf8() {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Punct(c), line, col, start);
                 }
             }
         }
@@ -173,7 +212,24 @@ impl<'a> Scanner<'a> {
         String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
     }
 
-    fn line_comment(&mut self, line: usize) {
+    fn finish_comment(&mut self, line: usize, col: usize, start: usize) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        let is_doc = (text.starts_with("///") && !text.starts_with("////"))
+            || text.starts_with("//!")
+            || (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+            || text.starts_with("/*!");
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            col,
+            start,
+            end: self.pos,
+            text,
+            is_doc,
+        });
+    }
+
+    fn line_comment(&mut self, line: usize, col: usize) {
         let start = self.pos;
         while let Some(b) = self.peek(0) {
             if b == b'\n' {
@@ -181,15 +237,10 @@ impl<'a> Scanner<'a> {
             }
             self.bump();
         }
-        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
-        self.out.comments.push(Comment {
-            line,
-            end_line: line,
-            text,
-        });
+        self.finish_comment(line, col, start);
     }
 
-    fn block_comment(&mut self, line: usize) {
+    fn block_comment(&mut self, line: usize, col: usize) {
         let start = self.pos;
         self.bump();
         self.bump(); // consume `/*`
@@ -212,12 +263,7 @@ impl<'a> Scanner<'a> {
                 (None, _) => break,
             }
         }
-        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
-        self.out.comments.push(Comment {
-            line,
-            end_line: self.line,
-            text,
-        });
+        self.finish_comment(line, col, start);
     }
 
     /// Consumes a `"…"` literal (escapes honored). The opening quote (or a
@@ -276,7 +322,7 @@ impl<'a> Scanner<'a> {
     }
 
     /// Disambiguates a lifetime (`'a`) from a char literal (`'x'`, `'\n'`).
-    fn quote(&mut self, line: usize, col: usize) {
+    fn quote(&mut self, line: usize, col: usize, start: usize) {
         let next = self.peek(1);
         let after = self.peek(2);
         let is_char = match next {
@@ -296,7 +342,7 @@ impl<'a> Scanner<'a> {
                     _ => {}
                 }
             }
-            self.push(TokenKind::Literal, line, col);
+            self.push(TokenKind::Literal, line, col, start);
         } else {
             self.bump(); // the `'`
             while matches!(
@@ -305,7 +351,7 @@ impl<'a> Scanner<'a> {
             ) {
                 self.bump();
             }
-            self.push(TokenKind::Lifetime, line, col);
+            self.push(TokenKind::Lifetime, line, col, start);
         }
     }
 }
@@ -387,5 +433,39 @@ mod tests {
             })
             .collect();
         assert_eq!(puncts, ['.', '.'], "range dots survive as punctuation");
+    }
+
+    #[test]
+    fn token_spans_slice_to_source() {
+        let src = "fn foo(x: u8) -> u8 { x + 1 }";
+        for t in lex(src).tokens {
+            assert!(t.start <= t.end && t.end <= src.len());
+            if let TokenKind::Ident(name) = &t.kind {
+                assert_eq!(&src[t.start..t.end], name);
+            }
+        }
+    }
+
+    #[test]
+    fn comment_spans_slice_to_text() {
+        let src = "a // tail\n/* block\n spans */ b";
+        for c in lex(src).comments {
+            assert_eq!(&src[c.start..c.end], c.text);
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let l = lex("/// doc\n//! inner\n// plain\n/** blockdoc */\n/* plain */\n//// rule\n");
+        let flags: Vec<bool> = l.comments.iter().map(|c| c.is_doc).collect();
+        assert_eq!(flags, [true, true, false, true, false, false]);
+    }
+
+    #[test]
+    fn non_ascii_punct_spans_stay_on_char_boundaries() {
+        let src = "let α = 1;";
+        for t in lex(src).tokens {
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        }
     }
 }

@@ -1,19 +1,24 @@
 //! CLI for the workspace static-analysis pass: `cargo xtask lint`.
 
-use xtask::{render_rules, run_lint, workspace, LintOptions};
+use xtask::{apply_fixes, render_rules, run_lint, workspace, LintOptions};
 
 const USAGE: &str = "\
 Usage: cargo xtask <command> [options]
 
 Commands:
-  lint          Run the lsw static-analysis rules (L001-L006) over the
+  lint          Run the lsw static-analysis rules (L001-L011) over the
                 workspace's first-party crates.
   rules         List the rules with one-line summaries.
 
 Lint options:
   --json            Emit machine-readable JSON instead of text.
+  --sarif           Emit a SARIF 2.1.0 document instead of text.
+  --fix             Delete stale allow comments (L010 findings) in place,
+                    then report what remains. Idempotent.
   --diff-only       Lint only files changed vs. --base (default HEAD),
                     plus untracked files. Intended for CI on PR deltas.
+                    Note: the interprocedural rules (L007/L008) see only
+                    the selected files and under-approximate there.
   --base <rev>      Git rev for --diff-only (e.g. origin/main).
   [paths…]          Explicit workspace-relative files to lint.
 
@@ -49,10 +54,14 @@ fn real_main() -> i32 {
 fn lint(args: &[String]) -> i32 {
     let mut opts = LintOptions::default();
     let mut json = false;
+    let mut sarif = false;
+    let mut fix = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--fix" => fix = true,
             "--diff-only" => opts.diff_only = true,
             "--base" => match it.next() {
                 Some(rev) => opts.diff_base = Some(rev.clone()),
@@ -69,18 +78,37 @@ fn lint(args: &[String]) -> i32 {
         }
     }
     let root = workspace::workspace_root();
-    match run_lint(&root, &opts) {
-        Ok(report) => {
-            if json {
-                print!("{}", report.render_json());
-            } else {
-                print!("{}", report.render_text());
-            }
-            i32::from(!report.clean())
-        }
+    let mut report = match run_lint(&root, &opts) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("lsw-xtask lint: {e}");
-            2
+            return 2;
         }
+    };
+    if fix && !report.fixes.is_empty() {
+        let fixed = match apply_fixes(&root, &report) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("lsw-xtask lint --fix: {e}");
+                return 2;
+            }
+        };
+        eprintln!("lsw-xtask lint --fix: rewrote {fixed} file(s)");
+        // Re-lint so the printed report reflects the fixed tree.
+        report = match run_lint(&root, &opts) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("lsw-xtask lint: {e}");
+                return 2;
+            }
+        };
     }
+    if sarif {
+        print!("{}", report.render_sarif());
+    } else if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    i32::from(!report.clean())
 }

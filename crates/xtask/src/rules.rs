@@ -1,4 +1,4 @@
-//! The six lsw lint rules.
+//! The lsw lint rules.
 //!
 //! Each rule guards a piece of the workspace's headline guarantee —
 //! bit-identical reports at any thread/shard count — or the soundness
@@ -30,6 +30,29 @@
 //!   Cold diagnostics (error constructors, once-per-report rendering)
 //!   carry an `lsw::allow(L006)` with the reason.
 //!
+//! The interprocedural rules (see `DESIGN.md` §14) ride on the call
+//! graph in [`crate::graph`]:
+//!
+//! * **L007** — lock-order analysis: the mutex/rwlock acquisition graph
+//!   over `crates/replay` and `crates/stream` must be cycle-free; a
+//!   cycle is a potential deadlock between worker shards.
+//! * **L008** — no blocking call (`thread::sleep`, `read_to_end`,
+//!   unbounded `recv()`, blocking `lock()` waits) reachable from the
+//!   replay worker-shard poll loop. Every sanctioned site carries a
+//!   reasoned allow explaining why its wait is bounded.
+//! * **L009** — bounded-memory discipline: growable-container mutation
+//!   (`push`/`insert`/`extend`/…) on struct fields in the streaming
+//!   ingest and replay backlog files must be dominated by a capacity
+//!   check, or live in a blessed bounded-container module. This is the
+//!   static counterpart of the `--memory-budget` contract.
+//! * **L010** — stale-allow hygiene: an `lsw::allow`/`allow-file`
+//!   comment that suppresses zero findings is itself a finding
+//!   (`cargo xtask lint --fix` strips them mechanically).
+//! * **L011** — lossy `as` casts to narrow types on the ltc codec and
+//!   wire-protocol paths must go through `try_from` or carry a
+//!   reasoned allow (truncation on a wire path corrupts records
+//!   silently).
+//!
 //! ## Opt-out
 //!
 //! A violation can be waived with a source comment on the same line or
@@ -42,8 +65,11 @@
 //!
 //! `// lsw::allow-file(L00X): reason` anywhere in a file waives the rule
 //! for the whole file. The reason text is mandatory: an allow without a
-//! `:` is ignored (and therefore still fires).
+//! `:` is ignored (and therefore still fires). Doc comments (`///`,
+//! `//!`, `/** … */`) never register allows — prose that *describes* the
+//! annotation syntax, like this paragraph, is not an annotation.
 
+use crate::items::{self, Items};
 use crate::lexer::{lex, Lexed, Token, TokenKind};
 use std::collections::BTreeSet;
 
@@ -56,6 +82,11 @@ pub enum RuleId {
     L004,
     L005,
     L006,
+    L007,
+    L008,
+    L009,
+    L010,
+    L011,
 }
 
 impl RuleId {
@@ -68,6 +99,11 @@ impl RuleId {
             RuleId::L004 => "L004",
             RuleId::L005 => "L005",
             RuleId::L006 => "L006",
+            RuleId::L007 => "L007",
+            RuleId::L008 => "L008",
+            RuleId::L009 => "L009",
+            RuleId::L010 => "L010",
+            RuleId::L011 => "L011",
         }
     }
 
@@ -82,11 +118,16 @@ impl RuleId {
             RuleId::L004 => "no unordered rayon reductions outside blessed merge modules",
             RuleId::L005 => "no unwrap/expect/panic! in library non-test code",
             RuleId::L006 => "no allocating text conversions in ingest hot-path files",
+            RuleId::L007 => "no cycles in the replay/stream lock acquisition graph (deadlock risk)",
+            RuleId::L008 => "no blocking calls reachable from the replay worker-shard poll loop",
+            RuleId::L009 => "growable-container mutation must be capacity-guarded (bounded memory)",
+            RuleId::L010 => "an lsw::allow comment that suppresses no finding is stale (use --fix)",
+            RuleId::L011 => "no lossy `as` casts on wire-protocol/codec paths; use try_from",
         }
     }
 
     /// All rules, in id order.
-    pub fn all() -> [RuleId; 6] {
+    pub fn all() -> [RuleId; 11] {
         [
             RuleId::L001,
             RuleId::L002,
@@ -94,6 +135,11 @@ impl RuleId {
             RuleId::L004,
             RuleId::L005,
             RuleId::L006,
+            RuleId::L007,
+            RuleId::L008,
+            RuleId::L009,
+            RuleId::L010,
+            RuleId::L011,
         ]
     }
 }
@@ -122,6 +168,18 @@ pub struct FileClass {
     /// True for the per-record ingest hot-path files (the wms scanner,
     /// the ltc codec, the streaming ingest loop), where L006 applies.
     pub ingest_hot: bool,
+    /// True for files whose locks participate in the L007 acquisition
+    /// graph and whose fns seed the L008 reachability walk (the
+    /// multithreaded replay/stream sources).
+    pub lock_scope: bool,
+    /// True for files under the bounded-memory contract (streaming
+    /// ingest state, replay backlog), where L009 applies.
+    pub bounded_mem: bool,
+    /// True for blessed bounded-container modules: their growth is
+    /// bounded by construction, so L009 stays silent.
+    pub bounded_container: bool,
+    /// True for wire-format/codec files where L011 polices `as` casts.
+    pub wire_path: bool,
 }
 
 /// Crates whose library code must be free of ambient nondeterminism
@@ -174,10 +232,26 @@ const PAR_SOURCES: &[&str] = &[
 /// Unordered rayon combinators (L004 chain sink).
 const PAR_SINKS: &[&str] = &["reduce", "reduce_with", "sum", "unordered_fold"];
 
-/// Lints one file's source text under the given classification.
+/// Lints one file's source text under the given classification,
+/// applying allow comments. This covers the per-file rules
+/// (L001–L006, L009, L011); the interprocedural rules (L007, L008) and
+/// stale-allow hygiene (L010) need the whole-workspace pass in
+/// [`crate::analyze`].
 pub fn lint_source(class: &FileClass, src: &str) -> Vec<Diagnostic> {
     let lexed = lex(src);
-    let ctx = Ctx::new(class, &lexed);
+    let items = items::extract(&lexed.tokens);
+    let allows = collect_allows(&lexed);
+    let mut diags = file_rules(class, &lexed, &items);
+    diags.retain(|d| !allows.iter().any(|a| a.covers(d.rule, d.line)));
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    diags
+}
+
+/// Runs the per-file rules without allow filtering (the caller decides
+/// how suppression and usage accounting work). Diagnostics in test code
+/// are already excluded.
+pub fn file_rules(class: &FileClass, lexed: &Lexed, items: &Items) -> Vec<Diagnostic> {
+    let ctx = Ctx::new(class, lexed);
     let mut diags = Vec::new();
     rule_l001(&ctx, &mut diags);
     rule_l002(&ctx, &mut diags);
@@ -185,8 +259,8 @@ pub fn lint_source(class: &FileClass, src: &str) -> Vec<Diagnostic> {
     rule_l004(&ctx, &mut diags);
     rule_l005(&ctx, &mut diags);
     rule_l006(&ctx, &mut diags);
-    diags.retain(|d| !ctx.allowed(d.rule, d.line));
-    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    rule_l009(&ctx, items, &mut diags);
+    rule_l011(&ctx, &mut diags);
     diags
 }
 
@@ -196,44 +270,19 @@ struct Ctx<'a> {
     toks: &'a [Token],
     /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
     test_spans: Vec<(usize, usize)>,
-    /// (rule, line) pairs waived by `lsw::allow` comments.
-    line_allows: BTreeSet<(&'static str, usize)>,
-    /// Rules waived file-wide by `lsw::allow-file` comments.
-    file_allows: BTreeSet<&'static str>,
 }
 
 impl<'a> Ctx<'a> {
     fn new(class: &'a FileClass, lexed: &'a Lexed) -> Self {
-        let toks = &lexed.tokens[..];
-        let mut line_allows = BTreeSet::new();
-        let mut file_allows = BTreeSet::new();
-        for c in &lexed.comments {
-            for (rule, file_wide) in parse_allows(&c.text) {
-                if file_wide {
-                    file_allows.insert(rule);
-                } else {
-                    // A trailing comment waives its own line; a standalone
-                    // comment waives the line that follows it.
-                    line_allows.insert((rule, c.line));
-                    line_allows.insert((rule, c.end_line + 1));
-                }
-            }
-        }
         Self {
             class,
-            toks,
-            test_spans: test_spans(toks),
-            line_allows,
-            file_allows,
+            toks: &lexed.tokens[..],
+            test_spans: test_spans(&lexed.tokens),
         }
     }
 
     fn in_test(&self, line: usize) -> bool {
         self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
-    }
-
-    fn allowed(&self, rule: RuleId, line: usize) -> bool {
-        self.file_allows.contains(rule.id()) || self.line_allows.contains(&(rule.id(), line))
     }
 
     /// Pushes a diagnostic unless the site is inside test code.
@@ -249,31 +298,84 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// Extracts `(rule, is_file_wide)` pairs from one comment's text. Only
-/// annotations carrying a `:`-separated reason count.
-fn parse_allows(text: &str) -> Vec<(&'static str, bool)> {
+/// One `lsw::allow` / `lsw::allow-file` annotation parsed from a
+/// non-doc comment, with the reason text the policy requires.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The waived rule's id string (`"L005"`).
+    pub rule: &'static str,
+    /// True for `lsw::allow-file(...)`.
+    pub file_wide: bool,
+    /// 1-based line the carrying comment starts on.
+    pub line: usize,
+    /// 1-based line the carrying comment ends on.
+    pub end_line: usize,
+    /// 1-based byte column of the carrying comment.
+    pub col: usize,
+    /// Byte span of the whole carrying comment (for `--fix` removal).
+    pub comment_span: (usize, usize),
+    /// The mandatory reason text after `):`.
+    pub reason: String,
+}
+
+impl Allow {
+    /// True when this annotation waives `rule` at `line`: file-wide, or
+    /// on the comment's own line(s), or on the line directly below it.
+    pub fn covers(&self, rule: RuleId, line: usize) -> bool {
+        self.rule == rule.id() && (self.file_wide || line == self.line || line == self.end_line + 1)
+    }
+}
+
+/// Extracts every allow annotation from a file's comments. Doc comments
+/// are skipped: prose describing the syntax is not an annotation.
+/// Annotations without a `:`-separated reason are ignored (and the
+/// finding they meant to waive still fires).
+pub fn collect_allows(lexed: &Lexed) -> Vec<Allow> {
     let mut out = Vec::new();
-    let mut rest = text;
-    while let Some(pos) = rest.find("lsw::allow") {
-        rest = &rest[pos + "lsw::allow".len()..];
-        let file_wide = rest.starts_with("-file");
-        let body = rest.trim_start_matches("-file");
-        let Some(body) = body.strip_prefix('(') else {
-            continue;
-        };
-        let Some(close) = body.find(')') else {
-            continue;
-        };
-        // Reason required: `)` must be followed by `: <text>`.
-        let after = body[close + 1..].trim_start();
-        if !after.starts_with(':') || after[1..].trim().is_empty() {
+    for c in &lexed.comments {
+        if c.is_doc {
             continue;
         }
-        for name in body[..close].split(',') {
-            let name = name.trim().trim_start_matches("lsw::");
-            for rule in RuleId::all() {
-                if rule.id().eq_ignore_ascii_case(name) {
-                    out.push((rule.id(), file_wide));
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lsw::allow") {
+            rest = &rest[pos + "lsw::allow".len()..];
+            let file_wide = rest.starts_with("-file");
+            let body = rest.trim_start_matches("-file");
+            let Some(body) = body.strip_prefix('(') else {
+                continue;
+            };
+            let Some(close) = body.find(')') else {
+                continue;
+            };
+            // Reason required: `)` must be followed by `: <text>`.
+            let after = body[close + 1..].trim_start();
+            let Some(reason_raw) = after.strip_prefix(':') else {
+                continue;
+            };
+            let reason = reason_raw
+                .split("lsw::allow")
+                .next()
+                .unwrap_or("")
+                .trim_end_matches("*/")
+                .trim()
+                .to_owned();
+            if reason.is_empty() {
+                continue;
+            }
+            for name in body[..close].split(',') {
+                let name = name.trim().trim_start_matches("lsw::");
+                for rule in RuleId::all() {
+                    if rule.id().eq_ignore_ascii_case(name) {
+                        out.push(Allow {
+                            rule: rule.id(),
+                            file_wide,
+                            line: c.line,
+                            end_line: c.end_line,
+                            col: c.col,
+                            comment_span: (c.start, c.end),
+                            reason: reason.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -282,7 +384,7 @@ fn parse_allows(text: &str) -> Vec<(&'static str, bool)> {
 }
 
 /// Finds the inclusive line spans of `#[cfg(test)]` and `#[test]` items.
-fn test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+pub fn test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -777,6 +879,140 @@ fn rule_l006(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Container types whose growth L009 polices.
+const GROWABLE_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "BinaryHeap",
+    "String",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Growth methods on those containers.
+const GROW_METHODS: &[&str] = &[
+    "push",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "resize",
+    "push_back",
+    "push_front",
+];
+
+/// Identifier evidence that a capacity check dominates a growth site:
+/// a length/capacity probe, or a named bound (`MAX_*`, `*_LIMIT`,
+/// `budget`, …) consulted earlier in the same function.
+fn is_capacity_guard(name: &str) -> bool {
+    if name == "len" || name == "capacity" || name == "is_full" || name == "truncate" {
+        return true;
+    }
+    let lower = name.to_ascii_lowercase();
+    ["max", "limit", "budget", "bound", "cap"]
+        .iter()
+        .any(|p| lower.contains(p))
+}
+
+/// L009: growable-container mutation on struct/variant fields in
+/// bounded-memory files must be dominated by a capacity check within the
+/// same function (or the file must be a blessed bounded container).
+fn rule_l009(ctx: &Ctx<'_>, items: &Items, diags: &mut Vec<Diagnostic>) {
+    if !ctx.class.bounded_mem || ctx.class.bounded_container {
+        return;
+    }
+    let growable: BTreeSet<&str> = items
+        .fields
+        .iter()
+        .filter(|f| {
+            f.type_idents
+                .iter()
+                .any(|t| GROWABLE_TYPES.contains(&t.as_str()))
+        })
+        .map(|f| f.name.as_str())
+        .collect();
+    if growable.is_empty() {
+        return;
+    }
+    let toks = ctx.toks;
+    for k in 0..toks.len() {
+        let Some(field) = toks[k].ident() else {
+            continue;
+        };
+        if !growable.contains(field)
+            || !toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            || !toks
+                .get(k + 2)
+                .and_then(Token::ident)
+                .is_some_and(|m| GROW_METHODS.contains(&m))
+            || !toks.get(k + 3).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let method = toks[k + 2].ident().unwrap_or_default();
+        // Find the innermost enclosing fn body and look for guard
+        // evidence between its opening brace and this site.
+        let encl = items
+            .fns
+            .iter()
+            .filter_map(|f| f.body.filter(|&(a, b)| a < k && k < b))
+            .max_by_key(|&(a, _)| a);
+        let guarded = encl.is_some_and(|(a, _)| {
+            toks[a..k]
+                .iter()
+                .filter_map(Token::ident)
+                .any(is_capacity_guard)
+        });
+        if !guarded {
+            ctx.flag(
+                diags,
+                RuleId::L009,
+                &toks[k + 2],
+                format!(
+                    "unguarded `.{method}()` on growable field `{field}` in a bounded-memory \
+                     file: dominate it with a capacity check (len/capacity against a named \
+                     bound), move it to a blessed bounded container, or annotate \
+                     `// lsw::allow(L009): <why growth is bounded>`"
+                ),
+            );
+        }
+    }
+}
+
+/// Narrow cast targets L011 polices on wire paths. `as u64`/`as usize`
+/// widenings are exempt by construction.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// L011: lossy `as` casts on wire-protocol/codec paths.
+fn rule_l011(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if !ctx.class.wire_path {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        if NARROW_TARGETS.contains(&target) {
+            ctx.flag(
+                diags,
+                RuleId::L011,
+                &toks[i],
+                format!(
+                    "`as {target}` on a wire-protocol/codec path can truncate silently: use \
+                     `{target}::try_from(...)` (or `{target}::from` for a provable widening), or \
+                     annotate `// lsw::allow(L011): <why truncation is intended/impossible>`"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -784,9 +1020,7 @@ mod tests {
     fn lib_class(name: &str) -> FileClass {
         FileClass {
             crate_name: name.to_owned(),
-            is_bin: false,
-            blessed_reduction: false,
-            ingest_hot: false,
+            ..FileClass::default()
         }
     }
 
@@ -834,6 +1068,34 @@ mod tests {
     fn allow_file_waives_whole_file() {
         let src = "// lsw::allow-file(L005): generated code\nfn f() { a.unwrap(); }\nfn g() { b.unwrap(); }";
         assert!(rules_fired(&lib_class("core"), src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_register_allows() {
+        // The same annotation as prose in a doc comment must not waive
+        // anything (and under L010 would otherwise read as stale).
+        let src = "/// lsw::allow(L005): this is documentation, not an annotation\n\
+                   fn f() { x.unwrap(); }";
+        assert_eq!(rules_fired(&lib_class("core"), src), [(RuleId::L005, 2)]);
+    }
+
+    #[test]
+    fn collect_allows_reports_reasons_and_spans() {
+        let src = "// lsw::allow(L005): checked by the constructor\nfn f() { x.unwrap(); }\n\
+                   // lsw::allow-file(L001): report-order sorted downstream\n";
+        let lexed = lex(src);
+        let allows = collect_allows(&lexed);
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, "L005");
+        assert!(!allows[0].file_wide);
+        assert_eq!(allows[0].reason, "checked by the constructor");
+        assert_eq!(
+            &src[allows[0].comment_span.0..allows[0].comment_span.1],
+            "// lsw::allow(L005): checked by the constructor"
+        );
+        assert_eq!(allows[1].rule, "L001");
+        assert!(allows[1].file_wide);
+        assert_eq!(allows[1].reason, "report-order sorted downstream");
     }
 
     #[test]
@@ -958,6 +1220,69 @@ mod tests {
         let cold = "// lsw::allow(L006): error constructor, cold path\n\
                     fn e(b: &[u8]) -> String { String::from_utf8_lossy(b).into_owned() }";
         assert!(rules_fired(&hot, cold).is_empty());
+    }
+
+    #[test]
+    fn l009_unguarded_growth_in_bounded_mem_files() {
+        let bounded = FileClass {
+            bounded_mem: true,
+            ..lib_class("stream")
+        };
+        let bad = "struct Backlog { q: Vec<u8> }\n\
+                   impl Backlog {\n\
+                       fn add(&mut self, b: u8) {\n\
+                           self.q.push(b);\n\
+                       }\n\
+                   }";
+        assert_eq!(rules_fired(&bounded, bad), [(RuleId::L009, 4)]);
+        // A capacity check ahead of the growth site dominates it.
+        let guarded = "struct Backlog { q: Vec<u8> }\n\
+                       impl Backlog {\n\
+                           fn add(&mut self, b: u8) {\n\
+                               if self.q.len() >= MAX_BACKLOG { return; }\n\
+                               self.q.push(b);\n\
+                           }\n\
+                       }";
+        assert!(rules_fired(&bounded, guarded).is_empty());
+        // Out of scope without the bounded_mem class.
+        assert!(rules_fired(&lib_class("stream"), bad).is_empty());
+        // Blessed bounded containers grow by construction.
+        let blessed = FileClass {
+            bounded_container: true,
+            ..bounded.clone()
+        };
+        assert!(rules_fired(&blessed, bad).is_empty());
+        // Enum-variant fields count too (the replay request buffer).
+        let variant = "enum ConnState { Request { buf: Vec<u8> } }\n\
+                       fn pump(buf: &mut Vec<u8>, s: &[u8]) {\n\
+                           buf.extend_from_slice(s);\n\
+                       }";
+        assert_eq!(rules_fired(&bounded, variant), [(RuleId::L009, 3)]);
+    }
+
+    #[test]
+    fn l011_narrow_casts_on_wire_paths() {
+        let wire = FileClass {
+            wire_path: true,
+            ..lib_class("trace")
+        };
+        let bad = "fn len_field(n: usize) -> u32 { n as u32 }";
+        assert_eq!(rules_fired(&wire, bad), [(RuleId::L011, 1)]);
+        // Widening casts are exempt by construction.
+        assert!(rules_fired(&wire, "fn w(b: u8) -> u64 { b as u64 }").is_empty());
+        // try_from is the sanctioned spelling.
+        assert!(rules_fired(
+            &wire,
+            "fn t(n: usize) -> u32 { u32::try_from(n).unwrap_or(0) }"
+        )
+        .iter()
+        .all(|&(r, _)| r != RuleId::L011));
+        // Out of scope off the wire paths.
+        assert!(rules_fired(&lib_class("trace"), bad).is_empty());
+        // Reasoned allows are honored.
+        let allowed = "// lsw::allow(L011): varint low 7 bits, truncation intended\n\
+                       fn v(x: u64) -> u8 { (x as u8) & 0x7f }";
+        assert!(rules_fired(&wire, allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! SARIF 2.1.0 rendering of a lint report.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the common
+//! ingestion format for code-scanning UIs; emitting it alongside the
+//! project JSON lets CI annotate PR diffs without a translation shim.
+//! Hand-rolled like `render_json`: the schema subset used here is tiny
+//! (one run, one driver, physical locations, in-source suppressions)
+//! and a serializer dependency is not available offline.
+//!
+//! Findings waived by `lsw::allow` annotations are included as results
+//! carrying a `suppressions` entry with `kind: "inSource"` and the
+//! allow's reason as `justification` — the audit trail mirrors the
+//! `exemptions` array of the JSON output. Active findings carry an
+//! empty `suppressions` array so consumers distinguish "checked and
+//! live" from "not evaluated".
+
+use crate::rules::RuleId;
+use crate::{json_escape, FileDiagnostic, LintReport, WaivedDiagnostic};
+
+/// Renders the report as a single-run SARIF 2.1.0 document with
+/// deterministic field and array order.
+pub fn render(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"lsw-xtask\",\n");
+    out.push_str("          \"rules\": [\n");
+    let rules = RuleId::all();
+    for (i, rule) in rules.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            rule.id(),
+            json_escape(rule.summary()),
+            if i + 1 == rules.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let total = report.findings.len() + report.waived.len();
+    let mut emitted = 0usize;
+    for f in &report.findings {
+        emitted += 1;
+        out.push_str(&result(f, None, emitted == total));
+    }
+    for w in &report.waived {
+        emitted += 1;
+        let f = FileDiagnostic {
+            path: w.path.clone(),
+            diag: w.diag.clone(),
+        };
+        out.push_str(&result(&f, Some(w), emitted == total));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+fn result(f: &FileDiagnostic, waived: Option<&WaivedDiagnostic>, last: bool) -> String {
+    let suppressions = match waived {
+        Some(w) => format!(
+            "[{{\"kind\": \"inSource\", \"justification\": \"{}\"}}]",
+            json_escape(&w.reason)
+        ),
+        None => "[]".to_owned(),
+    };
+    format!(
+        "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+         \"message\": {{\"text\": \"{}\"}}, \
+         \"locations\": [{{\"physicalLocation\": {{\
+         \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+         \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}], \
+         \"suppressions\": {}}}{}\n",
+        f.diag.rule.id(),
+        json_escape(&f.diag.message),
+        json_escape(&f.path),
+        f.diag.line,
+        f.diag.col,
+        suppressions,
+        if last { "" } else { "," }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileClass;
+    use crate::{analyze_sources, SourceFile};
+
+    fn run(src: &str) -> String {
+        render(&analyze_sources(&[SourceFile {
+            rel_path: "crates/core/src/a.rs".to_owned(),
+            class: FileClass {
+                crate_name: "core".to_owned(),
+                ..FileClass::default()
+            },
+            src: src.to_owned(),
+        }]))
+    }
+
+    #[test]
+    fn active_finding_has_empty_suppressions() {
+        let sarif = run("fn f() { x.unwrap(); }\n");
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"L005\""));
+        assert!(sarif.contains("\"startLine\": 1"));
+        assert!(sarif.contains("\"suppressions\": []"));
+    }
+
+    #[test]
+    fn waived_finding_carries_justification() {
+        let sarif = run("// lsw::allow(L005): infallible here\nfn f() { x.unwrap(); }\n");
+        assert!(sarif.contains("\"kind\": \"inSource\""));
+        assert!(sarif.contains("\"justification\": \"infallible here\""));
+    }
+
+    #[test]
+    fn rule_catalog_is_complete() {
+        let sarif = run("fn f() -> u8 { 3 }\n");
+        for rule in RuleId::all() {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.id())));
+        }
+    }
+}

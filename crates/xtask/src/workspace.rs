@@ -18,6 +18,31 @@ const INGEST_HOT_FILES: &[&str] = &["crates/trace/src/wms.rs", "crates/stream/sr
 /// Directory prefixes whose every file is an ingest hot path.
 const INGEST_HOT_DIRS: &[&str] = &["crates/trace/src/ltc/"];
 
+/// Crates whose non-bin sources participate in the L007 lock-order
+/// graph and seed the L008 reachability walk: the multithreaded replay
+/// harness and the shard-parallel streaming pipeline.
+const LOCK_SCOPE_CRATES: &[&str] = &["replay", "stream"];
+
+/// Files under the bounded-memory contract (L009): streaming ingest
+/// state, the replay backlog/driver/metrics, and the shard coordinator.
+const BOUNDED_MEM_FILES: &[&str] = &[
+    "crates/replay/src/server.rs",
+    "crates/replay/src/driver.rs",
+    "crates/replay/src/metrics.rs",
+    "crates/stream/src/ingest.rs",
+    "crates/stream/src/coord.rs",
+];
+
+/// Blessed bounded containers: growth bounded by construction (the
+/// fixed-k reservoir/top-k structures), so L009 stays silent inside.
+const BOUNDED_CONTAINER_FILES: &[&str] = &["crates/stream/src/sample.rs"];
+
+/// Wire-format/codec files where L011 polices lossy `as` casts.
+const WIRE_PATH_FILES: &[&str] = &["crates/replay/src/proto.rs", "crates/trace/src/wms.rs"];
+
+/// Directory prefixes whose every file is a wire path (the ltc codec).
+const WIRE_PATH_DIRS: &[&str] = &["crates/trace/src/ltc/"];
+
 /// Locates the workspace root: the directory two levels above this
 /// crate's manifest (`crates/xtask` → repo root).
 pub fn workspace_root() -> PathBuf {
@@ -53,11 +78,20 @@ pub fn classify(rel_path: &str) -> FileClass {
             .is_some_and(|f| f.contains("merge"));
     let ingest_hot = INGEST_HOT_FILES.contains(&rel_path)
         || INGEST_HOT_DIRS.iter().any(|d| rel_path.starts_with(d));
+    let lock_scope = !is_bin && LOCK_SCOPE_CRATES.contains(&crate_name.as_str());
+    let bounded_mem = BOUNDED_MEM_FILES.contains(&rel_path);
+    let bounded_container = BOUNDED_CONTAINER_FILES.contains(&rel_path);
+    let wire_path = WIRE_PATH_FILES.contains(&rel_path)
+        || WIRE_PATH_DIRS.iter().any(|d| rel_path.starts_with(d));
     FileClass {
         crate_name,
         is_bin,
         blessed_reduction,
         ingest_hot,
+        lock_scope,
+        bounded_mem,
+        bounded_container,
+        wire_path,
     }
 }
 
@@ -162,6 +196,22 @@ mod tests {
         assert!(classify("crates/trace/src/ltc/codec.rs").ingest_hot);
         assert!(classify("crates/stream/src/ingest.rs").ingest_hot);
         assert!(!classify("crates/stream/src/hll.rs").ingest_hot);
+
+        // Interprocedural scopes.
+        assert!(classify("crates/replay/src/server.rs").lock_scope);
+        assert!(classify("crates/stream/src/coord.rs").lock_scope);
+        assert!(!classify("crates/replay/src/bin/lsw-replay.rs").lock_scope);
+        assert!(!classify("crates/core/src/session.rs").lock_scope);
+
+        assert!(classify("crates/replay/src/server.rs").bounded_mem);
+        assert!(classify("crates/stream/src/ingest.rs").bounded_mem);
+        assert!(!classify("crates/stream/src/hll.rs").bounded_mem);
+        assert!(classify("crates/stream/src/sample.rs").bounded_container);
+
+        assert!(classify("crates/replay/src/proto.rs").wire_path);
+        assert!(classify("crates/trace/src/ltc/codec.rs").wire_path);
+        assert!(classify("crates/trace/src/wms.rs").wire_path);
+        assert!(!classify("crates/replay/src/server.rs").wire_path);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! L007 fixture: lock-order cycles between worker paths (positive), a
+//! reasoned allow on the witness edge (allowed), and a consistent
+//! global order (negative).
+
+pub struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+impl Hub {
+    pub fn fwd(&self) {
+        let g = self.a.lock();
+        self.b.lock().checked_add(1);
+    }
+
+    pub fn rev(&self) {
+        let g = self.b.lock();
+        self.a.lock().checked_add(1);
+    }
+
+    pub fn one(&self) {
+        let g = self.c.lock();
+        self.d.lock().checked_add(1);
+    }
+
+    pub fn two(&self) {
+        let g = self.c.lock();
+        self.d.lock().checked_add(2);
+    }
+}
+
+pub struct Waived {
+    e: Mutex<u32>,
+    f: Mutex<u32>,
+}
+
+impl Waived {
+    pub fn enter(&self) {
+        let g = self.e.lock();
+        // lsw::allow(L007): fixture — both paths are gated by a startup barrier
+        self.f.lock().checked_add(1);
+    }
+
+    pub fn leave(&self) {
+        let g = self.f.lock();
+        self.e.lock().checked_add(1);
+    }
+}

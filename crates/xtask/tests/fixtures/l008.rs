@@ -1,0 +1,25 @@
+//! L008 fixture: blocking primitives reachable from the worker-shard
+//! poll loop (positive), a reasoned allow on a bounded wait (allowed),
+//! and an unreachable blocking helper (negative).
+
+pub struct Shard {
+    state: Mutex<u32>,
+}
+
+impl Shard {
+    pub fn worker_loop(&self, rx: Receiver<u64>) {
+        let job = rx.recv();
+        std::thread::sleep(Duration::from_millis(1));
+        // lsw::allow(L008): fixture — critical section is two integer loads
+        self.state.lock().checked_add(1);
+        self.helper();
+    }
+
+    fn helper(&self) {
+        self.state.lock().checked_add(1);
+    }
+
+    fn cold(&self) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,25 @@
+//! L009 fixture: unguarded growth on a struct field (positive), a
+//! capacity-guarded site (negative), and a reasoned allow (allowed).
+
+pub struct Backlog {
+    queue: Vec<u64>,
+    seen: BTreeSet<u64>,
+}
+
+impl Backlog {
+    pub fn push_unguarded(&mut self, v: u64) {
+        self.queue.push(v);
+    }
+
+    pub fn push_guarded(&mut self, v: u64, limit: usize) {
+        if self.queue.len() >= limit {
+            return;
+        }
+        self.queue.push(v);
+    }
+
+    pub fn remember(&mut self, v: u64) {
+        // lsw::allow(L009): fixture — key domain is a fixed enum of 16 ids
+        self.seen.insert(v);
+    }
+}

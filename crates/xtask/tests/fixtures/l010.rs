@@ -1,0 +1,16 @@
+//! L010 fixture: a stale allow (positive), a used allow (negative),
+//! and a stale allow waived by an allow of L010 (allowed).
+
+// lsw::allow(L005): nothing on the next line can panic
+pub fn quiet() -> u8 {
+    3
+}
+
+// lsw::allow(L005): the unwrap below is guarded by the caller
+pub fn loud(x: Option<u8>) -> u8 { x.unwrap() }
+
+// lsw::allow(L010): kept on purpose while the follow-up lands
+// lsw::allow(L002): the gated Instant::now call returns next PR
+pub fn gated() -> u8 {
+    4
+}

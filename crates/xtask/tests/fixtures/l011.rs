@@ -1,0 +1,19 @@
+//! L011 fixture: a lossy narrowing cast (positive), sanctioned
+//! spellings (negative), and a reasoned allow (allowed).
+
+pub fn len_field(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn widen(b: u8) -> u64 {
+    u64::from(b)
+}
+
+pub fn checked(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+pub fn varint_low(x: u64) -> u8 {
+    // lsw::allow(L011): fixture — the varint keeps the low 7 bits on purpose
+    (x as u8) & 0x7f
+}

@@ -5,7 +5,7 @@
 
 use std::path::Path;
 use xtask::rules::{lint_source, FileClass, RuleId};
-use xtask::{run_lint, workspace, LintOptions};
+use xtask::{analyze_sources, run_lint, workspace, LintOptions, LintReport, SourceFile};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -19,9 +19,7 @@ fn fixture(name: &str) -> String {
 fn fixture_class() -> FileClass {
     FileClass {
         crate_name: "stream".to_owned(),
-        is_bin: false,
-        blessed_reduction: false,
-        ingest_hot: false,
+        ..FileClass::default()
     }
 }
 
@@ -113,6 +111,161 @@ fn blessed_merge_module_may_reduce() {
         ..fixture_class()
     };
     assert!(lint_source(&blessed, &fixture("l004.rs")).is_empty());
+}
+
+/// Runs the whole-workspace analyzer over a single fixture file with the
+/// given class (the interprocedural rules need [`analyze_sources`], not
+/// the per-file [`lint_source`] path).
+fn analyze_fixture(name: &str, class: FileClass) -> LintReport {
+    analyze_sources(&[SourceFile {
+        rel_path: format!("crates/fixture/src/{name}"),
+        class,
+        src: fixture(name),
+    }])
+}
+
+fn finding_lines(report: &LintReport, rule: RuleId) -> Vec<usize> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.diag.rule == rule)
+        .map(|f| f.diag.line)
+        .collect()
+}
+
+fn waived_lines(report: &LintReport, rule: RuleId) -> Vec<usize> {
+    report
+        .waived
+        .iter()
+        .filter(|w| w.diag.rule == rule)
+        .map(|w| w.diag.line)
+        .collect()
+}
+
+fn lock_scope_class() -> FileClass {
+    FileClass {
+        crate_name: "replay".to_owned(),
+        lock_scope: true,
+        ..FileClass::default()
+    }
+}
+
+#[test]
+fn l007_fires_once_per_cycle_and_honors_allows() {
+    let report = analyze_fixture("l007.rs", lock_scope_class());
+    // One cycle between `a`/`b`, reported at the smallest witness site;
+    // the consistent `c`→`d` order is silent; the `e`/`f` cycle is waived.
+    assert_eq!(finding_lines(&report, RuleId::L007), [15], "{report:?}");
+    assert_eq!(waived_lines(&report, RuleId::L007), [43]);
+    assert!(report
+        .exemptions
+        .iter()
+        .any(|e| e.rule == "L007" && e.reason.contains("startup barrier")));
+    assert!(report.findings[0].diag.message.contains("`a`"));
+    assert!(report.findings[0].diag.message.contains("`b`"));
+}
+
+#[test]
+fn l008_flags_only_reachable_blocking_sites() {
+    let report = analyze_fixture("l008.rs", lock_scope_class());
+    // recv + sleep in worker_loop, plus the lock wait reached through
+    // helper(); the allowed lock wait is waived; cold() is unreachable.
+    assert_eq!(
+        finding_lines(&report, RuleId::L008),
+        [11, 12, 19],
+        "{report:?}"
+    );
+    assert_eq!(waived_lines(&report, RuleId::L008), [14]);
+    let helper_site = report
+        .findings
+        .iter()
+        .find(|f| f.diag.line == 19)
+        .expect("helper lock site");
+    assert!(
+        helper_site.diag.message.contains("worker_loop → helper"),
+        "call path named: {}",
+        helper_site.diag.message
+    );
+}
+
+#[test]
+fn l009_fixture_positive_allowed_negative() {
+    let class = FileClass {
+        bounded_mem: true,
+        ..fixture_class()
+    };
+    let report = analyze_fixture("l009.rs", class);
+    assert_eq!(finding_lines(&report, RuleId::L009), [11], "{report:?}");
+    assert_eq!(waived_lines(&report, RuleId::L009), [23]);
+    assert!(report.exemptions.iter().any(|e| e.rule == "L009"));
+}
+
+#[test]
+fn l010_fixture_positive_allowed_negative() {
+    let report = analyze_fixture("l010.rs", fixture_class());
+    // The line-4 allow is stale; the line-9 allow is used; the line-13
+    // staleness is waived by the allow(L010) above it.
+    assert_eq!(finding_lines(&report, RuleId::L010), [4], "{report:?}");
+    assert_eq!(waived_lines(&report, RuleId::L010), [13]);
+    assert!(report
+        .exemptions
+        .iter()
+        .any(|e| e.rule == "L005" && e.line == 9));
+    assert!(report
+        .exemptions
+        .iter()
+        .any(|e| e.rule == "L010" && e.line == 12));
+}
+
+#[test]
+fn l010_fix_is_idempotent() {
+    let report = analyze_fixture("l010.rs", fixture_class());
+    assert_eq!(report.fixes.len(), 1);
+    // Apply the planned spans bottom-up to the in-memory source.
+    let mut src = fixture("l010.rs");
+    for &(s, e) in report.fixes[0].spans.iter().rev() {
+        src.replace_range(s..e, "");
+    }
+    assert!(!src.contains("nothing on the next line can panic"));
+    assert!(src.contains("guarded by the caller"), "used allow survives");
+    assert!(src.contains("lsw::allow(L010)"), "waiving allow survives");
+    let fixed = analyze_sources(&[SourceFile {
+        rel_path: "crates/fixture/src/l010.rs".to_owned(),
+        class: fixture_class(),
+        src,
+    }]);
+    assert!(fixed.clean(), "{:?}", fixed.findings);
+    assert!(fixed.fixes.is_empty(), "second --fix plans no edits");
+}
+
+#[test]
+fn l011_fixture_positive_allowed_negative() {
+    let class = FileClass {
+        wire_path: true,
+        crate_name: "trace".to_owned(),
+        ..FileClass::default()
+    };
+    let report = analyze_fixture("l011.rs", class);
+    assert_eq!(finding_lines(&report, RuleId::L011), [5], "{report:?}");
+    assert_eq!(waived_lines(&report, RuleId::L011), [18]);
+}
+
+#[test]
+fn sarif_output_carries_results_and_suppressions() {
+    let report = analyze_fixture("l010.rs", fixture_class());
+    let sarif = report.render_sarif();
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"ruleId\": \"L010\""));
+    assert!(sarif.contains("\"kind\": \"inSource\""));
+    assert!(sarif.contains("guarded by the caller"));
+}
+
+#[test]
+fn json_exposes_exemptions_for_audit() {
+    let report = analyze_fixture("l010.rs", fixture_class());
+    let json = report.render_json();
+    assert!(json.contains("\"exemptions\""));
+    assert!(json.contains("\"reason\": \"the unwrap below is guarded by the caller\""));
 }
 
 #[test]

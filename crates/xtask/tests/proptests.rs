@@ -1,0 +1,137 @@
+//! Property tests for the lint engine's front end: the lexer and the
+//! item extractor must be total over arbitrary input — never panic,
+//! never report a span outside the source or off a char boundary — and
+//! their spans must slice back to the text they claim to describe.
+
+use proptest::prelude::*;
+use xtask::items::{self, extract};
+use xtask::lexer::{lex, TokenKind};
+
+/// Fragments that compose into dense pseudo-Rust, deliberately heavy on
+/// the constructs the lexer special-cases: raw strings, nested block
+/// comments, lifetimes vs. char literals, doc comments, non-ASCII.
+const FRAGMENTS: &[&str] = &[
+    "fn f(x: u8) -> u8 { x }\n",
+    "impl Foo { fn m(&self) {} }\n",
+    "impl<T> Trait for Foo<T> { fn t() {} }\n",
+    "struct S { a: Arc<Mutex<u64>>, b: Vec<u8> }\n",
+    "enum E { A { buf: Vec<u8> }, B(u32) }\n",
+    "// lsw::allow(L005): a reason\n",
+    "/// doc comment\n",
+    "//! inner doc\n",
+    "/* block /* nested */ still comment */\n",
+    "/** block doc */\n",
+    "let s = \"str with \\\" escape\";\n",
+    "let r = r#\"raw \" string\"#;\n",
+    "let c = 'x'; let lt: &'a str = s;\n",
+    "let α = \"日本語\"; // non-ascii\n",
+    "b\"bytes\" ",
+    "'\\n' ",
+    "0x1f_u64 ",
+    "{ } ( ) [ ] < > :: -> => . , ; # ! ? & | ",
+    "r\"unterminated-ish ",
+    "\"",
+    "/*",
+    "//",
+    "'",
+];
+
+fn assemble(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+/// Checks every lexer + extractor invariant against one source string.
+/// Returns nothing; panics (failing the property) on violation.
+fn check_front_end(src: &str) {
+    let lexed = lex(src);
+    for t in &lexed.tokens {
+        assert!(t.start <= t.end, "inverted span {}..{}", t.start, t.end);
+        assert!(t.end <= src.len(), "span {}..{} past EOF", t.start, t.end);
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span {}..{} off char boundary",
+            t.start,
+            t.end
+        );
+        assert!(t.line >= 1 && t.col >= 1, "positions are 1-based");
+        if let TokenKind::Ident(name) = &t.kind {
+            assert_eq!(&src[t.start..t.end], name, "ident span slices to name");
+        }
+    }
+    for c in &lexed.comments {
+        assert!(c.start <= c.end && c.end <= src.len());
+        assert!(src.is_char_boundary(c.start) && src.is_char_boundary(c.end));
+        assert_eq!(&src[c.start..c.end], c.text, "comment span slices to text");
+        assert!(c.end_line >= c.line);
+    }
+    let found = extract(&lexed.tokens);
+    for f in &found.fns {
+        let (s, e) = f.name_span;
+        assert_eq!(&src[s..e], f.name, "fn name span slices to name");
+        assert!(!items::is_keyword(&f.name), "keywords are not fn names");
+        if let Some((open, close)) = f.body {
+            assert!(open < close && close < lexed.tokens.len());
+            assert!(lexed.tokens[open].is_punct('{'));
+            assert!(lexed.tokens[close].is_punct('}'));
+        }
+    }
+    for fld in &found.fields {
+        assert!(!fld.owner.is_empty() && !fld.name.is_empty());
+        assert!(fld.line >= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Totality on arbitrary bytes: whatever `from_utf8_lossy` yields —
+    /// including lone delimiters, truncated literals, and replacement
+    /// chars — must lex and extract without panicking, with every span
+    /// in-bounds on a char boundary.
+    fn front_end_is_total_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255u8, 0..300),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_front_end(&src);
+    }
+
+    /// Structured adversarial input: random concatenations of Rust-ish
+    /// fragments (nested comments, raw strings, unterminated openers)
+    /// keep every span invariant intact.
+    fn front_end_survives_fragment_soup(
+        picks in prop::collection::vec(0usize..1000, 0..24),
+    ) {
+        check_front_end(&assemble(&picks));
+    }
+
+    /// Lexing is a pure function of the source: two runs agree token for
+    /// token (the determinism the whole analyzer inherits).
+    fn lexing_is_deterministic(
+        bytes in prop::collection::vec(0u8..=255u8, 0..200),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let (a, b) = (lex(&src), lex(&src));
+        prop_assert_eq!(a.tokens.len(), b.tokens.len());
+        for (x, y) in a.tokens.iter().zip(&b.tokens) {
+            prop_assert_eq!((x.start, x.end, x.line, x.col), (y.start, y.end, y.line, y.col));
+        }
+        prop_assert_eq!(a.comments.len(), b.comments.len());
+    }
+}
+
+/// A fixed end-to-end sanity case the properties above randomize around.
+#[test]
+fn extractor_sees_through_the_kitchen_sink() {
+    let src = "impl Foo { fn go(&self) { self.x.push(1); } }\nfn free() {}\n";
+    let lexed = lex(src);
+    let found = extract(&lexed.tokens);
+    let names: Vec<(&str, Option<&str>)> = found
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), f.owner.as_deref()))
+        .collect();
+    assert_eq!(names, [("go", Some("Foo")), ("free", None)]);
+}

@@ -16,16 +16,98 @@
 // the deterministic pipeline, not the harness timing it.
 #![allow(clippy::disallowed_methods)]
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use lsw_core::config::WorkloadConfig;
 use lsw_core::generator::Generator;
+use lsw_replay::{
+    drive, DataPlane, DriverConfig, Registry, ReplayServer, ServerConfig, SlowClientPolicy,
+    WallClock,
+};
 use lsw_stats::par::Parallelism;
 use lsw_trace::concurrency::ConcurrencyProfile;
+use lsw_trace::event::{LogEntry, LogEntryBuilder};
+use lsw_trace::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+use lsw_trace::schedule::Schedule;
 use lsw_trace::session::{SessionConfig, Sessions};
 
 /// Iterations per stage; the fastest run is reported.
 const ITERS: usize = 3;
+
+/// Live replay regime: 512 concurrent fat feeds, each streaming 20
+/// trace-MB/s for 800 trace seconds at 400x time compression — a ~2 s
+/// wall window moving ~20 GB of wire payload through one server shard.
+/// Deep saturation is the point: in pacing-bound regimes both data
+/// planes just follow the schedule and measure the same, so the stage
+/// would not regress when the reactor does.
+const REPLAY_CONNS: u32 = 512;
+/// Trace seconds each replay transfer runs for.
+const REPLAY_DUR: u32 = 800;
+/// Per-connection trace bandwidth in KB/s.
+const REPLAY_RATE_KB: u64 = 20_000;
+/// Trace-to-wall time compression for the replay stages.
+const REPLAY_COMPRESSION: f64 = 400.0;
+
+/// All [`REPLAY_CONNS`] transfers join at t=0 and stream one object
+/// each for [`REPLAY_DUR`] trace seconds at [`REPLAY_RATE_KB`] KB/s.
+fn replay_schedule() -> Schedule {
+    let entries: Vec<LogEntry> = (0..REPLAY_CONNS)
+        .map(|i| {
+            LogEntryBuilder::new()
+                .span(0, REPLAY_DUR)
+                .client(ClientId(i))
+                .origin(
+                    Ipv4Addr(0x0a00_0000 + i),
+                    AsId((i % 7) as u16),
+                    CountryCode(*b"BR"),
+                )
+                .object(ObjectId(i as u16), 0)
+                .transfer_stats(REPLAY_RATE_KB * 1_000 * u64::from(REPLAY_DUR), 350_000, 0.0)
+                .build()
+        })
+        .collect();
+    Schedule::from_entries(&entries)
+}
+
+/// One closed-loop live replay run over real sockets; returns the wire
+/// payload bytes received plus the server's pacing error p50/p99 in
+/// microseconds. Panics if the loop did not close cleanly (a refused
+/// connect, admission rejection, or short transfer would make the two
+/// planes' byte counts incomparable).
+fn replay_run(plane: DataPlane) -> (u64, f64, f64) {
+    let schedule = replay_schedule();
+    let clock = Arc::new(WallClock::start());
+    let registry = Arc::new(Registry::new());
+    let server = ReplayServer::start(
+        ServerConfig {
+            compression: REPLAY_COMPRESSION,
+            workers: 1,
+            data_plane: plane,
+            slow_policy: SlowClientPolicy::Backpressure,
+            send_buffer: u64::MAX / 4,
+            lookahead: schedule.max_duration(),
+            ..ServerConfig::default()
+        },
+        &schedule.object_rates(),
+        Arc::clone(&clock),
+        Arc::clone(&registry),
+    )
+    .expect("replay server binds on loopback");
+    let mut driver_cfg = DriverConfig::new(server.local_addr(), REPLAY_COMPRESSION);
+    driver_cfg.workers = 2;
+    let outcome = drive(&schedule, &driver_cfg, &clock, &registry).expect("replay drive");
+    let served = server.finish();
+    assert!(
+        outcome.connect_failures == 0 && outcome.rejected == 0 && outcome.short == 0,
+        "replay loop must close cleanly: {outcome:?}"
+    );
+    let (_, p50, _, p99) = served
+        .metrics
+        .histogram("srv.pacing_error_ns")
+        .unwrap_or((0, 0.0, 0.0, 0.0));
+    (outcome.bytes_received, p50 / 1e3, p99 / 1e3)
+}
 
 fn bench_config() -> WorkloadConfig {
     WorkloadConfig::paper().scaled(15_000, 86_400, 25_000)
@@ -285,6 +367,21 @@ fn main() {
     });
     assert_eq!(des_pops as usize, n_transfers * 2, "every event pops once");
 
+    // Live replay over real loopback sockets, reactor plane vs the
+    // tick-scan baseline at equal connection count. elements = wire
+    // payload bytes received by the closed-loop driver, so
+    // elements_per_sec is served bytes/sec and the two stages' ratio is
+    // the reactor's speedup. Three threads move the bytes: one server
+    // shard plus two driver workers.
+    let ((reactor_bytes, reactor_p50, reactor_p99), reactor_secs, reactor_cpu) =
+        time(|| replay_run(DataPlane::Reactor));
+    let ((tick_bytes, tick_p50, tick_p99), tick_secs, tick_cpu) =
+        time(|| replay_run(DataPlane::Tick));
+    assert_eq!(
+        reactor_bytes, tick_bytes,
+        "both data planes must serve the same wire budget"
+    );
+
     // Whole-workspace static analysis: lex + item extraction + call-graph
     // construction + all eleven rules over every first-party source file.
     // files/sec is the number CI's xtask-lint-strict job experiences.
@@ -371,6 +468,22 @@ fn main() {
             sketch_bytes: None,
         },
         Stage {
+            name: "replay_serve",
+            threads: 3,
+            elements: reactor_bytes as usize,
+            secs: reactor_secs,
+            cpu_secs: reactor_cpu,
+            sketch_bytes: None,
+        },
+        Stage {
+            name: "replay_serve_tick",
+            threads: 3,
+            elements: tick_bytes as usize,
+            secs: tick_secs,
+            cpu_secs: tick_cpu,
+            sketch_bytes: None,
+        },
+        Stage {
             name: "lint",
             threads: 1,
             elements: lint_report.scanned,
@@ -383,15 +496,21 @@ fn main() {
     // is pure noise, so single-CPU hosts record `null` instead of ~1.0.
     let speedup = (host_cpus > 1).then(|| stages[1].rate() / stages[0].rate());
     let speedup_json = speedup.map_or_else(|| "null".to_string(), |s| format!("{s:.3}"));
+    // Served-bytes/sec ratio of the epoll reactor plane over the
+    // tick-scan baseline at equal connection count. Wall-clock based on
+    // purpose: both runs move the same bytes, so the ratio is exactly
+    // the throughput gain a caller sees.
+    let replay_speedup = (reactor_bytes as f64 / reactor_secs) / (tick_bytes as f64 / tick_secs);
 
     let body: Vec<String> = stages.iter().map(Stage::json).collect();
     let json = format!(
         "{{\n  \"git_sha\": \"{}\",\n  \"host_cpus\": {},\n  \"parallel_threads\": {},\n  \
-         \"generate_speedup\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+         \"generate_speedup\": {},\n  \"replay_speedup\": {:.3},\n  \"stages\": [\n{}\n  ]\n}}\n",
         git_sha(),
         host_cpus,
         par_threads,
         speedup_json,
+        replay_speedup,
         body.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
@@ -410,6 +529,11 @@ fn main() {
             s.rate()
         );
     }
+    eprintln!(
+        "  replay reactor/tick = {replay_speedup:.2}x served bytes/s \
+         (pacing p50/p99: reactor {reactor_p50:.0}/{reactor_p99:.0} us, \
+         tick {tick_p50:.0}/{tick_p99:.0} us)"
+    );
     match speedup {
         Some(s) => eprintln!(
             "  generate speedup at {par_threads} threads: {s:.2}x \

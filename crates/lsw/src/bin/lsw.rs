@@ -13,10 +13,11 @@
 //! lsw convert     IN OUT [--format auto|wms|ltc]
 //! lsw replay      LOG [--format auto|wms|ltc] [--compression C]
 //!                 [--virtual-time] [--admission N] [--workers N]
-//!                 [--expose SECS] [--json FILE] [--no-assert]
+//!                 [--data-plane reactor|tick] [--expose SECS]
+//!                 [--json FILE] [--no-assert]
 //! lsw serve       LOG [--format auto|wms|ltc] [--listen ADDR]
 //!                 [--compression C] [--admission N] [--workers N]
-//!                 [--for SECS] [--expose SECS]
+//!                 [--data-plane reactor|tick] [--for SECS] [--expose SECS]
 //! ```
 //!
 //! `analyze` is the streaming front end: with `--stream` the log is
@@ -49,6 +50,9 @@
 //! paced serving harness standalone on `--listen` for `--for` seconds so
 //! an external driver can connect. `--admission N` caps concurrent
 //! transfers (`RejectAbove`); 0 or absent accepts everything.
+//! `--data-plane` picks the server's pacing engine: `reactor` (default,
+//! epoll readiness + timing wheel) or `tick` (the 2 ms scan baseline) —
+//! same protocol, admission, and closed-loop semantics either way.
 //!
 //! `--threads` (or the `LSW_THREADS` environment variable) sets the
 //! worker count; the default is the number of available cores. Output is
@@ -97,9 +101,10 @@ fn main() {
                  [--json FILE]\n  lsw summary LOG [--format auto|wms|ltc] [--horizon SECS]\n  \
                  lsw convert IN OUT [--format auto|wms|ltc]\n  lsw replay LOG \
                  [--format auto|wms|ltc] [--compression C] [--virtual-time] [--admission N] \
-                 [--workers N] [--expose SECS] [--json FILE] [--no-assert]\n  lsw serve LOG \
+                 [--workers N] [--data-plane reactor|tick] [--expose SECS] [--json FILE] \
+                 [--no-assert]\n  lsw serve LOG \
                  [--format auto|wms|ltc] [--listen ADDR] [--compression C] [--admission N] \
-                 [--workers N] [--for SECS] [--expose SECS]"
+                 [--workers N] [--data-plane reactor|tick] [--for SECS] [--expose SECS]"
             );
         }
         Some(other) => {
@@ -560,6 +565,17 @@ fn admission_flag(args: &[String]) -> AdmissionPolicy {
     }
 }
 
+fn data_plane_flag(args: &[String]) -> lsw::replay::DataPlane {
+    match flag_value(args, "--data-plane") {
+        None | Some("reactor") => lsw::replay::DataPlane::Reactor,
+        Some("tick") => lsw::replay::DataPlane::Tick,
+        Some(other) => {
+            eprintln!("unknown --data-plane {other:?}; expected reactor or tick");
+            exit(2);
+        }
+    }
+}
+
 /// A background thread printing metric snapshots to stderr on a cadence.
 struct Exposition {
     stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
@@ -576,12 +592,16 @@ impl Exposition {
             let stop = std::sync::Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut elapsed_ms = 0u64;
+                // Reused across expositions: zero allocation per print
+                // once warmed up to the steady-state length.
+                let mut buf = String::new();
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(std::time::Duration::from_millis(250));
                     elapsed_ms += 250;
                     if elapsed_ms >= every_secs * 1000 {
                         elapsed_ms = 0;
-                        eprint!("-- metrics --\n{}", registry.snapshot().render());
+                        registry.render_text(&mut buf);
+                        eprint!("-- metrics --\n{buf}");
                     }
                 }
             })
@@ -656,6 +676,7 @@ fn cmd_replay(args: &[String]) {
                 compression,
                 admission,
                 workers,
+                data_plane: data_plane_flag(args),
                 stream: stream_cfg,
                 lookahead: schedule.max_duration(),
                 ..ServerConfig::default()
@@ -730,6 +751,7 @@ fn cmd_serve(args: &[String]) {
             compression,
             admission: admission_flag(args),
             workers,
+            data_plane: data_plane_flag(args),
             lookahead: schedule.max_duration(),
             ..ServerConfig::default()
         },

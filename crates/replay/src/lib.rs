@@ -37,16 +37,21 @@ pub mod clock;
 pub mod diff;
 pub mod driver;
 pub mod metrics;
+pub mod payload;
 pub mod proto;
 pub mod server;
+pub mod slab;
 pub mod virt;
+pub mod wheel;
 
 pub use clock::WallClock;
 pub use diff::{closed_loop, reference_report, LoopDiff};
 pub use driver::{drive, DriveOutcome, DriverConfig};
 pub use metrics::{Registry, Snapshot};
-pub use server::{ReplayServer, ServeOutcome, ServerConfig, SlowClientPolicy};
-pub use virt::{run_virtual, VirtualOutcome};
+pub use server::{DataPlane, ReplayServer, ServeOutcome, ServerConfig, SlowClientPolicy};
+pub use slab::{Key, Slab};
+pub use virt::{pacing_profile, run_virtual, PacingProfile, VirtualOutcome};
+pub use wheel::{TimerId, TimingWheel};
 
 /// Wire status logged for transfers the admission policy turned away.
 pub const STATUS_REJECTED: u16 = 503;

@@ -176,6 +176,7 @@ impl Registry {
 
     /// Registers (or re-fetches) a counter by name.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        // lsw::allow(L008): registration is a short bounded scan of a small fixed metric set
         let mut entries = self.entries.lock();
         for (n, m) in entries.iter() {
             if n == name {
@@ -192,6 +193,7 @@ impl Registry {
 
     /// Registers (or re-fetches) a gauge by name.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        // lsw::allow(L008): registration is a short bounded scan of a small fixed metric set
         let mut entries = self.entries.lock();
         for (n, m) in entries.iter() {
             if n == name {
@@ -208,6 +210,7 @@ impl Registry {
 
     /// Registers (or re-fetches) a histogram by name.
     pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        // lsw::allow(L008): registration is a short bounded scan of a small fixed metric set
         let mut entries = self.entries.lock();
         for (n, m) in entries.iter() {
             if n == name {
@@ -220,6 +223,37 @@ impl Registry {
         // lsw::allow(L009): bounded by the fixed set of registered metric names
         entries.push((name.to_string(), Metric::Histogram(Arc::clone(&h))));
         h
+    }
+
+    /// Renders the aligned text exposition directly from the live
+    /// metrics into a caller-owned buffer — the exposition-cadence
+    /// twin of [`Snapshot::render`] that allocates nothing once the
+    /// buffer has warmed up to the exposition's steady-state length
+    /// (no name clones, no per-line `String`s, no `Snapshot`). The
+    /// registration lock is held across the formatting, which is fine
+    /// on the exposition cadence (registration is startup-only).
+    pub fn render_text(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.clear();
+        let entries = self.entries.lock();
+        let width = entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, m) in entries.iter() {
+            let _ = match m {
+                Metric::Counter(c) => writeln!(out, "{name:width$}  {}", c.get()),
+                Metric::Gauge(g) => writeln!(out, "{name:width$}  {} (gauge)", g.get()),
+                Metric::Histogram(h) => {
+                    let f = h.freeze();
+                    writeln!(
+                        out,
+                        "{name:width$}  n={} p50≈{:.0} p95≈{:.0} p99≈{:.0}",
+                        f.count(),
+                        f.quantile(0.50).unwrap_or(0.0),
+                        f.quantile(0.95).unwrap_or(0.0),
+                        f.quantile(0.99).unwrap_or(0.0),
+                    )
+                }
+            };
+        }
     }
 
     /// Captures every metric, in registration order.
@@ -258,19 +292,30 @@ pub struct Snapshot {
 impl Snapshot {
     /// Aligned text exposition, one metric per line.
     pub fn render(&self) -> String {
-        let width = self.values.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// [`render`](Self::render) into a caller-reused buffer (cleared
+    /// first): no per-line allocations, and none at all once the buffer
+    /// has seen its steady-state length.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.clear();
+        let width = self.values.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         for (name, v) in &self.values {
-            let line = match v {
-                SnapValue::Counter(c) => format!("{name:width$}  {c}\n"),
-                SnapValue::Gauge(g) => format!("{name:width$}  {g} (gauge)\n"),
+            let _ = match v {
+                SnapValue::Counter(c) => writeln!(out, "{name:width$}  {c}"),
+                SnapValue::Gauge(g) => writeln!(out, "{name:width$}  {g} (gauge)"),
                 SnapValue::Histogram(n, p50, p95, p99) => {
-                    format!("{name:width$}  n={n} p50≈{p50:.0} p95≈{p95:.0} p99≈{p99:.0}\n")
+                    writeln!(
+                        out,
+                        "{name:width$}  n={n} p50≈{p50:.0} p95≈{p95:.0} p99≈{p99:.0}"
+                    )
                 }
             };
-            out.push_str(&line);
         }
-        out
     }
 
     /// JSON object keyed by metric name.
@@ -294,6 +339,16 @@ impl Snapshot {
             })
             .collect();
         Value::Object(fields)
+    }
+
+    /// Looks up a histogram by name: `(samples, p50, p95, p99)`.
+    pub fn histogram(&self, name: &str) -> Option<(u64, f64, f64, f64)> {
+        self.values.iter().find_map(|(n, v)| match v {
+            SnapValue::Histogram(count, p50, p95, p99) if n == name => {
+                Some((*count, *p50, *p95, *p99))
+            }
+            _ => None,
+        })
     }
 
     /// Looks up a counter/gauge value by name.
@@ -352,6 +407,31 @@ mod tests {
         assert!((256.0..512.0).contains(&p50), "p50 {p50}");
         assert!(f.quantile(0.99).unwrap() >= p50);
         assert!(LogHistogram::default().freeze().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn exposition_reuses_the_buffer_after_warmup() {
+        let r = Registry::new();
+        let c = r.counter("a.count");
+        let g = r.gauge("b.gauge");
+        let h = r.histogram("c.hist");
+        c.add(u64::MAX / 2); // widest the counter line will ever get
+        g.set(123_456_789);
+        for v in [1u64, 1000, 1 << 40] {
+            h.record(v);
+        }
+        let mut buf = String::new();
+        r.render_text(&mut buf); // warmup sizes the buffer once
+        assert!(!buf.is_empty());
+        let cap = buf.capacity();
+        for i in 0..100u64 {
+            c.inc();
+            g.set(i);
+            h.record(i);
+            r.render_text(&mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "exposition must not grow after warmup");
+        assert_eq!(buf, r.snapshot().render(), "both exposition paths agree");
     }
 
     #[test]

@@ -95,6 +95,16 @@ pub fn paced_position(rate: u64, elapsed: Nanos) -> u64 {
     ((u128::from(rate) * u128::from(elapsed)) / 1_000_000_000).min(u128::from(u64::MAX)) as u64
 }
 
+/// Inverse of [`paced_position`]: nanoseconds after joining a feed
+/// encoded at `rate` trace-bytes/second at which the broadcast has
+/// produced `bytes` — the reactor's next pacing deadline. Rounds up,
+/// so the position at the returned time is at least `bytes`.
+pub fn pacing_deadline(rate: u64, bytes: u64) -> Nanos {
+    let r = u128::from(rate.max(1));
+    let num = u128::from(bytes) * 1_000_000_000;
+    u64::try_from(num.div_ceil(r)).unwrap_or(u64::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +157,19 @@ mod tests {
         assert_eq!(paced_position(48_000, 1_000_000_000), 48_000);
         assert_eq!(paced_position(48_000, 500_000_000), 24_000);
         assert_eq!(paced_position(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn pacing_deadline_inverts_position() {
+        assert_eq!(pacing_deadline(48_000, 48_000), 1_000_000_000);
+        assert_eq!(pacing_deadline(48_000, 24_000), 500_000_000);
+        assert_eq!(pacing_deadline(0, 100), pacing_deadline(1, 100));
+        // Round-trip: by the returned deadline the position covers the
+        // requested bytes, and one nanosecond earlier it does not.
+        for (rate, bytes) in [(3u64, 10u64), (48_000, 1), (999_999, 123_456)] {
+            let d = pacing_deadline(rate, bytes);
+            assert!(paced_position(rate, d) >= bytes);
+            assert!(paced_position(rate, d - 1) < bytes);
+        }
     }
 }

@@ -1,0 +1,135 @@
+//! Property test: the hierarchical timing wheel against a BinaryHeap
+//! oracle.
+//!
+//! The oracle mirrors the wheel's documented quantization — a deadline
+//! maps to tick `(deadline >> shift).max(now_tick + 1)` at schedule
+//! time — and fires everything with `tick <= now_tick` in `(tick,
+//! insertion seq)` order on advance. Arbitrary interleavings of
+//! schedule / advance / cancel must pop identical `(deadline, item)`
+//! sequences from both, regardless of how entries cascade through
+//! wheel levels or wrap past the horizon.
+
+use lsw_replay::TimingWheel;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `now + delta` nanoseconds.
+    Schedule { delta: u64 },
+    /// Advance the clock by `delta` nanoseconds.
+    Advance { delta: u64 },
+    /// Cancel the `nth` most recent still-known timer id.
+    Cancel { nth: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Discriminant-weighted mix: half schedules, three-eighths
+    // advances, one-eighth cancels.
+    (0u8..8, 0u64..=1 << 40, 0usize..8).prop_map(|(disc, delta, nth)| match disc {
+        0..=3 => Op::Schedule { delta },
+        4..=6 => Op::Advance {
+            delta: delta >> 2, // advances a bit shorter than horizons
+        },
+        _ => Op::Cancel { nth },
+    })
+}
+
+/// The reference model: exact `(tick, seq)` ordering via a min-heap.
+struct Oracle {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>, // (tick, seq, deadline)
+    cancelled: HashSet<u64>,
+    now_tick: u64,
+    shift: u32,
+}
+
+impl Oracle {
+    fn new(resolution: u64) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now_tick: 0,
+            shift: resolution.max(1).next_power_of_two().trailing_zeros(),
+        }
+    }
+
+    fn schedule(&mut self, deadline: u64, seq: u64) {
+        let tick = (deadline >> self.shift).max(self.now_tick + 1);
+        self.heap.push(Reverse((tick, seq, deadline)));
+    }
+
+    fn advance(&mut self, now: u64, fired: &mut Vec<(u64, u64)>) {
+        let target = now >> self.shift;
+        if target <= self.now_tick {
+            return;
+        }
+        self.now_tick = target;
+        while let Some(&Reverse((tick, seq, deadline))) = self.heap.peek() {
+            if tick > target {
+                break;
+            }
+            self.heap.pop();
+            if !self.cancelled.remove(&seq) {
+                fired.push((deadline, seq));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wheel_matches_heap_oracle(
+        resolution in prop_oneof![Just(1u64), Just(1 << 10), Just(1 << 17)],
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::with_resolution(resolution);
+        let mut oracle = Oracle::new(resolution);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut live_ids = Vec::new(); // (TimerId, seq), newest last
+        let mut wheel_fired = Vec::new();
+        let mut oracle_fired = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Schedule { delta } => {
+                    let deadline = now.saturating_add(delta);
+                    let id = wheel.schedule(deadline, seq);
+                    oracle.schedule(deadline, seq);
+                    live_ids.push((id, seq));
+                    seq += 1;
+                }
+                Op::Advance { delta } => {
+                    now = now.saturating_add(delta);
+                    wheel.advance(now, &mut wheel_fired);
+                    oracle.advance(now, &mut oracle_fired);
+                    prop_assert_eq!(&wheel_fired, &oracle_fired,
+                        "fire sequences diverged at now={}", now);
+                }
+                Op::Cancel { nth } => {
+                    if live_ids.is_empty() {
+                        continue;
+                    }
+                    let (id, s) = live_ids.remove(nth % live_ids.len());
+                    let wheel_says = wheel.cancel(id);
+                    // The oracle tombstones; liveness must agree: a
+                    // cancel succeeds iff the entry has not fired yet.
+                    let already_fired = wheel_fired.iter().any(|&(_, v)| v == s);
+                    prop_assert_eq!(wheel_says, !already_fired);
+                    if wheel_says {
+                        oracle.cancelled.insert(s);
+                    }
+                }
+            }
+        }
+        // Drain both to the far future: everything pending fires, in
+        // the same order, with the same reported deadlines.
+        wheel.advance(u64::MAX, &mut wheel_fired);
+        oracle.advance(u64::MAX, &mut oracle_fired);
+        prop_assert_eq!(&wheel_fired, &oracle_fired, "drain diverged");
+        prop_assert!(wheel.is_empty());
+    }
+}

@@ -229,7 +229,7 @@ impl ShardSketches {
 }
 
 /// Heap key ordering entries by `(start, timestamp, line)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Pending {
     start: u32,
     timestamp: u32,
@@ -283,6 +283,14 @@ pub struct StreamAnalyzer {
     corrupt_blocks: u64,
     corrupt_records: u64,
     first_corrupt: Option<String>,
+    /// Reusable chunk scratch: byte offsets `(start, end)` of each line
+    /// in the chunk being ingested (allocation survives across chunks).
+    line_offsets: Vec<(usize, usize)>,
+    /// Reusable per-shard kept-entry buffers: shard `i` parses into
+    /// `kept_scratch[i]`, keeping its capacity from chunk to chunk.
+    kept_scratch: Vec<Vec<Pending>>,
+    /// Reusable merged release buffer for the sort-based release.
+    release_scratch: Vec<Pending>,
 }
 
 impl StreamAnalyzer {
@@ -308,6 +316,9 @@ impl StreamAnalyzer {
             corrupt_blocks: 0,
             corrupt_records: 0,
             first_corrupt: None,
+            line_offsets: Vec::new(),
+            kept_scratch: Vec::new(),
+            release_scratch: Vec::new(),
         }
     }
 
@@ -603,34 +614,55 @@ impl StreamAnalyzer {
     }
 
     fn ingest_chunk(&mut self, text: &[u8], first_line: u64) {
-        let lines: Vec<&[u8]> = wms::byte_lines(text).collect();
-        self.lines_total += lines.len() as u64;
-        self.next_line = first_line + lines.len() as u64;
-        if lines.is_empty() {
+        // Line boundaries as byte offsets into `text`, in a scratch buffer
+        // whose allocation survives across chunks — the shard handoff
+        // never materializes a fresh `Vec<&[u8]>` per chunk.
+        let base = text.as_ptr() as usize;
+        self.line_offsets.clear();
+        // lsw::allow(L009): cleared above; holds at most one offset pair per chunk line
+        self.line_offsets.extend(wms::byte_lines(text).map(|l| {
+            let s = l.as_ptr() as usize - base;
+            (s, s + l.len())
+        }));
+        let n_lines = self.line_offsets.len();
+        self.lines_total += n_lines as u64;
+        self.next_line = first_line + n_lines as u64;
+        if n_lines == 0 {
             return;
         }
 
-        let ranges = Parallelism::fixed(self.cfg.shards.max(1)).chunk_ranges(lines.len());
+        let ranges = Parallelism::fixed(self.cfg.shards.max(1)).chunk_ranges(n_lines);
+        if self.kept_scratch.len() < ranges.len() {
+            self.kept_scratch.resize_with(ranges.len(), Vec::new);
+        }
+        let horizon = self.cfg.horizon;
         // Each worker parses a contiguous sub-range into shard `i`'s
-        // sketches and returns kept entries in input order.
-        let outputs: Vec<(Vec<(u64, LogEntry)>, u32)> = if ranges.len() == 1 {
+        // sketches and its reusable kept buffer, in input order.
+        let stats: Vec<RangeStats> = if ranges.len() == 1 {
+            let kept = &mut self.kept_scratch[0];
+            kept.clear();
             vec![parse_range(
-                &lines,
-                ranges[0].clone(),
-                first_line,
-                self.cfg.horizon,
+                text,
+                &self.line_offsets[ranges[0].clone()],
+                first_line + ranges[0].start as u64,
+                horizon,
                 &mut self.shards[0],
+                kept,
             )]
         } else {
+            let line_offsets = &self.line_offsets;
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
+                    .zip(self.kept_scratch.iter_mut())
                     .zip(ranges.iter().cloned())
-                    .map(|(shard, range)| {
-                        let lines = &lines;
-                        let horizon = self.cfg.horizon;
-                        s.spawn(move || parse_range(lines, range, first_line, horizon, shard))
+                    .map(|((shard, kept), range)| {
+                        s.spawn(move || {
+                            kept.clear();
+                            let first = first_line + range.start as u64;
+                            parse_range(text, &line_offsets[range], first, horizon, shard, kept)
+                        })
                     })
                     .collect();
                 handles
@@ -643,24 +675,58 @@ impl StreamAnalyzer {
             })
         };
 
-        // Push kept entries in input order (sub-range order), then release
-        // everything below the look-ahead watermark.
-        for (kept, max_stop) in outputs {
-            self.max_stop_parsed = self.max_stop_parsed.max(max_stop);
-            for (line, e) in kept {
-                self.max_start = self.max_start.max(e.start);
-                self.max_ts = self.max_ts.max(e.timestamp);
-                self.max_dur = self.max_dur.max(e.duration);
-                self.heap.push(Reverse(Pending {
-                    start: e.start,
-                    timestamp: e.timestamp,
-                    line,
-                    entry: e,
-                }));
+        for st in stats {
+            self.max_stop_parsed = self.max_stop_parsed.max(st.max_stop);
+            self.max_start = self.max_start.max(st.max_start);
+            self.max_ts = self.max_ts.max(st.max_ts);
+            self.max_dur = self.max_dur.max(st.max_dur);
+        }
+        // Concatenate the shard outputs in shard order (= line order) and
+        // release through the sort path.
+        self.release_scratch.clear();
+        for i in 0..ranges.len() {
+            self.release_scratch
+                .extend_from_slice(&self.kept_scratch[i]);
+        }
+        self.release_batch();
+    }
+
+    /// Releases a freshly parsed batch below the look-ahead watermark.
+    ///
+    /// Equivalent to pushing every entry through the heap and popping
+    /// below the watermark, but without paying a full-depth heap sift per
+    /// entry: the batch is sorted by the heap key — text logs arrive
+    /// nearly start-ordered, so the pattern-defeating sort runs close to
+    /// linear — then merged with any still-pending heap entries in
+    /// `(start, timestamp, line)` order. Only the batch tail (the final
+    /// look-ahead cohort) enters the heap.
+    fn release_batch(&mut self) {
+        self.release_scratch.sort_unstable_by(|a, b| {
+            (a.start, a.timestamp, a.line).cmp(&(b.start, b.timestamp, b.line))
+        });
+        let lookahead = self.max_ts.saturating_sub(self.max_dur);
+        let watermark = self.max_start.max(lookahead);
+        let mut i = 0;
+        while i < self.release_scratch.len() && self.release_scratch[i].start < watermark {
+            let p = &self.release_scratch[i];
+            // Pending heap entries that sort before this one release
+            // first, preserving the exact single-heap order.
+            while self.heap.peek().is_some_and(|Reverse(h)| h < p) {
+                let Some(Reverse(h)) = self.heap.pop() else {
+                    break;
+                };
+                self.coord.process(&h.entry);
             }
+            self.coord.process(&p.entry);
+            i += 1;
+        }
+        // Leftover heap entries below the watermark sort after every
+        // entry released above; the batch tail joins the heap.
+        self.release_below_watermark(true);
+        for p in &self.release_scratch[i..] {
+            self.heap.push(Reverse(*p));
         }
         self.peak_heap = self.peak_heap.max(self.heap.len());
-        self.release_below_watermark(true);
         self.peak_active = self.peak_active.max(self.coord.peak_active_sessions());
     }
 
@@ -789,34 +855,52 @@ impl StreamAnalyzer {
 /// Lines are raw bytes and go straight through the zero-copy scanner
 /// ([`wms::parse_line_bytes`]) — no `String` is ever materialized on this
 /// path.
+/// Per-sub-range maxima folded back into the analyzer after a parallel
+/// parse pass.
+#[derive(Default)]
+struct RangeStats {
+    max_stop: u32,
+    max_start: u32,
+    max_ts: u32,
+    max_dur: u32,
+}
+
 fn parse_range(
-    lines: &[&[u8]],
-    range: std::ops::Range<usize>,
+    text: &[u8],
+    offsets: &[(usize, usize)],
     first_line: u64,
     horizon: Option<u32>,
     shard: &mut ShardSketches,
-) -> (Vec<(u64, LogEntry)>, u32) {
-    let mut kept = Vec::new();
-    let mut max_stop = 0u32;
+    kept: &mut Vec<Pending>,
+) -> RangeStats {
+    let mut st = RangeStats::default();
     // With an inferred horizon the two horizon rules cannot fire (every
     // duration and start is below `max stop + 1`), which `u32::MAX`
     // reproduces without knowing the maximum in advance.
     let classify_horizon = horizon.unwrap_or(u32::MAX);
-    for i in range {
+    for (i, &(s, e)) in offsets.iter().enumerate() {
         let line_no = first_line + i as u64;
-        let raw = lines[i].trim_ascii();
+        let raw = text[s..e].trim_ascii();
         if raw.is_empty() || raw[0] == b'#' {
             continue;
         }
         match wms::parse_line_bytes(raw) {
-            Ok(e) => {
+            Ok(entry) => {
                 shard.parsed += 1;
-                max_stop = max_stop.max(e.stop());
-                match classify(&e, classify_horizon) {
+                st.max_stop = st.max_stop.max(entry.stop());
+                match classify(&entry, classify_horizon) {
                     Some(r) => shard.rejects[reason_index(r)] += 1,
                     None => {
-                        shard.observe(&e);
-                        kept.push((line_no, e));
+                        shard.observe(&entry);
+                        st.max_start = st.max_start.max(entry.start);
+                        st.max_ts = st.max_ts.max(entry.timestamp);
+                        st.max_dur = st.max_dur.max(entry.duration);
+                        kept.push(Pending {
+                            start: entry.start,
+                            timestamp: entry.timestamp,
+                            line: line_no,
+                            entry,
+                        });
                     }
                 }
             }
@@ -830,7 +914,7 @@ fn parse_range(
             }
         }
     }
-    (kept, max_stop)
+    st
 }
 
 /// Kept entries in record order, tagged with 1-based record ordinals,

@@ -103,11 +103,19 @@ pub fn format_log(entries: &[LogEntry]) -> BytesMut {
 /// Cursor over one log line's bytes, splitting on ASCII-whitespace runs.
 ///
 /// Equivalent to `split_ascii_whitespace` but monomorphic, allocation-free
-/// and without iterator adaptor overhead.
+/// and without iterator adaptor overhead. The typed `next_*` methods fuse
+/// field splitting with value parsing — one traversal per field instead of
+/// a boundary scan followed by a digit scan — while accepting exactly the
+/// same grammar as splitting first and parsing second (the error path
+/// rescans the field, but only the error path).
 struct FieldScanner<'a> {
     buf: &'a [u8],
     pos: usize,
 }
+
+/// Exact powers of ten up to `10^7`, all exactly representable in `f32`
+/// (they stay below `2^24`), for the fast decimal-to-float path.
+const POW10_F32: [f32; 8] = [1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7];
 
 impl<'a> FieldScanner<'a> {
     fn new(buf: &'a [u8]) -> Self {
@@ -127,6 +135,207 @@ impl<'a> FieldScanner<'a> {
             self.pos += 1;
         }
         Some(&self.buf[start..self.pos])
+    }
+
+    /// Skips whitespace to the next field, or errors as a missing field.
+    #[inline]
+    fn begin_field(&mut self, i: usize) -> Result<usize, ParseError> {
+        while self.pos < self.buf.len() && self.buf[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= self.buf.len() {
+            return Err(field_error(i, None));
+        }
+        Ok(self.pos)
+    }
+
+    /// True at a field boundary (whitespace or end of line).
+    #[inline]
+    fn at_field_end(&self) -> bool {
+        self.pos >= self.buf.len() || self.buf[self.pos].is_ascii_whitespace()
+    }
+
+    /// Consumes the rest of the current field and builds its error —
+    /// cold path only, so the rescan never taxes well-formed lines.
+    #[cold]
+    fn bad_field(&mut self, i: usize, start: usize) -> ParseError {
+        while self.pos < self.buf.len() && !self.buf[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        field_error(i, Some(&self.buf[start..self.pos]))
+    }
+
+    /// Parses the next field as unsigned decimal (`str::parse::<u64>`
+    /// grammar: optional `+`, one or more digits, overflow rejected).
+    #[inline]
+    fn next_u64(&mut self, i: usize) -> Result<u64, ParseError> {
+        let start = self.begin_field(i)?;
+        if self.buf[self.pos] == b'+' {
+            self.pos += 1;
+        }
+        let mut acc: u64 = 0;
+        let mut any = false;
+        while self.pos < self.buf.len() {
+            let d = self.buf[self.pos].wrapping_sub(b'0');
+            if d > 9 {
+                break;
+            }
+            any = true;
+            match acc
+                .checked_mul(10)
+                .and_then(|a| a.checked_add(u64::from(d)))
+            {
+                Some(a) => acc = a,
+                None => return Err(self.bad_field(i, start)),
+            }
+            self.pos += 1;
+        }
+        if !any || !self.at_field_end() {
+            return Err(self.bad_field(i, start));
+        }
+        Ok(acc)
+    }
+
+    /// [`next_u64`](Self::next_u64) narrowed to `u32`.
+    #[inline]
+    fn next_u32(&mut self, i: usize) -> Result<u32, ParseError> {
+        let start = self.pos;
+        match u32::try_from(self.next_u64(i)?) {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                // Field already consumed; rewind so the error names it.
+                self.pos = start;
+                let at = self.begin_field(i)?;
+                Err(self.bad_field(i, at))
+            }
+        }
+    }
+
+    /// [`next_u64`](Self::next_u64) narrowed to `u16`.
+    #[inline]
+    fn next_u16(&mut self, i: usize) -> Result<u16, ParseError> {
+        let start = self.pos;
+        match u16::try_from(self.next_u64(i)?) {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                self.pos = start;
+                let at = self.begin_field(i)?;
+                Err(self.bad_field(i, at))
+            }
+        }
+    }
+
+    /// [`next_u64`](Self::next_u64) narrowed to `u8`.
+    #[inline]
+    fn next_u8(&mut self, i: usize) -> Result<u8, ParseError> {
+        let start = self.pos;
+        match u8::try_from(self.next_u64(i)?) {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                self.pos = start;
+                let at = self.begin_field(i)?;
+                Err(self.bad_field(i, at))
+            }
+        }
+    }
+
+    /// Parses the next field as a dotted-quad IPv4 address: four octets
+    /// (each with the unsigned-decimal grammar, value <= 255) joined by
+    /// single dots, nothing trailing.
+    #[inline]
+    fn next_ipv4(&mut self, i: usize) -> Result<Ipv4Addr, ParseError> {
+        let start = self.begin_field(i)?;
+        let mut octets = [0u8; 4];
+        for (k, o) in octets.iter_mut().enumerate() {
+            if k > 0 {
+                if self.pos >= self.buf.len() || self.buf[self.pos] != b'.' {
+                    return Err(self.bad_field(i, start));
+                }
+                self.pos += 1;
+            }
+            if self.pos < self.buf.len() && self.buf[self.pos] == b'+' {
+                self.pos += 1;
+            }
+            let mut acc: u32 = 0;
+            let mut any = false;
+            while self.pos < self.buf.len() {
+                let d = self.buf[self.pos].wrapping_sub(b'0');
+                if d > 9 {
+                    break;
+                }
+                any = true;
+                // Saturate instead of overflowing: any value past 255 is
+                // equally invalid, however many digits follow.
+                acc = (acc * 10 + u32::from(d)).min(1000);
+                self.pos += 1;
+            }
+            if !any || acc > 255 {
+                return Err(self.bad_field(i, start));
+            }
+            // lsw::allow(L011): acc <= 255 is checked on the line above
+            *o = acc as u8;
+        }
+        if !self.at_field_end() {
+            return Err(self.bad_field(i, start));
+        }
+        Ok(Ipv4Addr::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
+    }
+
+    /// Parses the next field as `f32`.
+    ///
+    /// Fields matching `\d*\.?\d*` with 1..=7 digits take the exact fast
+    /// path: a `< 2^24` integer mantissa divided by an exact power of ten
+    /// is one correctly-rounded IEEE operation, bit-identical to the
+    /// standard library's correctly-rounded decimal conversion. Everything
+    /// else (signs, exponents, inf/NaN, long mantissas) falls back to
+    /// `str::parse::<f32>` on the whole field.
+    #[inline]
+    fn next_f32(&mut self, i: usize) -> Result<f32, ParseError> {
+        let start = self.begin_field(i)?;
+        let mut mant: u32 = 0;
+        let mut digits = 0u32;
+        let mut frac = 0usize;
+        let mut seen_dot = false;
+        let mut fast = true;
+        let mut p = self.pos;
+        while p < self.buf.len() {
+            let b = self.buf[p];
+            let d = b.wrapping_sub(b'0');
+            if d <= 9 {
+                digits += 1;
+                if digits > 7 {
+                    fast = false;
+                    break;
+                }
+                mant = mant * 10 + u32::from(d);
+                frac += usize::from(seen_dot);
+            } else if b == b'.' && !seen_dot {
+                seen_dot = true;
+            } else if b.is_ascii_whitespace() {
+                break;
+            } else {
+                fast = false;
+                break;
+            }
+            p += 1;
+        }
+        if fast && digits > 0 {
+            self.pos = p;
+            // lsw::allow(L011): digits <= 7 so mant < 10^7 < 2^24 is exact in f32
+            return Ok(mant as f32 / POW10_F32[frac]);
+        }
+        // Fallback: delegate the full float grammar to the standard
+        // library on the borrowed field slice.
+        self.pos = start;
+        let Some(field) = self.next_field() else {
+            return Err(field_error(i, None));
+        };
+        match std::str::from_utf8(field).ok().and_then(|s| s.parse().ok()) {
+            Some(v) => Ok(v),
+            None => Err(field_error(i, Some(field))),
+        }
     }
 }
 
@@ -153,44 +362,10 @@ fn parse_u64_ascii(field: &[u8]) -> Option<u64> {
     Some(acc)
 }
 
-/// Range-checked downcast helpers for the narrower log fields.
-#[inline]
-fn parse_u32_ascii(field: &[u8]) -> Option<u32> {
-    parse_u64_ascii(field).and_then(|v| u32::try_from(v).ok())
-}
-
+/// Range-checked downcast helper for the narrower log fields.
 #[inline]
 fn parse_u16_ascii(field: &[u8]) -> Option<u16> {
     parse_u64_ascii(field).and_then(|v| u16::try_from(v).ok())
-}
-
-#[inline]
-fn parse_u8_ascii(field: &[u8]) -> Option<u8> {
-    parse_u64_ascii(field).and_then(|v| u8::try_from(v).ok())
-}
-
-/// Parses a dotted-quad IPv4 address from raw bytes (four `u8` octets).
-#[inline]
-fn parse_ipv4_ascii(field: &[u8]) -> Option<Ipv4Addr> {
-    let mut octets = [0u8; 4];
-    let mut parts = field.split(|&b| b == b'.');
-    for o in &mut octets {
-        *o = parse_u8_ascii(parts.next()?)?;
-    }
-    if parts.next().is_some() {
-        return None;
-    }
-    Some(Ipv4Addr::from_octets(
-        octets[0], octets[1], octets[2], octets[3],
-    ))
-}
-
-/// Parses an `f32` field. Float grammar is delegated to the standard
-/// library on a borrowed subslice — still zero-copy (UTF-8 validation of a
-/// short field, no allocation); only the field *scanning* is hand-rolled.
-#[inline]
-fn parse_f32_ascii(field: &[u8]) -> Option<f32> {
-    std::str::from_utf8(field).ok()?.parse::<f32>().ok()
 }
 
 /// Extracts the object id from a `/live/feedN.asf` URI stem (byte form).
@@ -257,9 +432,10 @@ fn trailing_error() -> ParseError {
 /// ([`legacy::parse_line_str`]); the two are differentially tested.
 pub fn parse_line_bytes(line: &[u8]) -> Result<LogEntry, ParseError> {
     let mut sc = FieldScanner::new(line);
-    // Monomorphic scan: each step grabs the next field and parses it; any
-    // failure routes through the cold error constructor with the field's
-    // positional name.
+    // Monomorphic scan, one traversal per field: the typed scanner methods
+    // parse while they split, and the short free-form fields (country,
+    // URI stem) split first and parse second; any failure routes through
+    // the cold error constructor with the field's positional name.
     macro_rules! field {
         ($i:literal, $parse:expr) => {{
             let f = sc.next_field();
@@ -269,20 +445,20 @@ pub fn parse_line_bytes(line: &[u8]) -> Result<LogEntry, ParseError> {
             }
         }};
     }
-    let timestamp = field!(0, parse_u32_ascii);
-    let start = field!(1, parse_u32_ascii);
-    let duration = field!(2, parse_u32_ascii);
-    let client = ClientId(field!(3, parse_u32_ascii));
-    let ip = field!(4, parse_ipv4_ascii);
-    let as_id = AsId(field!(5, parse_u16_ascii));
+    let timestamp = sc.next_u32(0)?;
+    let start = sc.next_u32(1)?;
+    let duration = sc.next_u32(2)?;
+    let client = ClientId(sc.next_u32(3)?);
+    let ip = sc.next_ipv4(4)?;
+    let as_id = AsId(sc.next_u16(5)?);
     let country = field!(6, parse_country_ascii);
     let object = field!(7, parse_uri_bytes);
-    let camera = field!(8, parse_u8_ascii);
-    let bytes = field!(9, parse_u64_ascii);
-    let avg_bandwidth = field!(10, parse_u32_ascii);
-    let packet_loss = field!(11, parse_f32_ascii);
-    let cpu_util = field!(12, parse_f32_ascii);
-    let status = field!(13, parse_u16_ascii);
+    let camera = sc.next_u8(8)?;
+    let bytes = sc.next_u64(9)?;
+    let avg_bandwidth = sc.next_u32(10)?;
+    let packet_loss = sc.next_f32(11)?;
+    let cpu_util = sc.next_f32(12)?;
+    let status = sc.next_u16(13)?;
     if sc.next_field().is_some() {
         return Err(trailing_error());
     }
@@ -477,6 +653,27 @@ pub fn byte_lines(bytes: &[u8]) -> ByteLines<'_> {
     ByteLines { rest: bytes }
 }
 
+/// Position of the first `\n` in `hay`, scanning a word at a time
+/// (SWAR zero-byte trick on `hay ^ \n`); the byte loop only runs on the
+/// sub-word tail.
+#[inline]
+fn find_newline(hay: &[u8]) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const NL: u64 = 0x0A0A_0A0A_0A0A_0A0A;
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        // lsw::allow(L005): an 8-byte slice always converts to [u8; 8]
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte slice")) ^ NL;
+        let hit = w.wrapping_sub(LO) & !w & HI;
+        if hit != 0 {
+            return Some(i + (hit.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == b'\n').map(|p| i + p)
+}
+
 impl<'a> Iterator for ByteLines<'a> {
     type Item = &'a [u8];
 
@@ -487,7 +684,7 @@ impl<'a> Iterator for ByteLines<'a> {
         // `str::lines` semantics: split on `\n`, strip a `\r` only when it
         // immediately precedes the `\n`; a final unterminated line keeps
         // any trailing `\r`.
-        match self.rest.iter().position(|&b| b == b'\n') {
+        match find_newline(self.rest) {
             Some(pos) => {
                 let mut line = &self.rest[..pos];
                 self.rest = &self.rest[pos + 1..];
@@ -749,20 +946,39 @@ mod tests {
         assert!(parse_line(&line).is_err());
     }
 
+    /// Runs one fused scanner method over a standalone field, requiring
+    /// the whole input to be consumed — the test-side analogue of the old
+    /// split-then-parse helpers.
+    fn scan_one<T>(
+        s: &[u8],
+        f: impl FnOnce(&mut FieldScanner<'_>) -> Result<T, ParseError>,
+    ) -> Option<T> {
+        let mut sc = FieldScanner::new(s);
+        let v = f(&mut sc).ok()?;
+        sc.next_field().is_none().then_some(v)
+    }
+
+    fn scan_u32(s: &[u8]) -> Option<u32> {
+        scan_one(s, |sc| sc.next_u32(0))
+    }
+
     #[test]
     fn integer_fields_follow_std_acceptance_rules() {
         // Optional '+', no '-', no empty, overflow rejected — exactly
         // str::parse::<uN> semantics, so the legacy oracle agrees.
-        assert_eq!(parse_u32_ascii(b"+5"), Some(5));
-        assert_eq!(parse_u32_ascii(b"0"), Some(0));
-        assert_eq!(parse_u32_ascii(b"4294967295"), Some(u32::MAX));
-        assert_eq!(parse_u32_ascii(b"4294967296"), None);
-        assert_eq!(parse_u32_ascii(b"-1"), None);
-        assert_eq!(parse_u32_ascii(b""), None);
-        assert_eq!(parse_u32_ascii(b"+"), None);
-        assert_eq!(parse_u32_ascii(b"1_0"), None);
-        assert_eq!(parse_u64_ascii(b"18446744073709551615"), Some(u64::MAX));
-        assert_eq!(parse_u64_ascii(b"18446744073709551616"), None);
+        assert_eq!(scan_u32(b"+5"), Some(5));
+        assert_eq!(scan_u32(b"0"), Some(0));
+        assert_eq!(scan_u32(b"4294967295"), Some(u32::MAX));
+        assert_eq!(scan_u32(b"4294967296"), None);
+        assert_eq!(scan_u32(b"-1"), None);
+        assert_eq!(scan_u32(b""), None);
+        assert_eq!(scan_u32(b"+"), None);
+        assert_eq!(scan_u32(b"1_0"), None);
+        assert_eq!(
+            scan_one(b"18446744073709551615", |sc| sc.next_u64(0)),
+            Some(u64::MAX)
+        );
+        assert_eq!(scan_one(b"18446744073709551616", |sc| sc.next_u64(0)), None);
     }
 
     #[test]
@@ -775,13 +991,49 @@ mod tests {
             "1.2.3",
             "1.2.3.4.5",
             "1.2.3.256",
+            "1.2.3.00000000000000256",
             "a.b.c.d",
             "...",
             "+1.+2.+3.+4",
         ] {
-            let fast = parse_ipv4_ascii(s.as_bytes());
+            let fast = scan_one(s.as_bytes(), |sc| sc.next_ipv4(0));
             let slow = Ipv4Addr::from_str(s).ok();
             assert_eq!(fast, slow, "ip {s:?}");
+        }
+    }
+
+    #[test]
+    fn float_fast_path_matches_std_parse() {
+        // The fused f32 path must be bit-identical to str::parse::<f32>
+        // on every field the encoder can emit and fall back (same bits
+        // again) on everything else.
+        for s in [
+            "0.0100",
+            "0.050",
+            "0.9999",
+            "1.0000",
+            "12.345",
+            "0.0001",
+            "5.",
+            ".5",
+            "7",
+            "9999999",
+            "10000000",
+            "123.4567",
+            "1e3",
+            "-0.5",
+            "+0.5",
+            "inf",
+            "NaN",
+            "3.40282347e38",
+        ] {
+            let fast = scan_one(s.as_bytes(), |sc| sc.next_f32(0));
+            let slow = s.parse::<f32>().ok();
+            assert_eq!(
+                fast.map(f32::to_bits),
+                slow.map(f32::to_bits),
+                "f32 {s:?}: {fast:?} vs {slow:?}"
+            );
         }
     }
 

@@ -160,8 +160,9 @@ fn crate_alias(seg: &str, current: &str) -> Option<String> {
 }
 
 /// Functions treated as thread entry points for the L008 nonblocking
-/// contract: the replay worker-shard poll loop.
-const L008_ENTRY_FNS: &[&str] = &["worker_loop"];
+/// contract: the replay reactor shard, the legacy tick-plane worker,
+/// and the load driver's event loop.
+const L008_ENTRY_FNS: &[&str] = &["reactor_loop", "tick_worker_loop", "drive"];
 
 /// A lock identity: `(crate, field name)`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -327,6 +328,11 @@ pub fn graph_rules(files: &[AnalyzedFile]) -> Vec<(usize, Diagnostic)> {
                 } else if name == "recv" {
                     blocking.push(Blocking {
                         what: "unbounded `.recv()` (blocks until a sender acts)".to_owned(),
+                        tok: k,
+                    });
+                } else if name == "poll" {
+                    blocking.push(Blocking {
+                        what: "`.poll()` (blocking readiness wait)".to_owned(),
                         tok: k,
                     });
                 }
@@ -750,7 +756,8 @@ fn l008_blocking_reachability(
     fns: &[FnInfo],
     diags: &mut Vec<(usize, Diagnostic)>,
 ) {
-    // Entry points: `worker_loop` definitions in lock-scope files.
+    // Entry points: the data-plane loop definitions (`L008_ENTRY_FNS`)
+    // in lock-scope files.
     let entries: Vec<usize> = fns
         .iter()
         .enumerate()
@@ -933,7 +940,7 @@ mod tests {
 
     #[test]
     fn l008_flags_sleep_reachable_from_worker_loop() {
-        let src = "fn worker_loop() { helper(); }\n\
+        let src = "fn reactor_loop() { helper(); }\n\
                    fn helper() { std::thread::sleep(d); }\n\
                    fn unreachable_helper() { std::thread::sleep(d); }";
         let fired = rules_fired(&[lock_file("crates/replay/src/w.rs", "replay", src)]);
@@ -949,7 +956,7 @@ mod tests {
     fn l008_guard_and_recv_patterns() {
         let src = "struct S { m: Mutex<u32> }\n\
                    impl S {\n\
-                       fn worker_loop(&self, rx: Receiver<u8>) {\n\
+                       fn reactor_loop(&self, rx: Receiver<u8>) {\n\
                            let x = rx.recv();\n\
                            self.m.lock().checked_add(1);\n\
                        }\n\

@@ -172,14 +172,19 @@ fn impl_owner(toks: &[Token], i: usize) -> Option<String> {
 fn fn_body_range(toks: &[Token], from: usize) -> Option<(usize, usize)> {
     let mut j = from;
     let mut angle = 0i32;
+    let mut nest = 0i32;
     // Scan the header: generics may contain `{` only inside const-generic
     // braces, which we conservatively treat as the body start (rare, and
-    // an over-wide body only over-approximates reachability).
+    // an over-wide body only over-approximates reachability). A `;` ends
+    // the header only outside parens/brackets — array types in parameter
+    // or return position (`[T; N]`) carry their own semicolons.
     while j < toks.len() {
         match &toks[j].kind {
             crate::lexer::TokenKind::Punct('<') => angle += 1,
             crate::lexer::TokenKind::Punct('>') => angle -= 1,
-            crate::lexer::TokenKind::Punct(';') if angle <= 0 => return None,
+            crate::lexer::TokenKind::Punct('(') | crate::lexer::TokenKind::Punct('[') => nest += 1,
+            crate::lexer::TokenKind::Punct(')') | crate::lexer::TokenKind::Punct(']') => nest -= 1,
+            crate::lexer::TokenKind::Punct(';') if angle <= 0 && nest <= 0 => return None,
             crate::lexer::TokenKind::Punct('{') => break,
             _ => {}
         }
@@ -476,5 +481,16 @@ mod tests {
         for f in items(src).fns {
             assert_eq!(&src[f.name_span.0..f.name_span.1], f.name);
         }
+    }
+
+    #[test]
+    fn array_type_semicolons_do_not_end_the_header() {
+        // `[T; N]` in parameter or return position must not read as a
+        // bodiless trait declaration.
+        let src = "fn f(s: &mut [u8; 32]) -> [u8; 4] { body() }\nfn g();";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 2);
+        assert!(it.fns[0].body.is_some());
+        assert!(it.fns[1].body.is_none());
     }
 }

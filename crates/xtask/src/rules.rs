@@ -615,6 +615,12 @@ fn rule_l002(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
             "TcpStream" if path_call(toks, i, "connect") => {
                 Some((format!("{name}::connect"), true))
             }
+            // Reactor endpoints: an epoll instance, timerfd, or wakeup
+            // eventfd is an OS handle with kernel-scheduled readiness,
+            // exactly like a socket.
+            "Poll" | "TimerFd" | "Waker" if path_call(toks, i, "new") => {
+                Some((format!("{name}::new"), true))
+            }
             _ => None,
         };
         if let Some((what, socket)) = flagged {

@@ -29,6 +29,9 @@ const BOUNDED_MEM_FILES: &[&str] = &[
     "crates/replay/src/server.rs",
     "crates/replay/src/driver.rs",
     "crates/replay/src/metrics.rs",
+    "crates/replay/src/payload.rs",
+    "crates/replay/src/slab.rs",
+    "crates/replay/src/wheel.rs",
     "crates/stream/src/ingest.rs",
     "crates/stream/src/coord.rs",
 ];
@@ -204,6 +207,9 @@ mod tests {
         assert!(!classify("crates/core/src/session.rs").lock_scope);
 
         assert!(classify("crates/replay/src/server.rs").bounded_mem);
+        assert!(classify("crates/replay/src/payload.rs").bounded_mem);
+        assert!(classify("crates/replay/src/slab.rs").bounded_mem);
+        assert!(classify("crates/replay/src/wheel.rs").bounded_mem);
         assert!(classify("crates/stream/src/ingest.rs").bounded_mem);
         assert!(!classify("crates/stream/src/hll.rs").bounded_mem);
         assert!(classify("crates/stream/src/sample.rs").bounded_container);

@@ -7,7 +7,7 @@ pub struct Shard {
 }
 
 impl Shard {
-    pub fn worker_loop(&self, rx: Receiver<u64>) {
+    pub fn reactor_loop(&self, rx: Receiver<u64>) {
         let job = rx.recv();
         std::thread::sleep(Duration::from_millis(1));
         // lsw::allow(L008): fixture — critical section is two integer loads

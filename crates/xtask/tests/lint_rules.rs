@@ -182,7 +182,7 @@ fn l008_flags_only_reachable_blocking_sites() {
         .find(|f| f.diag.line == 19)
         .expect("helper lock site");
     assert!(
-        helper_site.diag.message.contains("worker_loop → helper"),
+        helper_site.diag.message.contains("reactor_loop → helper"),
         "call path named: {}",
         helper_site.diag.message
     );

@@ -1,0 +1,795 @@
+//! Vendored subset of the `mio` crate: readiness polling over Linux
+//! `epoll(7)` plus an `eventfd(2)`-backed [`Waker`].
+//!
+//! Implements exactly the surface the workspace's replay reactor uses:
+//! [`Poll`]/[`Registry`]/[`Events`]/[`Token`]/[`Interest`], the
+//! [`unix::SourceFd`] adapter for registering any raw file descriptor,
+//! and [`Waker`]. Two deliberate divergences from upstream, both safe
+//! for this workspace's usage:
+//!
+//! * Sources are registered **level-triggered** (upstream mio is
+//!   edge-triggered). Level-triggered cannot lose readiness on a
+//!   partial drain, which is the forgiving behavior the reactor's
+//!   read-until-`WouldBlock` loops want.
+//! * The [`Waker`]'s eventfd is registered edge-triggered, so a wake is
+//!   delivered once per `wake()` burst and the counter never needs
+//!   draining (it would take `u64::MAX` wakes to saturate).
+//!
+//! This is the one sanctioned home for the `unsafe` FFI the reactor
+//! needs: the first-party crates are `forbid(unsafe_code)`, and the
+//! linker already provides these glibc symbols via std.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// Identifier handed back with each readiness event; carried through the
+/// kernel verbatim in `epoll_data`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (combine with `|`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// True if this interest includes read readiness.
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// True if this interest includes write readiness.
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    /// True if this interest requests edge-triggered delivery.
+    pub const fn is_edge(self) -> bool {
+        self.0 & 0b100 != 0
+    }
+
+    /// Requests edge-triggered delivery for this registration (a
+    /// divergence from upstream mio, which is always edge-triggered;
+    /// this vendored subset defaults to level-triggered).
+    ///
+    /// Level-triggered `EPOLLOUT` re-reports a write-blocked socket on
+    /// every `epoll_wait` while the peer drains it, which at overload
+    /// degenerates into one sliver-sized write per wake. The edge fires
+    /// once per writability *transition*, so each wake amortizes a full
+    /// drain-hysteresis batch. Only safe for callers that always read
+    /// and write to `WouldBlock` before re-polling — which is the
+    /// discipline every loop in this workspace follows.
+    pub const fn edge(self) -> Interest {
+        Interest(self.0 | 0b100)
+    }
+
+    /// Union of two interests (upstream's `Interest::add`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw epoll / eventfd FFI (glibc, already linked by std).
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// Mirror of the kernel's `struct epoll_event`. On x86-64 the kernel ABI
+/// packs the 12-byte struct (no padding after `events`); other targets
+/// use natural C layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn listen(sockfd: i32, backlog: i32) -> i32;
+    fn setsockopt(sockfd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn splice(
+        fd_in: i32,
+        off_in: *mut i64,
+        fd_out: i32,
+        off_out: *mut i64,
+        len: usize,
+        flags: u32,
+    ) -> isize;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+}
+
+const SOL_SOCKET: i32 = 1;
+const SO_SNDBUF: i32 = 7;
+const SO_RCVBUF: i32 = 8;
+
+fn set_buffer(fd: RawFd, opt: i32, bytes: i32) -> io::Result<()> {
+    // SAFETY: plain syscall; the kernel copies the 4-byte optval before
+    // returning and clamps it to the net.core.{w,r}mem_max sysctl.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            opt,
+            &bytes,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Requests a `SO_SNDBUF` of `bytes` for `fd` (the kernel doubles the
+/// value for bookkeeping and clamps to `net.core.wmem_max`).
+///
+/// A paced streaming server wants its whole per-deadline burst — and,
+/// when running behind, the accumulated entitlement — to land in one
+/// `writev(2)`; the 208 KiB default turns megabyte catch-up writes into
+/// partial-write/`EPOLLOUT` round trips.
+pub fn set_send_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
+    set_buffer(fd, SO_SNDBUF, bytes)
+}
+
+/// Requests a `SO_RCVBUF` of `bytes` for `fd` (doubled and clamped to
+/// `net.core.rmem_max` by the kernel). The receiving load driver uses
+/// this to keep the server's bursts from blocking on a full window.
+pub fn set_recv_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
+    set_buffer(fd, SO_RCVBUF, bytes)
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy drain.
+
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+const F_SETPIPE_SZ: i32 = 1031;
+const SPLICE_F_MOVE: u32 = 1;
+const SPLICE_F_NONBLOCK: u32 = 2;
+
+/// Discards a socket's inbound bytes without copying them to userspace:
+/// `splice(2)` moves the kernel's receive pages into a private pipe and
+/// from there into `/dev/null`, where they are dropped page-by-page.
+///
+/// A closed-loop load driver that only *counts* payload bytes pays the
+/// full skb-to-userspace memcpy on every `read(2)` — at several GB/s of
+/// drain that memcpy is the harness's dominant cost and caps what the
+/// server under test can be observed to serve. Splicing removes it.
+#[derive(Debug)]
+pub struct SpliceSink {
+    pipe_r: OwnedFd,
+    pipe_w: OwnedFd,
+    devnull: std::fs::File,
+}
+
+impl SpliceSink {
+    /// Opens the pipe pair and the `/dev/null` sink. The pipe is grown
+    /// best-effort to 1 MiB so one splice can move a whole paced burst.
+    pub fn new() -> io::Result<SpliceSink> {
+        let mut fds = [-1i32; 2];
+        // SAFETY: plain syscall writing two fds into a live stack array.
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: both fds were just returned by pipe2 and nothing else
+        // owns them; each OwnedFd takes over its single close.
+        let (pipe_r, pipe_w) =
+            unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) };
+        // SAFETY: plain syscall on the pipe fd; failure leaves the
+        // default 64 KiB capacity, which is merely slower.
+        unsafe { fcntl(pipe_w.as_raw_fd(), F_SETPIPE_SZ, 1 << 20) };
+        let devnull = std::fs::OpenOptions::new().write(true).open("/dev/null")?;
+        Ok(SpliceSink {
+            pipe_r,
+            pipe_w,
+            devnull,
+        })
+    }
+
+    /// Moves up to `max` bytes from `from` into `/dev/null` without a
+    /// userspace copy. Returns `Ok(0)` on EOF, `WouldBlock` when the
+    /// socket has nothing to drain, and any other error verbatim (a
+    /// caller can fall back to `read(2)` on e.g. `EINVAL`).
+    pub fn drain(&self, from: RawFd, max: usize) -> io::Result<usize> {
+        use std::ptr;
+        // SAFETY: plain syscall between two live fds; null offsets mean
+        // "use the fds' own positions", required for sockets and pipes.
+        let moved = unsafe {
+            splice(
+                from,
+                ptr::null_mut(),
+                self.pipe_w.as_raw_fd(),
+                ptr::null_mut(),
+                max,
+                SPLICE_F_MOVE | SPLICE_F_NONBLOCK,
+            )
+        };
+        if moved < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // Sink the pipe into /dev/null; its write side never blocks, so
+        // this always makes progress until the pipe is empty again.
+        let mut left = moved as usize;
+        while left > 0 {
+            // SAFETY: as above.
+            let out = unsafe {
+                splice(
+                    self.pipe_r.as_raw_fd(),
+                    ptr::null_mut(),
+                    self.devnull.as_raw_fd(),
+                    ptr::null_mut(),
+                    left,
+                    SPLICE_F_MOVE | SPLICE_F_NONBLOCK,
+                )
+            };
+            if out <= 0 {
+                // /dev/null cannot reject pages; anything here is a
+                // kernel refusing splice altogether.
+                return Err(io::Error::last_os_error());
+            }
+            left -= out as usize;
+        }
+        Ok(moved as usize)
+    }
+}
+
+/// Re-issues `listen(2)` on an already-listening socket to widen its
+/// accept backlog (the kernel clamps to `net.core.somaxconn`).
+///
+/// `std::net::TcpListener::bind` hardcodes a backlog of 128; a replay
+/// driver opening thousands of subscriber connections in one burst
+/// overflows that queue, and every dropped SYN stalls the client in a
+/// seconds-long retransmit timeout. Linux applies the new backlog to a
+/// live listener in place, so this is safe to call after `bind`.
+pub fn widen_listen_backlog(l: &std::net::TcpListener, backlog: i32) -> io::Result<()> {
+    // SAFETY: plain syscall on a live listening fd; `listen` only
+    // updates the queue bound and cannot invalidate the descriptor.
+    let rc = unsafe { listen(l.as_raw_fd(), backlog) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Wraps a raw fd freshly returned by the kernel into an [`OwnedFd`],
+/// or surfaces `errno` if the call failed.
+fn owned_fd(raw: i32) -> io::Result<OwnedFd> {
+    if raw < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `raw` is a live fd the kernel just handed us and nothing
+    // else owns it; OwnedFd takes over the single close.
+    Ok(unsafe { OwnedFd::from_raw_fd(raw) })
+}
+
+// ---------------------------------------------------------------------
+// Registration.
+
+/// Handle for (de)registering event sources with a [`Poll`] instance.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: OwnedFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token.0 as u64,
+        };
+        // SAFETY: `ev` is a live, correctly-laid-out epoll_event for the
+        // duration of the call; the kernel copies it before returning.
+        let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn mask(interests: Interest) -> u32 {
+        let mut m = 0;
+        if interests.is_readable() {
+            // RDHUP lets a level-triggered source report peer half-close
+            // as `is_read_closed` without a read() probe.
+            m |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interests.is_writable() {
+            m |= EPOLLOUT;
+        }
+        if interests.is_edge() {
+            m |= EPOLLET;
+        }
+        m
+    }
+
+    /// Registers `source` for level-triggered readiness under `token`.
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.raw_fd(), Self::mask(interests), token)
+    }
+
+    /// Replaces an existing registration's interest set and token.
+    pub fn reregister<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.raw_fd(), Self::mask(interests), token)
+    }
+
+    /// Removes `source` from the poller.
+    pub fn deregister<S: Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.raw_fd(), 0, Token(0))
+    }
+}
+
+/// An event source that can be registered with a [`Registry`].
+pub trait Source {
+    /// The raw file descriptor to poll.
+    fn raw_fd(&self) -> RawFd;
+}
+
+/// Adapters for registering arbitrary unix file descriptors.
+pub mod unix {
+    use super::Source;
+    use std::os::fd::RawFd;
+
+    /// Registers any raw fd (timerfd, a std `TcpStream`, …) by
+    /// reference, without taking ownership.
+    #[derive(Debug)]
+    pub struct SourceFd<'a>(pub &'a RawFd);
+
+    impl Source for SourceFd<'_> {
+        fn raw_fd(&self) -> RawFd {
+            *self.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Polling.
+
+/// The epoll instance: readiness polling for many sources at once.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = owned_fd(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle for this poller.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, the timeout
+    /// elapses, or a [`Waker`] fires; fills `events` with what is ready.
+    ///
+    /// `None` blocks indefinitely. A timeout is rounded **up** to the
+    /// next millisecond (epoll granularity): callers wanting finer wakeup
+    /// precision register a timerfd instead of relying on the timeout.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+        };
+        events.len = 0;
+        loop {
+            // SAFETY: `buf` holds `capacity` writable epoll_event slots
+            // for the duration of the call; the kernel writes at most
+            // `maxevents` of them and we trust its returned count.
+            let rc = unsafe {
+                epoll_wait(
+                    self.registry.epfd.as_raw_fd(),
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                events.len = rc as usize;
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// A buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can hold up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.clamp(1, i32::MAX as usize)],
+            len: 0,
+        }
+    }
+
+    /// Iterates the events delivered by the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|&e| Event(e))
+    }
+
+    /// True when the last poll delivered nothing (pure timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events").field("len", &self.len).finish()
+    }
+}
+
+/// One readiness event.
+#[derive(Clone, Copy)]
+pub struct Event(EpollEvent);
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        let data = self.0.data;
+        Token(data as usize)
+    }
+
+    fn bits(&self) -> u32 {
+        self.0.events
+    }
+
+    /// Read readiness (includes hangup: a closed peer is "readable" —
+    /// the read returns 0).
+    pub fn is_readable(&self) -> bool {
+        self.bits() & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Write readiness.
+    pub fn is_writable(&self) -> bool {
+        self.bits() & EPOLLOUT != 0
+    }
+
+    /// Error condition on the source (fetch it with a read/write).
+    pub fn is_error(&self) -> bool {
+        self.bits() & EPOLLERR != 0
+    }
+
+    /// The peer shut down its write half (or the whole connection).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits() & (EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event")
+            .field("token", &self.token())
+            .field("readable", &self.is_readable())
+            .field("writable", &self.is_writable())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waker.
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread.
+#[derive(Debug)]
+pub struct Waker {
+    fd: OwnedFd,
+}
+
+impl Waker {
+    /// Creates a waker delivering [`Event`]s under `token` to `registry`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = owned_fd(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // Edge-triggered: each wake() write is a fresh edge, and the
+        // counter never needs draining on the poll side.
+        registry.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), EPOLLIN | EPOLLET, token)?;
+        Ok(Waker { fd })
+    }
+
+    /// Wakes the associated poller (idempotent, thread-safe).
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack buffer to an eventfd.
+        let rc = unsafe { write(self.fd.as_raw_fd(), (&one as *const u64).cast(), 8) };
+        // EAGAIN means the counter is already saturated — the poller has
+        // a pending wake either way.
+        if rc == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+}
+
+impl Source for std::net::TcpStream {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+impl Source for std::net::TcpListener {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write as _};
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let mut poll = Poll::new().expect("epoll");
+        let waker = Waker::new(poll.registry(), Token(7)).expect("waker");
+        let mut events = Events::with_capacity(8);
+        std::thread::scope(|s| {
+            s.spawn(|| waker.wake().expect("wake"));
+            poll.poll(&mut events, Some(Duration::from_secs(5)))
+                .expect("poll");
+        });
+        let toks: Vec<Token> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(toks, vec![Token(7)]);
+        assert!(events.iter().all(|e| e.is_readable()));
+    }
+
+    #[test]
+    fn widen_listen_backlog_accepts_a_live_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        widen_listen_backlog(&listener, 4096).expect("widen");
+        // The listener still accepts after the backlog update.
+        let addr = listener.local_addr().expect("addr");
+        let _client = std::net::TcpStream::connect(addr).expect("connect");
+        listener.accept().expect("accept");
+    }
+
+    #[test]
+    fn socket_readiness_is_level_triggered() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let mut poll = Poll::new().expect("epoll");
+        poll.registry()
+            .register(&mut server, Token(1), Interest::READABLE)
+            .expect("register");
+        client.write_all(b"hello").expect("write");
+
+        let mut events = Events::with_capacity(8);
+        for _ in 0..2 {
+            // Level-triggered: unread data keeps re-reporting readable.
+            poll.poll(&mut events, Some(Duration::from_secs(5)))
+                .expect("poll");
+            assert!(events
+                .iter()
+                .any(|e| e.token() == Token(1) && e.is_readable()));
+        }
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read(&mut buf).expect("read"), 5);
+
+        // Drained: nothing ready now.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .expect("poll");
+        assert!(events.is_empty());
+
+        // Peer close is reported as read-closed.
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert!(events.iter().any(|e| e.is_read_closed()));
+    }
+
+    #[test]
+    fn splice_sink_counts_drained_bytes_and_reports_eof() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let sink = SpliceSink::new().expect("splice sink");
+        // Empty socket: nothing to move yet.
+        let empty = sink.drain(server.as_raw_fd(), 1 << 20);
+        assert_eq!(
+            empty.expect_err("no bytes queued").kind(),
+            io::ErrorKind::WouldBlock
+        );
+
+        let payload = vec![0xa5u8; 192 * 1024];
+        client.write_all(&payload).expect("write");
+        let mut drained = 0usize;
+        while drained < payload.len() {
+            match sink.drain(server.as_raw_fd(), 1 << 20) {
+                Ok(0) => panic!("EOF before the payload drained"),
+                Ok(n) => drained += n,
+                // The writer may still be mid-flight; readiness is the
+                // reactor's job, a spin is fine in a test.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("drain: {e}"),
+            }
+        }
+        assert_eq!(drained, payload.len());
+
+        // Peer close surfaces as Ok(0), mirroring read(2).
+        drop(client);
+        loop {
+            match sink.drain(server.as_raw_fd(), 1 << 20) {
+                Ok(0) => break,
+                Ok(_) => panic!("nothing left to drain"),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("drain after close: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edge_writable_fires_on_transition_not_level() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        // Fill the send buffer until the socket stops being writable.
+        let chunk = [0u8; 65536];
+        loop {
+            match server.write(&chunk) {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("fill: {e}"),
+            }
+        }
+
+        let mut poll = Poll::new().expect("epoll");
+        poll.registry()
+            .register(
+                &mut server,
+                Token(3),
+                (Interest::READABLE | Interest::WRITABLE).edge(),
+            )
+            .expect("register");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .expect("poll");
+        assert!(
+            !events.iter().any(|e| e.is_writable()),
+            "full buffer is not writable"
+        );
+
+        // Drain the peer: the not-writable → writable transition is one
+        // edge...
+        client
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .expect("timeout");
+        let mut sink = vec![0u8; 1 << 20];
+        let mut drained = 0usize;
+        loop {
+            match client.read(&mut sink) {
+                Ok(0) => break,
+                Ok(n) => drained += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break
+                }
+                Err(e) => panic!("drain: {e}"),
+            }
+        }
+        assert!(drained > 0, "peer drained something");
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(3) && e.is_writable()));
+
+        // ...and, unlike level-triggered delivery, it does not re-report
+        // while the socket merely stays writable.
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .expect("poll");
+        assert!(!events.iter().any(|e| e.is_writable()));
+        drop(client);
+    }
+
+    #[test]
+    fn writable_interest_toggles_with_reregister() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+
+        let mut poll = Poll::new().expect("epoll");
+        poll.registry()
+            .register(&mut server, Token(2), Interest::READABLE)
+            .expect("register");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .expect("poll");
+        assert!(events.is_empty(), "no read interest satisfied yet");
+
+        poll.registry()
+            .reregister(
+                &mut server,
+                Token(2),
+                Interest::READABLE | Interest::WRITABLE,
+            )
+            .expect("reregister");
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(2) && e.is_writable()));
+
+        poll.registry().deregister(&mut server).expect("deregister");
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .expect("poll");
+        assert!(events.is_empty());
+        drop(client);
+    }
+}

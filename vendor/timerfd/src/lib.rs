@@ -1,0 +1,148 @@
+//! Vendored subset of the `timerfd` crate: nanosecond-resolution
+//! one-shot timers as a pollable file descriptor (`timerfd_create(2)`).
+//!
+//! The replay reactor arms one of these to its timing wheel's next
+//! deadline and registers it with epoll, sidestepping `epoll_wait`'s
+//! millisecond timeout granularity. One divergence from upstream: the
+//! fd is created non-blocking, so [`TimerFd::read`] returns 0 instead
+//! of blocking when the timer has not expired (the reactor only reads
+//! after epoll reports the fd readable).
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+const CLOCK_MONOTONIC: i32 = 1;
+const TFD_CLOEXEC: i32 = 0o2000000;
+const TFD_NONBLOCK: i32 = 0o4000;
+
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct Itimerspec {
+    it_interval: Timespec,
+    it_value: Timespec,
+}
+
+extern "C" {
+    fn timerfd_create(clockid: i32, flags: i32) -> i32;
+    fn timerfd_settime(
+        fd: i32,
+        flags: i32,
+        new_value: *const Itimerspec,
+        old_value: *mut Itimerspec,
+    ) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+}
+
+/// What a timer should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerState {
+    /// No pending expiration.
+    Disarmed,
+    /// Expire once, `Duration` from now.
+    Oneshot(Duration),
+}
+
+/// A one-shot monotonic timer backed by a pollable file descriptor.
+#[derive(Debug)]
+pub struct TimerFd {
+    fd: OwnedFd,
+}
+
+impl TimerFd {
+    /// Creates a disarmed monotonic timer.
+    pub fn new() -> io::Result<TimerFd> {
+        // SAFETY: plain syscall, no pointers.
+        let raw = unsafe { timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK) };
+        if raw < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `raw` is a live fd the kernel just handed us and
+        // nothing else owns it; OwnedFd takes over the single close.
+        let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+        Ok(TimerFd { fd })
+    }
+
+    /// Arms or disarms the timer. A zero `Oneshot` duration is bumped to
+    /// one nanosecond (zero would disarm at the kernel level); the fd
+    /// then becomes readable effectively immediately.
+    pub fn set_state(&mut self, state: TimerState) -> io::Result<()> {
+        let spec = match state {
+            TimerState::Disarmed => Itimerspec::default(),
+            TimerState::Oneshot(d) => {
+                let nanos = d.as_nanos().max(1);
+                Itimerspec {
+                    it_interval: Timespec::default(),
+                    it_value: Timespec {
+                        tv_sec: i64::try_from(nanos / 1_000_000_000).unwrap_or(i64::MAX),
+                        tv_nsec: (nanos % 1_000_000_000) as i64,
+                    },
+                }
+            }
+        };
+        // SAFETY: `spec` is a live, correctly-laid-out itimerspec for
+        // the duration of the call; old_value is allowed to be null.
+        let rc = unsafe { timerfd_settime(self.fd.as_raw_fd(), 0, &spec, std::ptr::null_mut()) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Consumes and returns the number of expirations since the last
+    /// read: 0 when the timer has not fired (the fd is non-blocking).
+    pub fn read(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a live stack buffer.
+        let rc = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), 8) };
+        if rc == 8 {
+            u64::from_ne_bytes(buf)
+        } else {
+            0
+        }
+    }
+}
+
+impl AsRawFd for TimerFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oneshot_fires_once() {
+        let mut t = TimerFd::new().expect("timerfd");
+        assert_eq!(t.read(), 0, "disarmed timer has no expirations");
+        t.set_state(TimerState::Oneshot(Duration::from_millis(5)))
+            .expect("arm");
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(t.read(), 1);
+        assert_eq!(t.read(), 0, "expiration count is consumed by read");
+    }
+
+    #[test]
+    fn rearm_and_disarm() {
+        let mut t = TimerFd::new().expect("timerfd");
+        t.set_state(TimerState::Oneshot(Duration::from_secs(3600)))
+            .expect("arm far out");
+        t.set_state(TimerState::Disarmed).expect("disarm");
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(t.read(), 0, "disarmed timer never fires");
+        // Zero-duration oneshot still fires (bumped to 1ns, not disarm).
+        t.set_state(TimerState::Oneshot(Duration::ZERO))
+            .expect("arm");
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(t.read(), 1);
+    }
+}

@@ -109,6 +109,81 @@ fn replay_run(plane: DataPlane) -> (u64, f64, f64) {
     (outcome.bytes_received, p50 / 1e3, p99 / 1e3)
 }
 
+/// Edge fan-out regime: 256 clients collapsing onto 4 hot live objects
+/// through 2 relays — the hierarchical overlay's sweet spot. Clients
+/// per subscription ≈ 32, so origin egress is a sliver of delivery.
+const EDGE_CONNS: u32 = 256;
+/// Distinct live objects the edge clients watch.
+const EDGE_OBJECTS: u16 = 4;
+/// Trace seconds each edge client streams for.
+const EDGE_DUR: u32 = 400;
+/// Per-client trace bandwidth in KB/s.
+const EDGE_RATE_KB: u64 = 8_000;
+
+/// All [`EDGE_CONNS`] clients join at t=0 and stream one of
+/// [`EDGE_OBJECTS`] hot objects for [`EDGE_DUR`] trace seconds.
+fn edge_schedule() -> Schedule {
+    let entries: Vec<LogEntry> = (0..EDGE_CONNS)
+        .map(|i| {
+            LogEntryBuilder::new()
+                .span(0, EDGE_DUR)
+                .client(ClientId(i))
+                .origin(
+                    Ipv4Addr(0x0a00_0000 + i),
+                    AsId((i % 13) as u16),
+                    CountryCode(*b"BR"),
+                )
+                .object(ObjectId(i as u16 % EDGE_OBJECTS), 0)
+                .transfer_stats(EDGE_RATE_KB * 1_000 * u64::from(EDGE_DUR), 350_000, 0.0)
+                .build()
+        })
+        .collect();
+    Schedule::from_entries(&entries)
+}
+
+/// One hierarchical fan-out run over real sockets: origin + 2 relays,
+/// every client completing through its relay's broadcast ring. Returns
+/// the wire payload bytes delivered to clients. Panics unless the loop
+/// closes cleanly and the overlay actually saved origin egress — a
+/// broken ring would either truncate clients or collapse the fan-in.
+fn edge_run() -> u64 {
+    let schedule = edge_schedule();
+    let registry = Arc::new(Registry::new());
+    let cfg = lsw_edge::EdgeConfig {
+        topology: lsw_edge::Topology {
+            relays: 2,
+            route_by: lsw_edge::RouteBy::As,
+        },
+        origin: ServerConfig {
+            compression: REPLAY_COMPRESSION,
+            workers: 1,
+            slow_policy: SlowClientPolicy::Backpressure,
+            send_buffer: u64::MAX / 4,
+            ..ServerConfig::default()
+        },
+        relay: lsw_edge::RelayConfig {
+            slow_policy: SlowClientPolicy::Backpressure,
+            ..lsw_edge::RelayConfig::default()
+        },
+        driver_workers: 2,
+    };
+    let out = lsw_edge::run_edge(&schedule, &cfg, registry).expect("edge run");
+    assert!(
+        out.driven.connect_failures == 0
+            && out.driven.rejected == 0
+            && out.driven.completed == u64::from(EDGE_CONNS),
+        "edge loop must close cleanly: {:?}",
+        out.driven
+    );
+    assert!(
+        out.egress.egress_ratio() < 1.0,
+        "overlay must save origin egress: {} sent vs {} delivered",
+        out.egress.origin_bytes,
+        out.egress.delivered_bytes
+    );
+    out.egress.delivered_bytes
+}
+
 fn bench_config() -> WorkloadConfig {
     WorkloadConfig::paper().scaled(15_000, 86_400, 25_000)
 }
@@ -382,6 +457,13 @@ fn main() {
         "both data planes must serve the same wire budget"
     );
 
+    // Hierarchical fan-out over real sockets: origin + 2 relays, 256
+    // clients on 4 hot objects. elements = wire payload bytes delivered
+    // to clients, so elements_per_sec is edge delivery throughput. Five
+    // threads move the bytes: one origin shard, two relay reactors, two
+    // driver workers per relay (sharing the pool).
+    let (edge_bytes, edge_secs, edge_cpu) = time(edge_run);
+
     // Whole-workspace static analysis: lex + item extraction + call-graph
     // construction + all eleven rules over every first-party source file.
     // files/sec is the number CI's xtask-lint-strict job experiences.
@@ -481,6 +563,14 @@ fn main() {
             elements: tick_bytes as usize,
             secs: tick_secs,
             cpu_secs: tick_cpu,
+            sketch_bytes: None,
+        },
+        Stage {
+            name: "edge_fanout",
+            threads: 5,
+            elements: edge_bytes as usize,
+            secs: edge_secs,
+            cpu_secs: edge_cpu,
             sketch_bytes: None,
         },
         Stage {

@@ -1,0 +1,1283 @@
+//! The relay node: one reactor thread that subscribes upstream and fans
+//! each live object out to its assigned clients.
+//!
+//! A relay is a store-and-forward tier with nothing stored: it holds one
+//! LSW1 *subscription* connection to the origin per live object it is
+//! responsible for, counts the paced payload bytes into that object's
+//! broadcast [`ring`](crate::ring), and re-serves its own clients over
+//! the same LSW1 protocol — each client's entitlement is driven by the
+//! ring's live edge (bytes that actually arrived from upstream), not by
+//! a local clock, so the relay genuinely forwards the origin's pacing
+//! instead of re-deriving it. Payload written to clients is staged from
+//! the shared position-independent pattern arena, so backlog memory is
+//! O(1) per connection regardless of lag.
+//!
+//! **Per-tier policy.** Each relay runs its own [`MediaServer`]
+//! admission instance and its own [`SlowClientPolicy`]: under `Drop`, a
+//! client the ring *laps* (its cursor fell out of the retention window)
+//! is truncated; under `Backpressure`, the lapped range is re-served
+//! from the arena — position-independent payload makes the skipped
+//! bytes reproducible — and the client simply lags the broadcast.
+//!
+//! **Tap.** Client completions are logged in trace coordinates into the
+//! cluster's shared [`MultiTap`], tier = relay index, so the run ends
+//! with per-relay reports plus the edge-aggregated report the closed
+//! loop diffs against the trace.
+//!
+//! **Subscription closure.** A feed whose upstream delivered its full
+//! subscription wire budget is *complete*: a subscriber still short of
+//! its own budget at feed end (ceiling rounding at the span edges, or a
+//! join that raced the first chunks) is topped up from the arena — the
+//! wire carried those bytes once, the relay just re-emits them. An
+//! *incomplete* feed (the origin rejected the subscription or truncated
+//! it in a drain) truncates its subscribers instead: the relay never
+//! fabricates traffic the origin did not send, so origin-tier breakage
+//! stays visible in the closed-loop diff.
+
+use crate::ring::{Broadcast, Cursor, Poll as RingPoll};
+use lsw_replay::clock::{trace_to_nanos, Nanos, WallClock};
+use lsw_replay::metrics::{Counter, Gauge, LogHistogram, Registry};
+use lsw_replay::payload::{self, MAX_SLICES};
+use lsw_replay::proto::{self, MAX_REQUEST_LINE};
+use lsw_replay::slab::{Key, Slab};
+use lsw_replay::wheel::{TimerId, TimingWheel};
+use lsw_replay::{SlowClientPolicy, STATUS_REJECTED, STATUS_TRUNCATED};
+use lsw_sim::server::{AdmissionPolicy, MediaServer, ServerStats};
+use lsw_stream::MultiTap;
+use lsw_trace::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+use lsw_trace::schedule::{Schedule, ScheduledTransfer};
+use mio::unix::SourceFd;
+use mio::{Events, Interest, Poll, Token, Waker};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use timerfd::{TimerFd, TimerState};
+
+/// Reactor token for the cross-thread shutdown waker.
+const WAKER_TOKEN: Token = Token(usize::MAX);
+/// Reactor token for the timing-wheel timerfd.
+const TIMER_TOKEN: Token = Token(usize::MAX - 1);
+/// Reactor token for the client listener.
+const LISTEN_TOKEN: Token = Token(usize::MAX - 2);
+
+/// Extra trace seconds a subscription outlives its last client's stop:
+/// covers the `⌊t⌋+1` display rounding at both span edges so the feed
+/// provably produces every subscriber's wire budget before it closes.
+pub const SPAN_SLACK: u32 = 2;
+
+/// Client-id base for relay subscription identities: far above any
+/// trace player id, so the origin's backlog slots and its own tap keep
+/// the relay tier distinguishable from real clients.
+pub const RELAY_CLIENT_BASE: u32 = u32::MAX - 4096;
+
+/// One relay's planned origin subscription for one live object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedPlan {
+    /// The live object the subscription covers.
+    pub object: ObjectId,
+    /// Camera of the first routed transfer (cosmetic, kept on the wire).
+    pub camera: u8,
+    /// Earliest routed client start, trace seconds.
+    pub span_start: u32,
+    /// Subscription duration: latest routed client stop plus
+    /// [`SPAN_SLACK`], minus `span_start`, trace seconds.
+    pub span_duration: u32,
+    /// The object's global encoded rate, trace bytes per second.
+    pub rate: u64,
+    /// Subscription byte budget: `rate × (span_duration + 1)`, so the
+    /// wire rate the origin paces at is exactly `rate`.
+    pub bytes: u64,
+}
+
+impl FeedPlan {
+    /// The synthetic transfer a relay offers the origin for this feed.
+    pub fn subscription(&self, relay: u32) -> ScheduledTransfer {
+        ScheduledTransfer {
+            start: self.span_start,
+            duration: self.span_duration,
+            client: ClientId(RELAY_CLIENT_BASE.saturating_add(relay)),
+            ip: Ipv4Addr(0x0aff_0000_u32.saturating_add(relay)),
+            as_id: AsId(u16::MAX - u16::try_from(relay % 256).unwrap_or(0)),
+            country: CountryCode(*b"RL"),
+            object: self.object,
+            camera: self.camera,
+            bytes: self.bytes,
+            avg_bandwidth: u32::try_from(self.rate.saturating_mul(8)).unwrap_or(u32::MAX),
+            status: 200,
+        }
+    }
+}
+
+/// Builds every relay's feed plans for a routed schedule: relay `r`
+/// subscribes once per object any of its routed transfers wants,
+/// spanning all of them. The rate is the object's *global* encoded rate
+/// ([`Schedule::object_rates`]) — the same table the origin paces from —
+/// so the subscription wire carries every routed client's bytes.
+pub fn plan_feeds(schedule: &Schedule, topo: &crate::Topology) -> Vec<BTreeMap<u16, FeedPlan>> {
+    let rates: BTreeMap<u16, u64> = schedule
+        .object_rates()
+        .iter()
+        .map(|&(o, r)| (o.0, r))
+        .collect();
+    let relays = topo.relays.max(1) as usize;
+    let mut plans: Vec<BTreeMap<u16, FeedPlan>> = (0..relays).map(|_| BTreeMap::new()).collect();
+    for t in &schedule.transfers {
+        let relay = (topo.route(t) as usize).min(relays - 1);
+        let stop = t.stop().saturating_add(SPAN_SLACK);
+        let rate = rates.get(&t.object.0).copied().unwrap_or(0).max(1);
+        plans[relay]
+            .entry(t.object.0)
+            .and_modify(|p| {
+                let end = (p.span_start + p.span_duration).max(stop);
+                p.span_start = p.span_start.min(t.start);
+                p.span_duration = end - p.span_start;
+                p.bytes = p.rate * (u64::from(p.span_duration) + 1);
+            })
+            .or_insert_with(|| FeedPlan {
+                object: t.object,
+                camera: t.camera,
+                span_start: t.start,
+                span_duration: stop - t.start,
+                rate,
+                bytes: rate * (u64::from(stop - t.start) + 1),
+            });
+    }
+    plans
+}
+
+/// Relay node configuration.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Origin server address to subscribe against.
+    pub origin: SocketAddr,
+    /// Time-compression factor (shared with the whole topology).
+    pub compression: f64,
+    /// Client-tier admission policy (per relay).
+    pub admission: AdmissionPolicy,
+    /// Client-tier slow-subscriber policy.
+    pub slow_policy: SlowClientPolicy,
+    /// Broadcast-ring retention per object, bytes: the lag bound at
+    /// which `Drop` truncates a subscriber.
+    pub ring_capacity: u64,
+    /// Timing-wheel resolution, nanoseconds.
+    pub wheel_resolution: Nanos,
+    /// This relay's index: tier id in the shared tap, identity suffix
+    /// in subscription requests.
+    pub index: u32,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        Self {
+            origin: SocketAddr::from(([127, 0, 0, 1], 0)),
+            compression: 100.0,
+            admission: AdmissionPolicy::AcceptAll,
+            slow_policy: SlowClientPolicy::Drop,
+            ring_capacity: 8 << 20,
+            wheel_resolution: 1 << 17,
+            index: 0,
+        }
+    }
+}
+
+/// Relay-tier metrics; every relay registers the same names in the
+/// shared registry, so the counters aggregate across the tier.
+struct EdgeMetrics {
+    conns: Arc<Counter>,
+    active: Arc<Gauge>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    truncated: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    delivered_bytes: Arc<Counter>,
+    upstream_bytes: Arc<Counter>,
+    subscriptions: Arc<Counter>,
+    upstream_busy: Arc<Counter>,
+    laps: Arc<Counter>,
+    ring_lag: Arc<LogHistogram>,
+}
+
+impl EdgeMetrics {
+    fn register(r: &Registry) -> Self {
+        Self {
+            conns: r.counter("edge.conns"),
+            active: r.gauge("edge.active"),
+            completed: r.counter("edge.completed"),
+            rejected: r.counter("edge.rejected"),
+            truncated: r.counter("edge.truncated"),
+            bad_requests: r.counter("edge.bad_requests"),
+            delivered_bytes: r.counter("edge.delivered_bytes"),
+            upstream_bytes: r.counter("edge.upstream_bytes"),
+            subscriptions: r.counter("edge.subscriptions"),
+            upstream_busy: r.counter("edge.upstream_busy"),
+            laps: r.counter("edge.laps"),
+            ring_lag: r.histogram("edge.ring_lag_bytes"),
+        }
+    }
+}
+
+struct RelayShared {
+    cfg: RelayConfig,
+    /// Planned subscriptions, by object id.
+    plans: BTreeMap<u16, FeedPlan>,
+    admission: Mutex<MediaServer>,
+    tap: Arc<Mutex<MultiTap>>,
+    clock: Arc<WallClock>,
+    metrics: EdgeMetrics,
+    /// Client connections currently open on this relay; the cluster's
+    /// drain waits on this per relay (`edge.active` aggregates tiers).
+    active: AtomicU64,
+    /// Stop accepting; finish in-flight clients.
+    shutdown: AtomicBool,
+    /// Truncate whatever is still in flight and exit.
+    force: AtomicBool,
+}
+
+impl RelayShared {
+    /// Logs one finished (or refused) client transfer into this relay's
+    /// tier of the shared tap.
+    fn log_tap(&self, t: &ScheduledTransfer, status: u16) {
+        let mut e = t.to_entry();
+        e.status = status;
+        // lsw::allow(L008): tap ingest is a short bounded critical section with no I/O under the lock
+        self.tap.lock().ingest(self.cfg.index as usize, &e);
+    }
+
+    /// Releases the admission slot and logs the tap entry for a client
+    /// transfer that is ending (complete or truncated).
+    fn finish_client(&self, s: &CStream, status: u16) {
+        // lsw::allow(L008): slot release is an O(1) counter update under the lock
+        self.admission.lock().release();
+        self.log_tap(&s.t, status);
+    }
+}
+
+/// One object's distribution state on a relay.
+struct Feed {
+    ring: Broadcast,
+    /// Client conn keys fanned out from this ring; compacted on every
+    /// upstream push (keys of finished conns are dropped).
+    subscribers: Vec<Key>,
+    /// Expected upstream wire budget, known once the `OK` line arrives.
+    expected: Option<u64>,
+    /// Wire payload bytes received from upstream so far.
+    received: u64,
+    /// Set at upstream EOF iff `received >= expected`: subscribers may
+    /// be topped up from the arena (see module docs).
+    complete: bool,
+}
+
+impl Feed {
+    fn new(capacity: u64) -> Self {
+        Self {
+            ring: Broadcast::new(capacity),
+            subscribers: Vec::new(),
+            expected: None,
+            received: 0,
+            complete: false,
+        }
+    }
+}
+
+/// A streaming client connection's serving state.
+struct CStream {
+    t: ScheduledTransfer,
+    object: u16,
+    cursor: Cursor,
+    budget: u64,
+    sent: u64,
+    /// Bytes entitled but not (or no longer) in the ring — Backpressure
+    /// lap debt or the complete-feed top-up — served from the arena.
+    behind: u64,
+    hold_until: Nanos,
+    timer: Option<TimerId>,
+}
+
+enum ConnState {
+    /// A client that has not finished its request line yet.
+    Request { buf: Vec<u8> },
+    /// A client being served from a ring.
+    Client(Box<CStream>),
+    /// Upstream subscription: reading the origin's status line.
+    UpstreamHeader { object: u16, buf: Vec<u8> },
+    /// Upstream subscription: counting paced payload into the ring.
+    UpstreamBody { object: u16 },
+}
+
+struct RConn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Last write hit `WouldBlock`; waiting on EPOLLOUT.
+    blocked: bool,
+    /// EPOLLOUT currently registered for this socket.
+    registered_write: bool,
+}
+
+impl RConn {
+    fn is_client(&self) -> bool {
+        matches!(self.state, ConnState::Request { .. } | ConnState::Client(_))
+    }
+}
+
+/// A running relay node.
+pub struct Relay {
+    shared: Arc<RelayShared>,
+    addr: SocketAddr,
+    handle: std::thread::JoinHandle<()>,
+    waker: Arc<Waker>,
+}
+
+impl Relay {
+    /// Binds the relay's client listener, spawns its reactor thread, and
+    /// returns. `plans` are this relay's feeds (see [`plan_feeds`]);
+    /// `tap` is the cluster-shared multi-tier characterization tap.
+    pub fn start(
+        cfg: RelayConfig,
+        plans: BTreeMap<u16, FeedPlan>,
+        tap: Arc<Mutex<MultiTap>>,
+        clock: Arc<WallClock>,
+        registry: &Registry,
+    ) -> io::Result<Self> {
+        #[allow(clippy::disallowed_methods)]
+        // lsw::allow(L002): the relay binds a real client listener by design
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let _ = mio::widen_listen_backlog(&listener, 4096);
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        // lsw::allow(L002): the relay reactor acquires its epoll endpoint by design
+        let poll = Poll::new()?;
+        // lsw::allow(L002): the shutdown eventfd waker is a reactor endpoint by design
+        let waker = Arc::new(Waker::new(poll.registry(), WAKER_TOKEN)?);
+        // lsw::allow(L002): the deadline timerfd is a reactor endpoint by design
+        let timer = TimerFd::new()?;
+
+        let shared = Arc::new(RelayShared {
+            admission: Mutex::new(MediaServer::new(lsw_sim::server::ServerConfig {
+                admission: cfg.admission,
+                ..lsw_sim::server::ServerConfig::default()
+            })),
+            plans,
+            tap,
+            clock,
+            metrics: EdgeMetrics::register(registry),
+            active: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            force: AtomicBool::new(false),
+            cfg,
+        });
+
+        let thread_shared = Arc::clone(&shared);
+        let index = shared.cfg.index;
+        let handle = std::thread::Builder::new()
+            .name(format!("lsw-relay-{index}"))
+            .spawn(move || relay_loop(&thread_shared, &listener, poll, timer))?;
+        Ok(Self {
+            shared,
+            addr,
+            handle,
+            waker,
+        })
+    }
+
+    /// The relay's client-facing address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and begins the drain (in-flight clients finish).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.waker.wake();
+    }
+
+    /// Client connections currently in flight on this relay.
+    pub fn active(&self) -> u64 {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Force-truncates survivors, joins the reactor thread, and returns
+    /// this relay's admission accounting. Call [`Relay::shutdown`] first
+    /// and wait for [`Relay::active`] to reach zero for a clean drain.
+    pub fn finish(self) -> ServerStats {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.force.store(true, Ordering::SeqCst);
+        let _ = self.waker.wake();
+        if let Err(payload) = self.handle.join() {
+            std::panic::resume_unwind(payload);
+        }
+        self.shared.admission.lock().stats().clone()
+    }
+}
+
+/// What kind of connection a slab slot holds (drives dispatch without
+/// holding a borrow across the step).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnKind {
+    Client,
+    Upstream,
+}
+
+/// The relay reactor: accepts clients, subscribes upstream on first
+/// demand per object, fans ring bytes out on readiness, and paces
+/// nothing itself — upstream arrival *is* the pacing signal, so the
+/// wheel holds only display-duration hold deadlines.
+fn relay_loop(shared: &RelayShared, listener: &TcpListener, mut poll: Poll, mut timer: TimerFd) {
+    let mut events = Events::with_capacity(1024);
+    let mut wheel: TimingWheel<Key> = TimingWheel::with_resolution(shared.cfg.wheel_resolution);
+    let mut conns: Slab<RConn> = Slab::new();
+    let mut feeds: BTreeMap<u16, Feed> = BTreeMap::new();
+    let mut fired: Vec<(Nanos, Key)> = Vec::new();
+    let mut keys: Vec<Key> = Vec::new();
+    let mut slices = [IoSlice::new(&[]); MAX_SLICES];
+    let mut scratch = vec![0u8; 256 * 1024];
+    let mut clients = 0usize;
+    let mut armed: Option<Nanos> = None;
+    let listener_fd = listener.as_raw_fd();
+    if poll
+        .registry()
+        .register(
+            &mut SourceFd(&listener_fd),
+            LISTEN_TOKEN,
+            Interest::READABLE,
+        )
+        .is_err()
+    {
+        return;
+    }
+    let timer_fd = timer.as_raw_fd();
+    if poll
+        .registry()
+        .register(&mut SourceFd(&timer_fd), TIMER_TOKEN, Interest::READABLE)
+        .is_err()
+    {
+        return;
+    }
+
+    loop {
+        if shared.force.load(Ordering::Relaxed) {
+            keys.clear();
+            keys.extend(conns.iter_keys());
+            for &key in &keys {
+                if let Some(conn) = conns.remove(key) {
+                    match &conn.state {
+                        ConnState::Client(s) => {
+                            shared.finish_client(s, STATUS_TRUNCATED);
+                            shared.metrics.truncated.inc();
+                            client_done(shared, &mut clients);
+                        }
+                        ConnState::Request { .. } => {
+                            shared.metrics.bad_requests.inc();
+                            client_done(shared, &mut clients);
+                        }
+                        // Dropping an upstream closes the subscription;
+                        // the origin logs it truncated on its own tier.
+                        ConnState::UpstreamHeader { .. } | ConnState::UpstreamBody { .. } => {}
+                    }
+                }
+            }
+            return;
+        }
+        let draining = shared.shutdown.load(Ordering::Relaxed);
+        if draining && clients == 0 {
+            // Remaining upstream conns drop here: the relay unsubscribes
+            // once it has no viewers left to serve.
+            return;
+        }
+
+        // Accept whatever intake is queued (stops during the drain).
+        if !draining {
+            while let Ok((stream, _)) = listener.accept() {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                shared.metrics.conns.inc();
+                shared.metrics.active.inc();
+                shared.active.fetch_add(1, Ordering::Relaxed);
+                clients += 1;
+                let key = conns.insert(RConn {
+                    stream,
+                    state: ConnState::Request { buf: Vec::new() },
+                    blocked: false,
+                    registered_write: false,
+                });
+                let registered = match conns.get_mut(key) {
+                    Some(conn) => poll
+                        .registry()
+                        .register(&mut conn.stream, Token(key.to_usize()), Interest::READABLE)
+                        .is_ok(),
+                    None => false,
+                };
+                if !registered {
+                    conns.remove(key);
+                    client_done(shared, &mut clients);
+                    shared.metrics.bad_requests.inc();
+                }
+            }
+        }
+
+        // Fire due hold-until deadlines.
+        let now = shared.clock.now();
+        wheel.advance(now, &mut fired);
+        for (_, key) in fired.drain(..) {
+            step_conn(
+                shared,
+                &poll,
+                &mut conns,
+                &mut feeds,
+                &mut wheel,
+                key,
+                false,
+                &mut slices,
+                &mut scratch,
+                &mut clients,
+            );
+        }
+
+        // Sleep until readiness or the next wheel deadline.
+        let next = wheel.next_deadline();
+        let timeout = if next.is_some_and(|d| d <= shared.clock.now()) {
+            Some(Duration::ZERO)
+        } else {
+            if next != armed {
+                let _ = match next {
+                    Some(d) => {
+                        let wait = d.saturating_sub(shared.clock.now()).max(1);
+                        timer.set_state(TimerState::Oneshot(Duration::from_nanos(wait)))
+                    }
+                    None => timer.set_state(TimerState::Disarmed),
+                };
+                armed = next;
+            }
+            None
+        };
+        // lsw::allow(L008): the relay reactor's single scheduling point, bounded by the armed timerfd and woken by the shutdown waker
+        if poll.poll(&mut events, timeout).is_err() {
+            shared.force.store(true, Ordering::Relaxed);
+            continue;
+        }
+        for event in events.iter() {
+            match event.token() {
+                WAKER_TOKEN | LISTEN_TOKEN => {} // handled at loop top
+                TIMER_TOKEN => {
+                    timer.read();
+                }
+                tok => {
+                    let key = Key::from_usize(tok.0);
+                    let readable = event.is_readable() || event.is_error();
+                    step_conn(
+                        shared,
+                        &poll,
+                        &mut conns,
+                        &mut feeds,
+                        &mut wheel,
+                        key,
+                        readable,
+                        &mut slices,
+                        &mut scratch,
+                        &mut clients,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Accounts one client connection leaving the relay.
+fn client_done(shared: &RelayShared, clients: &mut usize) {
+    shared.metrics.active.dec();
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+    *clients = clients.saturating_sub(1);
+}
+
+/// Advances one connection, reconciles its slab slot and EPOLLOUT
+/// registration, and — when upstream progress advanced a ring — steps
+/// that feed's subscribers.
+#[allow(clippy::too_many_arguments)]
+fn step_conn(
+    shared: &RelayShared,
+    poll: &Poll,
+    conns: &mut Slab<RConn>,
+    feeds: &mut BTreeMap<u16, Feed>,
+    wheel: &mut TimingWheel<Key>,
+    key: Key,
+    readable: bool,
+    slices: &mut [IoSlice<'static>; MAX_SLICES],
+    scratch: &mut [u8],
+    clients: &mut usize,
+) {
+    let kind = match conns.get_mut(key) {
+        Some(conn) if conn.is_client() => ConnKind::Client,
+        Some(_) => ConnKind::Upstream,
+        None => return,
+    };
+    let mut pushed: Option<u16> = None;
+    let done = match kind {
+        ConnKind::Client => {
+            advance_client(shared, poll, conns, feeds, wheel, key, readable, slices)
+        }
+        ConnKind::Upstream => match conns.get_mut(key) {
+            Some(conn) => advance_upstream(shared, conn, feeds, scratch, &mut pushed),
+            None => false,
+        },
+    };
+    reconcile(
+        shared,
+        poll,
+        conns,
+        key,
+        done,
+        kind == ConnKind::Client,
+        clients,
+    );
+    if let Some(object) = pushed {
+        step_subscribers(shared, poll, conns, feeds, wheel, object, slices, clients);
+    }
+}
+
+/// Removes a finished connection (accounting for client slots) or
+/// re-registers its EPOLLOUT interest to match its blocked state.
+fn reconcile(
+    shared: &RelayShared,
+    poll: &Poll,
+    conns: &mut Slab<RConn>,
+    key: Key,
+    done: bool,
+    was_client: bool,
+    clients: &mut usize,
+) {
+    if done {
+        if conns.remove(key).is_some() && was_client {
+            client_done(shared, clients);
+        }
+        return;
+    }
+    let Some(conn) = conns.get_mut(key) else {
+        return;
+    };
+    let want_write = conn.blocked;
+    if want_write != conn.registered_write {
+        let interest = if want_write {
+            (Interest::READABLE | Interest::WRITABLE).edge()
+        } else {
+            Interest::READABLE
+        };
+        if poll
+            .registry()
+            .reregister(&mut conn.stream, Token(key.to_usize()), interest)
+            .is_ok()
+        {
+            conn.registered_write = want_write;
+        }
+    }
+}
+
+/// Steps every subscriber of `object` after its ring advanced (new
+/// bytes, or close), compacting keys of connections that finished.
+#[allow(clippy::too_many_arguments)]
+fn step_subscribers(
+    shared: &RelayShared,
+    poll: &Poll,
+    conns: &mut Slab<RConn>,
+    feeds: &mut BTreeMap<u16, Feed>,
+    wheel: &mut TimingWheel<Key>,
+    object: u16,
+    slices: &mut [IoSlice<'static>; MAX_SLICES],
+    clients: &mut usize,
+) {
+    let subs = match feeds.get_mut(&object) {
+        Some(feed) => std::mem::take(&mut feed.subscribers),
+        None => return,
+    };
+    let mut kept = Vec::with_capacity(subs.len());
+    for key in subs {
+        let still_here = match conns.get_mut(key) {
+            Some(c) => matches!(&c.state, ConnState::Client(s) if s.object == object),
+            None => false,
+        };
+        if !still_here {
+            continue;
+        }
+        let done = advance_client(shared, poll, conns, feeds, wheel, key, false, slices);
+        reconcile(shared, poll, conns, key, done, true, clients);
+        if !done {
+            kept.push(key);
+        }
+    }
+    if let Some(feed) = feeds.get_mut(&object) {
+        // New subscribers may have joined while stepping; keep both.
+        feed.subscribers.extend(kept);
+    }
+}
+
+/// What one round of request-line reading produced.
+enum ReqRead {
+    /// Still waiting for the newline.
+    Pending,
+    /// A complete request line (without the newline).
+    Line(String),
+    /// The peer vanished or overflowed the line budget.
+    Dead,
+}
+
+/// Reads request bytes until the newline, `WouldBlock`, or failure. The
+/// buffer is bounded by [`MAX_REQUEST_LINE`] — growth past it is a
+/// protocol violation, not an allocation.
+fn read_request_line(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReqRead {
+    let mut scratch = [0u8; 512];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => return ReqRead::Dead,
+            Ok(n) => {
+                if buf.len() + n > MAX_REQUEST_LINE {
+                    return ReqRead::Dead;
+                }
+                buf.extend_from_slice(&scratch[..n]);
+                if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                    let line = String::from_utf8_lossy(&buf[..nl])
+                        .trim_end_matches('\r')
+                        .to_owned();
+                    return ReqRead::Line(line);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReqRead::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReqRead::Dead,
+        }
+    }
+}
+
+/// Drains stray readable bytes on a streaming client; returns true when
+/// the peer has hung up (read EOF or hard error).
+fn peer_gone(stream: &mut TcpStream) -> bool {
+    let mut sink = [0u8; 4096];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => return true,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Advances a client connection (request parse, then ring-driven
+/// serving); returns true when its slot can be reclaimed.
+#[allow(clippy::too_many_arguments)]
+fn advance_client(
+    shared: &RelayShared,
+    poll: &Poll,
+    conns: &mut Slab<RConn>,
+    feeds: &mut BTreeMap<u16, Feed>,
+    wheel: &mut TimingWheel<Key>,
+    key: Key,
+    readable: bool,
+    slices: &mut [IoSlice<'static>; MAX_SLICES],
+) -> bool {
+    let step = {
+        let Some(conn) = conns.get_mut(key) else {
+            return false;
+        };
+        match &mut conn.state {
+            ConnState::Request { buf } => read_request_line(&mut conn.stream, buf),
+            ConnState::Client(_) => {
+                if readable && peer_gone(&mut conn.stream) {
+                    if let ConnState::Client(s) = &conn.state {
+                        shared.finish_client(s, STATUS_TRUNCATED);
+                        shared.metrics.truncated.inc();
+                    }
+                    return true;
+                }
+                return serve_client(shared, conn, feeds, wheel, key, slices);
+            }
+            ConnState::UpstreamHeader { .. } | ConnState::UpstreamBody { .. } => return false,
+        }
+    };
+    match step {
+        ReqRead::Pending => false,
+        ReqRead::Dead => {
+            shared.metrics.bad_requests.inc();
+            true
+        }
+        ReqRead::Line(line) => begin_client(shared, poll, conns, feeds, wheel, key, &line, slices),
+    }
+}
+
+/// Parses the request, runs this relay's admission, ensures the feed
+/// (subscribing upstream on first demand), and answers the status line.
+#[allow(clippy::too_many_arguments)]
+fn begin_client(
+    shared: &RelayShared,
+    poll: &Poll,
+    conns: &mut Slab<RConn>,
+    feeds: &mut BTreeMap<u16, Feed>,
+    wheel: &mut TimingWheel<Key>,
+    key: Key,
+    line: &str,
+    slices: &mut [IoSlice<'static>; MAX_SLICES],
+) -> bool {
+    let Some(t) = proto::parse_request(line) else {
+        shared.metrics.bad_requests.inc();
+        return true;
+    };
+    // lsw::allow(L008): admission check is an O(1) counter update under the lock
+    let admitted = shared.admission.lock().request(t.display_duration());
+    if !admitted {
+        if let Some(conn) = conns.get_mut(key) {
+            let _ = conn.stream.write_all(payload::BUSY_LINE);
+        }
+        shared.log_tap(&t, STATUS_REJECTED);
+        shared.metrics.rejected.inc();
+        return true;
+    }
+    let budget = proto::wire_budget(t.bytes, shared.cfg.compression);
+    let mut line_buf = [0u8; 32];
+    let ok_sent = match conns.get_mut(key) {
+        Some(conn) => conn
+            .stream
+            .write_all(payload::ok_line(budget, &mut line_buf))
+            .is_ok(),
+        None => false,
+    };
+    if !ok_sent {
+        // lsw::allow(L008): slot release is an O(1) counter update under the lock
+        shared.admission.lock().release();
+        shared.log_tap(&t, STATUS_TRUNCATED);
+        shared.metrics.truncated.inc();
+        return true;
+    }
+    let object = t.object.0;
+    let now = shared.clock.now();
+    let hold_until = now.saturating_add(trace_to_nanos(t.duration, shared.cfg.compression));
+    ensure_feed(shared, poll, conns, feeds, object, &t);
+    let cursor = match feeds.get_mut(&object) {
+        Some(feed) => {
+            feed.subscribers.push(key);
+            feed.ring.join()
+        }
+        // Unreachable: ensure_feed always inserts the feed.
+        None => Cursor::default(),
+    };
+    let Some(conn) = conns.get_mut(key) else {
+        return false;
+    };
+    conn.state = ConnState::Client(Box::new(CStream {
+        object,
+        cursor,
+        budget,
+        sent: 0,
+        behind: 0,
+        hold_until,
+        timer: None,
+        t,
+    }));
+    // A joiner on an already-ended feed is settled immediately.
+    serve_client(shared, conn, feeds, wheel, key, slices)
+}
+
+/// Lazily creates the feed for `object`, opening the origin
+/// subscription. Any connect/request failure leaves the feed closed and
+/// incomplete, so its subscribers truncate honestly.
+fn ensure_feed(
+    shared: &RelayShared,
+    poll: &Poll,
+    conns: &mut Slab<RConn>,
+    feeds: &mut BTreeMap<u16, Feed>,
+    object: u16,
+    first: &ScheduledTransfer,
+) {
+    if feeds.contains_key(&object) {
+        return;
+    }
+    let mut feed = Feed::new(shared.cfg.ring_capacity);
+    // Planned span when the cluster routed this object here; a client
+    // the plan does not know (standalone relay) subscribes for exactly
+    // its own transfer plus slack.
+    let sub = match shared.plans.get(&object) {
+        Some(plan) => plan.subscription(shared.cfg.index),
+        None => {
+            let rate = first.byte_rate().max(1);
+            FeedPlan {
+                object: first.object,
+                camera: first.camera,
+                span_start: first.start,
+                span_duration: first.duration.saturating_add(SPAN_SLACK),
+                rate,
+                bytes: rate * (u64::from(first.duration.saturating_add(SPAN_SLACK)) + 1),
+            }
+            .subscription(shared.cfg.index)
+        }
+    };
+    shared.metrics.subscriptions.inc();
+    let opened = open_upstream(shared.cfg.origin, &sub).and_then(|stream| {
+        let ukey = conns.insert(RConn {
+            stream,
+            state: ConnState::UpstreamHeader {
+                object,
+                buf: Vec::new(),
+            },
+            blocked: false,
+            registered_write: false,
+        });
+        match conns.get_mut(ukey) {
+            Some(conn) => {
+                let res = poll.registry().register(
+                    &mut conn.stream,
+                    Token(ukey.to_usize()),
+                    Interest::READABLE,
+                );
+                if res.is_err() {
+                    conns.remove(ukey);
+                }
+                res
+            }
+            None => Err(io::Error::other("upstream slot vanished")),
+        }
+    });
+    if opened.is_err() {
+        // Origin unreachable: closed + incomplete from birth.
+        feed.ring.close();
+    }
+    feeds.insert(object, feed);
+}
+
+/// Opens the origin subscription connection and sends its request line.
+fn open_upstream(origin: SocketAddr, sub: &ScheduledTransfer) -> io::Result<TcpStream> {
+    #[allow(clippy::disallowed_methods)]
+    // lsw::allow(L002): the relay opens a real upstream socket by design
+    let mut stream = TcpStream::connect(origin)?;
+    stream.set_nodelay(true)?;
+    let mut line = proto::encode_request(sub);
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.set_nonblocking(true)?;
+    Ok(stream)
+}
+
+/// Serves one streaming client from its ring: writes whatever the ring
+/// (plus arena debt) entitles it to, applies the slow-client policy on
+/// laps, and finishes when the budget is met and the hold has elapsed.
+fn serve_client(
+    shared: &RelayShared,
+    conn: &mut RConn,
+    feeds: &BTreeMap<u16, Feed>,
+    wheel: &mut TimingWheel<Key>,
+    key: Key,
+    slices: &mut [IoSlice<'static>; MAX_SLICES],
+) -> bool {
+    let ConnState::Client(s) = &mut conn.state else {
+        return false;
+    };
+    if let Some(id) = s.timer.take() {
+        wheel.cancel(id);
+    }
+    let now = shared.clock.now();
+    let feed = feeds.get(&s.object);
+    let mut blocked = false;
+    loop {
+        let remaining = s.budget - s.sent;
+        if remaining == 0 {
+            break;
+        }
+        // Arena debt first (lap backfill / feed top-up), then the ring.
+        let want = if s.behind > 0 {
+            s.behind.min(remaining)
+        } else {
+            let Some(feed) = feed else {
+                // No feed at all — treat as an incomplete ended feed.
+                shared.finish_client(s, STATUS_TRUNCATED);
+                shared.metrics.truncated.inc();
+                return true;
+            };
+            // lsw::allow(L008): Broadcast::poll is a non-blocking cursor read, not an epoll wait.
+            match feed.ring.poll(&mut s.cursor, remaining) {
+                RingPoll::Ready { len, .. } => len,
+                RingPoll::Pending => break,
+                RingPoll::End => {
+                    if feed.complete {
+                        // Rounding closure: the wire carried these bytes
+                        // once; re-emit the short tail from the arena.
+                        s.behind = remaining;
+                        continue;
+                    }
+                    shared.finish_client(s, STATUS_TRUNCATED);
+                    shared.metrics.truncated.inc();
+                    return true;
+                }
+                RingPoll::Lapped { skipped, .. } => {
+                    shared.metrics.laps.inc();
+                    match shared.cfg.slow_policy {
+                        SlowClientPolicy::Drop => {
+                            shared.finish_client(s, STATUS_TRUNCATED);
+                            shared.metrics.truncated.inc();
+                            return true;
+                        }
+                        SlowClientPolicy::Backpressure => {
+                            s.behind = skipped.min(remaining);
+                            continue;
+                        }
+                    }
+                }
+            }
+        };
+        let from_behind = s.behind > 0;
+        let (n, staged) = payload::stage(want, slices);
+        if n == 0 || staged == 0 {
+            break;
+        }
+        match conn.stream.write_vectored(&slices[..n]) {
+            Ok(0) => {
+                blocked = true;
+                break;
+            }
+            Ok(w) => {
+                let w = (w as u64).min(want);
+                s.sent += w;
+                shared.metrics.delivered_bytes.add(w);
+                if from_behind {
+                    s.behind -= w;
+                } else if let Some(feed) = feed {
+                    feed.ring.commit(&mut s.cursor, w);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                blocked = true;
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                shared.finish_client(s, STATUS_TRUNCATED);
+                shared.metrics.truncated.inc();
+                return true;
+            }
+        }
+    }
+    conn.blocked = blocked;
+    if let Some(feed) = feed {
+        shared.metrics.ring_lag.record(feed.ring.lag(&s.cursor));
+    }
+    if s.sent == s.budget {
+        if now >= s.hold_until {
+            shared.finish_client(s, s.t.status);
+            shared.metrics.completed.inc();
+            return true;
+        }
+        s.timer = Some(wheel.schedule(s.hold_until, key));
+    }
+    false
+}
+
+/// Advances an upstream subscription connection: parses the origin's
+/// status line, then counts paced payload bytes into the feed's ring.
+/// Sets `pushed` when the ring advanced (bytes or close) so the caller
+/// steps the feed's subscribers.
+fn advance_upstream(
+    shared: &RelayShared,
+    conn: &mut RConn,
+    feeds: &mut BTreeMap<u16, Feed>,
+    scratch: &mut [u8],
+    pushed: &mut Option<u16>,
+) -> bool {
+    loop {
+        match &mut conn.state {
+            ConnState::UpstreamHeader { object, buf } => {
+                let object = *object;
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        end_feed(feeds, object, pushed);
+                        return true;
+                    }
+                    Ok(n) => {
+                        if buf.len() + n > MAX_REQUEST_LINE && !scratch[..n].contains(&b'\n') {
+                            end_feed(feeds, object, pushed);
+                            return true;
+                        }
+                        buf.extend_from_slice(&scratch[..n]);
+                        let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+                            continue;
+                        };
+                        let line = String::from_utf8_lossy(&buf[..nl]).into_owned();
+                        let Some(expected) = line
+                            .trim_end_matches('\r')
+                            .strip_prefix("OK ")
+                            .and_then(|v| v.parse::<u64>().ok())
+                        else {
+                            // BUSY: the origin's admission refused the
+                            // subscription. Closed + incomplete — this
+                            // relay's clients for the object truncate.
+                            shared.metrics.upstream_busy.inc();
+                            end_feed(feeds, object, pushed);
+                            return true;
+                        };
+                        // Bytes past the status line are already payload.
+                        let rest = (buf.len() - nl - 1) as u64;
+                        if let Some(feed) = feeds.get_mut(&object) {
+                            feed.expected = Some(expected);
+                            if rest > 0 {
+                                feed.ring.push(rest);
+                                feed.received += rest;
+                                shared.metrics.upstream_bytes.add(rest);
+                                *pushed = Some(object);
+                            }
+                        }
+                        conn.state = ConnState::UpstreamBody { object };
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        end_feed(feeds, object, pushed);
+                        return true;
+                    }
+                }
+            }
+            ConnState::UpstreamBody { object } => {
+                let object = *object;
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        end_feed(feeds, object, pushed);
+                        return true;
+                    }
+                    Ok(n) => {
+                        let n = n as u64;
+                        if let Some(feed) = feeds.get_mut(&object) {
+                            feed.ring.push(n);
+                            feed.received += n;
+                            shared.metrics.upstream_bytes.add(n);
+                            *pushed = Some(object);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        end_feed(feeds, object, pushed);
+                        return true;
+                    }
+                }
+            }
+            ConnState::Request { .. } | ConnState::Client(_) => return false,
+        }
+    }
+}
+
+/// Closes a feed's ring at upstream EOF (or failure), recording whether
+/// the subscription delivered its full wire budget.
+fn end_feed(feeds: &mut BTreeMap<u16, Feed>, object: u16, pushed: &mut Option<u16>) {
+    if let Some(feed) = feeds.get_mut(&object) {
+        feed.complete = feed.expected.is_some_and(|e| feed.received >= e);
+        feed.ring.close();
+        *pushed = Some(object);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use lsw_trace::schedule::Schedule;
+
+    fn transfer(
+        start: u32,
+        duration: u32,
+        client: u32,
+        object: u16,
+        bytes: u64,
+    ) -> ScheduledTransfer {
+        ScheduledTransfer {
+            start,
+            duration,
+            client: ClientId(client),
+            ip: Ipv4Addr(0x0a00_0000 + client),
+            as_id: AsId(u16::try_from(client % 7).unwrap_or(0)),
+            country: CountryCode(*b"br"),
+            object: ObjectId(object),
+            camera: 1,
+            bytes,
+            avg_bandwidth: 64_000,
+            status: 200,
+        }
+    }
+
+    fn schedule(mut transfers: Vec<ScheduledTransfer>) -> Schedule {
+        transfers.sort_by_key(|t| t.start);
+        Schedule {
+            transfers,
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn feed_plans_span_every_routed_client_and_pace_at_the_global_rate() {
+        let s = schedule(vec![
+            transfer(10, 100, 1, 7, 1_000_000),
+            transfer(50, 300, 2, 7, 9_000_000),
+            transfer(400, 50, 3, 7, 500_000),
+        ]);
+        let topo: Topology = "origin:1".parse().expect("topology");
+        let plans = plan_feeds(&s, &topo);
+        assert_eq!(plans.len(), 1);
+        let plan = plans[0].get(&7).expect("object 7 planned");
+        assert_eq!(plan.span_start, 10);
+        // Latest stop is 400 + 50 = 450, plus slack.
+        assert_eq!(plan.span_start + plan.span_duration, 450 + SPAN_SLACK);
+        let global_rate = s
+            .object_rates()
+            .iter()
+            .find(|(o, _)| o.0 == 7)
+            .map(|&(_, r)| r)
+            .expect("rate");
+        assert_eq!(plan.rate, global_rate);
+        // The plan's synthetic transfer paces at exactly the global rate.
+        let sub = plan.subscription(0);
+        assert_eq!(sub.byte_rate(), global_rate);
+        // And its budget covers every routed client's whole transfer.
+        for t in &s.transfers {
+            assert!(plan.bytes >= t.bytes, "subscription covers {}", t.client.0);
+        }
+    }
+
+    #[test]
+    fn routed_plans_cover_every_transfer_on_its_own_relay() {
+        let mut transfers = Vec::new();
+        for i in 0..200u32 {
+            transfers.push(transfer(
+                i,
+                60,
+                i,
+                u16::try_from(i % 23).unwrap_or(0),
+                100_000,
+            ));
+        }
+        let s = schedule(transfers);
+        let topo: Topology = "origin:4".parse().expect("topology");
+        let plans = plan_feeds(&s, &topo);
+        assert_eq!(plans.len(), 4);
+        for t in &s.transfers {
+            let relay = topo.route(t) as usize;
+            assert!(plans[relay].contains_key(&t.object.0));
+        }
+    }
+
+    #[test]
+    fn relay_identity_is_disjoint_from_trace_clients_and_round_trips() {
+        let plan = FeedPlan {
+            object: ObjectId(3),
+            camera: 1,
+            span_start: 0,
+            span_duration: 10,
+            rate: 1000,
+            bytes: 11_000,
+        };
+        let sub = plan.subscription(5);
+        assert!(sub.client.0 >= RELAY_CLIENT_BASE);
+        assert_eq!(&sub.country.0, b"RL");
+        assert_eq!(sub.status, 200);
+        let line = proto::encode_request(&sub);
+        let back = proto::parse_request(&line).expect("parse");
+        assert_eq!(back, sub);
+    }
+}

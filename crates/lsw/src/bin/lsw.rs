@@ -13,6 +13,8 @@
 //! lsw convert     IN OUT [--format auto|wms|ltc]
 //! lsw replay      LOG [--format auto|wms|ltc] [--compression C]
 //!                 [--virtual-time] [--admission N] [--workers N]
+//!                 [--topology origin[:R[:as|country|client]]]
+//!                 [--origin-admission N]
 //!                 [--data-plane reactor|tick] [--expose SECS]
 //!                 [--json FILE] [--no-assert]
 //! lsw serve       LOG [--format auto|wms|ltc] [--listen ADDR]
@@ -53,6 +55,18 @@
 //! `--data-plane` picks the server's pacing engine: `reactor` (default,
 //! epoll readiness + timing wheel) or `tick` (the 2 ms scan baseline) —
 //! same protocol, admission, and closed-loop semantics either way.
+//!
+//! `--topology origin:R[:key]` interposes `R` relay nodes between the
+//! origin and the trace clients (`lsw_edge`): each relay subscribes to
+//! the origin **once** per live object and fans the chunk stream out to
+//! the clients the routing `key` (`as`, default; `country`; `client`)
+//! assigns to it. The closed loop then diffs the *edge-aggregated*
+//! characterization — what all relay tiers together served — against the
+//! trace's own, and the report gains an `edge` section accounting origin
+//! egress versus client-delivered bytes (the fan-in savings). In edge
+//! runs `--admission` caps each relay tier and `--origin-admission` caps
+//! origin subscriptions; `--virtual-time` runs the whole topology as a
+//! deterministic simulation with byte-identical reports run to run.
 //!
 //! `--threads` (or the `LSW_THREADS` environment variable) sets the
 //! worker count; the default is the number of available cores. Output is
@@ -101,8 +115,9 @@ fn main() {
                  [--json FILE]\n  lsw summary LOG [--format auto|wms|ltc] [--horizon SECS]\n  \
                  lsw convert IN OUT [--format auto|wms|ltc]\n  lsw replay LOG \
                  [--format auto|wms|ltc] [--compression C] [--virtual-time] [--admission N] \
-                 [--workers N] [--data-plane reactor|tick] [--expose SECS] [--json FILE] \
-                 [--no-assert]\n  lsw serve LOG \
+                 [--workers N] [--topology origin[:R[:as|country|client]]] \
+                 [--origin-admission N] [--data-plane reactor|tick] [--expose SECS] \
+                 [--json FILE] [--no-assert]\n  lsw serve LOG \
                  [--format auto|wms|ltc] [--listen ADDR] [--compression C] [--admission N] \
                  [--workers N] [--data-plane reactor|tick] [--for SECS] [--expose SECS]"
             );
@@ -557,11 +572,23 @@ fn load_schedule(args: &[String]) -> Schedule {
     schedule
 }
 
-/// `--admission N`: cap concurrent transfers; 0 or absent accepts all.
-fn admission_flag(args: &[String]) -> AdmissionPolicy {
-    match parse_or(flag_value(args, "--admission"), 0u64, "--admission") {
+/// `--admission N` (or `--origin-admission N`): cap concurrent
+/// transfers at that tier; 0 or absent accepts all.
+fn admission_flag(args: &[String], name: &str) -> AdmissionPolicy {
+    match parse_or(flag_value(args, name), 0u64, name) {
         0 => AdmissionPolicy::AcceptAll,
         n => AdmissionPolicy::RejectAbove { max_concurrent: n },
+    }
+}
+
+/// `--topology origin[:R[:key]]`: interpose R relays (0 = single tier).
+fn topology_flag(args: &[String]) -> lsw::edge::Topology {
+    match flag_value(args, "--topology") {
+        None => lsw::edge::Topology::default(),
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("bad value for --topology: {e}");
+            exit(2);
+        }),
     }
 }
 
@@ -624,6 +651,7 @@ fn report_loop(
     tap: &lsw::stream::StreamReport,
     diff: &lsw::replay::LoopDiff,
     metrics: &lsw::replay::Snapshot,
+    edge: Option<serde_json::Value>,
 ) -> bool {
     println!("{}", tap.headline());
     println!("closed-loop characterization diff:");
@@ -631,11 +659,15 @@ fn report_loop(
     if let Some(json_path) = flag_value(args, "--json") {
         use serde_json::Value;
         let tap_value: Value = serde_json::from_str(&tap.to_json()).unwrap_or(Value::Null);
-        let combined = Value::Object(vec![
+        let mut sections = vec![
             ("tap".to_string(), tap_value),
             ("diff".to_string(), diff.to_json()),
             ("metrics".to_string(), metrics.to_json()),
-        ]);
+        ];
+        if let Some(edge) = edge {
+            sections.push(("edge".to_string(), edge));
+        }
+        let combined = Value::Object(sections);
         let rendered = serde_json::to_string_pretty(&combined).unwrap_or_default();
         std::fs::write(json_path, rendered).unwrap_or_else(|e| {
             eprintln!("cannot write {json_path}: {e}");
@@ -644,6 +676,139 @@ fn report_loop(
         eprintln!("replay report written to {json_path}");
     }
     diff.within_bounds()
+}
+
+/// The `edge` section of the `--json` report: origin-egress accounting
+/// plus the per-tier characterizations.
+fn edge_json(
+    topology: lsw::edge::Topology,
+    subscriptions: u64,
+    origin_bytes: u64,
+    delivered_bytes: u64,
+    egress_ratio: f64,
+    tiers: &[lsw::stream::StreamReport],
+) -> serde_json::Value {
+    use serde_json::Value;
+    let tier_values: Vec<Value> = tiers
+        .iter()
+        .map(|r| serde_json::from_str(&r.to_json()).unwrap_or(Value::Null))
+        .collect();
+    Value::Object(vec![
+        ("topology".to_string(), Value::Str(topology.to_string())),
+        ("relays".to_string(), Value::U64(u64::from(topology.relays))),
+        ("subscriptions".to_string(), Value::U64(subscriptions)),
+        ("origin_bytes".to_string(), Value::U64(origin_bytes)),
+        ("delivered_bytes".to_string(), Value::U64(delivered_bytes)),
+        ("egress_ratio".to_string(), Value::F64(egress_ratio)),
+        ("tiers".to_string(), Value::Array(tier_values)),
+    ])
+}
+
+/// Runs the hierarchical replay (`--topology origin:R[:key]`) in either
+/// execution mode and returns the edge-aggregated tap, the final metric
+/// snapshot, and the report's `edge` section.
+fn run_replay_edge(
+    args: &[String],
+    schedule: &Schedule,
+    topology: lsw::edge::Topology,
+    compression: f64,
+    admission: AdmissionPolicy,
+    stream_cfg: StreamConfig,
+    registry: &std::sync::Arc<Registry>,
+) -> (
+    lsw::stream::StreamReport,
+    lsw::replay::Snapshot,
+    serde_json::Value,
+) {
+    use lsw::replay::ServerConfig;
+    use std::sync::Arc;
+
+    let origin_admission = admission_flag(args, "--origin-admission");
+    if args.iter().any(|a| a == "--virtual-time") {
+        let out = lsw::edge::run_virtual_topology(
+            schedule,
+            &topology,
+            origin_admission,
+            admission,
+            stream_cfg,
+            registry,
+        );
+        eprintln!(
+            "virtual edge replay through {topology}: {} completed, {} rejected, \
+             {} truncated over {} subscription(s)",
+            out.completed, out.rejected, out.truncated, out.subscriptions
+        );
+        eprintln!(
+            "origin egress: {} of {} delivered byte(s) (ratio {:.4})",
+            out.origin_bytes,
+            out.delivered_bytes,
+            out.egress_ratio()
+        );
+        let edge = edge_json(
+            topology,
+            out.subscriptions,
+            out.origin_bytes,
+            out.delivered_bytes,
+            out.egress_ratio(),
+            &out.tier_reports,
+        );
+        (out.merged, registry.snapshot(), edge)
+    } else {
+        let workers = parse_or(flag_value(args, "--workers"), 2usize, "--workers").max(1);
+        let expose: u64 = parse_or(flag_value(args, "--expose"), 10, "--expose");
+        let cfg = lsw::edge::EdgeConfig {
+            topology,
+            origin: ServerConfig {
+                compression,
+                admission: origin_admission,
+                workers,
+                data_plane: data_plane_flag(args),
+                stream: stream_cfg,
+                ..ServerConfig::default()
+            },
+            relay: lsw::edge::RelayConfig {
+                admission,
+                ..lsw::edge::RelayConfig::default()
+            },
+            driver_workers: workers.max(2),
+        };
+        eprintln!(
+            "replaying {} transfers over {} trace-second(s) at {compression}x through {topology}",
+            schedule.len(),
+            schedule.horizon(),
+        );
+        let exposition = Exposition::start(registry, expose);
+        let out = lsw::edge::run_edge(schedule, &cfg, Arc::clone(registry)).unwrap_or_else(|e| {
+            eprintln!("edge replay failed: {e}");
+            exit(1);
+        });
+        exposition.finish();
+        eprintln!(
+            "replayed {} transfer(s): {} completed, {} rejected, {} short, \
+             {} connect failure(s) over {} subscription(s)",
+            out.driven.launched + out.driven.connect_failures,
+            out.driven.completed,
+            out.driven.rejected,
+            out.driven.short,
+            out.driven.connect_failures,
+            out.egress.subscriptions,
+        );
+        eprintln!(
+            "origin egress: {} of {} delivered byte(s) (ratio {:.4})",
+            out.egress.origin_bytes,
+            out.egress.delivered_bytes,
+            out.egress.egress_ratio()
+        );
+        let edge = edge_json(
+            topology,
+            out.egress.subscriptions,
+            out.egress.origin_bytes,
+            out.egress.delivered_bytes,
+            out.egress.egress_ratio(),
+            &out.tier_reports,
+        );
+        (out.merged, out.metrics, edge)
+    }
 }
 
 fn cmd_replay(args: &[String]) {
@@ -655,18 +820,30 @@ fn cmd_replay(args: &[String]) {
 
     let schedule = load_schedule(args);
     let compression: f64 = parse_or(flag_value(args, "--compression"), 100.0, "--compression");
-    let admission = admission_flag(args);
+    let admission = admission_flag(args, "--admission");
+    let topology = topology_flag(args);
     let stream_cfg = StreamConfig::default();
     let registry = Arc::new(Registry::new());
     let reference = reference_report(&schedule, stream_cfg.clone());
 
-    let (tap, closed) = if args.iter().any(|a| a == "--virtual-time") {
+    let (tap, closed, edge) = if topology.is_edge() {
+        let (tap, closed, edge) = run_replay_edge(
+            args,
+            &schedule,
+            topology,
+            compression,
+            admission,
+            stream_cfg,
+            &registry,
+        );
+        (tap, closed, Some(edge))
+    } else if args.iter().any(|a| a == "--virtual-time") {
         let out = run_virtual(&schedule, admission, stream_cfg, &registry);
         eprintln!(
             "virtual replay: {} completed, {} rejected, {} bytes served",
             out.completed, out.rejected, out.bytes_served
         );
-        (out.tap, registry.snapshot())
+        (out.tap, registry.snapshot(), None)
     } else {
         let workers = parse_or(flag_value(args, "--workers"), 2usize, "--workers").max(1);
         let expose: u64 = parse_or(flag_value(args, "--expose"), 10, "--expose");
@@ -714,11 +891,11 @@ fn cmd_replay(args: &[String]) {
             outcome.short,
             outcome.connect_failures,
         );
-        (served.tap, served.metrics)
+        (served.tap, served.metrics, None)
     };
 
     let diff = closed_loop(&reference, &tap);
-    let within = report_loop(args, &tap, &diff, &closed);
+    let within = report_loop(args, &tap, &diff, &closed, edge);
     if !within && !args.iter().any(|a| a == "--no-assert") {
         eprintln!(
             "closed-loop check FAILED: {} metric(s) outside sketch error bounds",
@@ -749,7 +926,7 @@ fn cmd_serve(args: &[String]) {
         ServerConfig {
             listen,
             compression,
-            admission: admission_flag(args),
+            admission: admission_flag(args, "--admission"),
             workers,
             data_plane: data_plane_flag(args),
             lookahead: schedule.max_duration(),

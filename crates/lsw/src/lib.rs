@@ -20,6 +20,8 @@
 //! * [`sim`] — the discrete-event media-server simulator ([`lsw_sim`]).
 //! * [`replay`] — live-socket trace replay with a closed-loop
 //!   characterization tap ([`lsw_replay`]).
+//! * [`edge`] — the hierarchical live fan-out overlay: origin → relays →
+//!   clients with per-tier characterization ([`lsw_edge`]).
 //! * [`figures`] — per-table/figure reproduction experiments
 //!   ([`lsw_figures`]).
 //!
@@ -47,6 +49,7 @@
 
 pub use lsw_analysis as analysis;
 pub use lsw_core as core;
+pub use lsw_edge as edge;
 pub use lsw_figures as figures;
 pub use lsw_replay as replay;
 pub use lsw_sim as sim;

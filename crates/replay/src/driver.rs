@@ -34,6 +34,12 @@ pub struct DriverConfig {
     pub compression: f64,
     /// Client worker threads.
     pub workers: usize,
+    /// Trace second that maps to wall `t = 0`. `None` uses the first
+    /// transfer's start — the single-driver default. A topology run
+    /// drives each relay with its own sub-schedule but one shared
+    /// clock, so every driver pins the same global epoch here or the
+    /// relays' launch timelines would skew apart.
+    pub epoch: Option<u32>,
 }
 
 impl DriverConfig {
@@ -43,6 +49,7 @@ impl DriverConfig {
             addr,
             compression: compression.max(1.0),
             workers: 4,
+            epoch: None,
         }
     }
 }
@@ -65,7 +72,9 @@ pub struct DriveOutcome {
 }
 
 impl DriveOutcome {
-    fn absorb(&mut self, o: DriveOutcome) {
+    /// Accumulates another outcome into this one (used to sum worker
+    /// partials, and per-relay drivers in a topology run).
+    pub fn absorb(&mut self, o: DriveOutcome) {
         self.launched += o.launched;
         self.connect_failures += o.connect_failures;
         self.rejected += o.rejected;
@@ -95,7 +104,7 @@ pub fn drive(
     if schedule.is_empty() {
         return Ok(DriveOutcome::default());
     }
-    let t0 = schedule.transfers[0].start;
+    let t0 = cfg.epoch.unwrap_or(schedule.transfers[0].start);
     let workers = cfg.workers.max(1);
     let connects = registry.counter("drv.connects");
     let bytes_received = registry.counter("drv.bytes_received");
@@ -138,13 +147,16 @@ pub fn drive(
                         // burst rather than 16 KiB slivers of it.
                         let mut scratch = vec![0u8; 256 * 1024];
                         // Zero-copy payload drain; None falls back to read().
-                        let sink = SpliceSink::new().ok();
+                        // Mutable: the first EINVAL/ENOSYS from splice(2)
+                        // retires it for the whole run (see `pump`).
+                        let mut sink = SpliceSink::new().ok();
                         loop {
                             // Launch everything that is due.
                             let now = clock.now();
                             while next < mine.len() {
                                 let t = mine[next];
-                                let due = trace_to_nanos(t.start - t0, cfg.compression);
+                                let due =
+                                    trace_to_nanos(t.start.saturating_sub(t0), cfg.compression);
                                 if due > now {
                                     break;
                                 }
@@ -180,7 +192,10 @@ pub fn drive(
                             // Sleep until the next launch is due or a socket
                             // turns readable.
                             if next < mine.len() {
-                                let due = trace_to_nanos(mine[next].start - t0, cfg.compression);
+                                let due = trace_to_nanos(
+                                    mine[next].start.saturating_sub(t0),
+                                    cfg.compression,
+                                );
                                 let wait = due.saturating_sub(clock.now()).max(1);
                                 let _ = timer
                                     .set_state(TimerState::Oneshot(Duration::from_nanos(wait)));
@@ -204,7 +219,7 @@ pub fn drive(
                                         if pump(
                                             conn,
                                             &mut scratch,
-                                            sink.as_ref(),
+                                            &mut sink,
                                             &mut out,
                                             bytes_received,
                                         ) {
@@ -263,17 +278,21 @@ fn open(addr: SocketAddr, t: &ScheduledTransfer) -> io::Result<ClientConn> {
 /// [`SpliceSink`] when one is available — at multi-GB/s the skb-to-
 /// userspace memcpy of a plain `read(2)` is the harness's dominant cost
 /// and would cap the measured server ceiling. A kernel refusing splice
-/// falls through to the copying path below, which stays correct.
+/// (`EINVAL`/`ENOSYS`: socket-to-pipe splice unsupported, seccomp, or
+/// an exotic filesystem backing the pipe) *retires the sink for the
+/// rest of the run* and falls back to the copying path below, which
+/// stays correct — retrying a syscall the kernel already refused on
+/// every drain would just double the syscall count of the slow path.
 fn pump(
     conn: &mut ClientConn,
     scratch: &mut [u8],
-    sink: Option<&SpliceSink>,
+    sink: &mut Option<SpliceSink>,
     out: &mut DriveOutcome,
     bytes_received: &crate::metrics::Counter,
 ) -> bool {
     loop {
         if conn.expected.is_some() {
-            if let Some(s) = sink {
+            if let Some(s) = sink.as_ref() {
                 match s.drain(conn.stream.as_raw_fd(), 1 << 20) {
                     Ok(0) => {
                         settle(conn, out);
@@ -286,7 +305,16 @@ fn pump(
                         continue;
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
-                    Err(_) => {} // unsupported here; copy instead
+                    Err(e) => {
+                        if splice_unsupported(&e) {
+                            // This kernel will refuse every future
+                            // splice the same way: drop to read(2)
+                            // permanently instead of failing the run
+                            // or re-probing per drain.
+                            *sink = None;
+                        }
+                        // Transient refusals copy this round only.
+                    }
                 }
             }
         }
@@ -347,9 +375,28 @@ fn settle(conn: &ClientConn, out: &mut DriveOutcome) {
     }
 }
 
+/// Whether a `splice(2)` failure means the kernel will never serve this
+/// drain path: `EINVAL` (this socket/pipe pairing is unsupported) or
+/// `ENOSYS` (the syscall itself is absent, e.g. filtered by seccomp).
+fn splice_unsupported(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(22 /* EINVAL */ | 38 /* ENOSYS */))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn splice_refusals_classify_as_permanent_or_transient() {
+        assert!(splice_unsupported(&io::Error::from_raw_os_error(22)));
+        assert!(splice_unsupported(&io::Error::from_raw_os_error(38)));
+        // EAGAIN/EBADF/EPIPE are per-call conditions, not capability
+        // verdicts: the sink must survive them.
+        for errno in [11, 9, 32] {
+            assert!(!splice_unsupported(&io::Error::from_raw_os_error(errno)));
+        }
+        assert!(!splice_unsupported(&io::Error::other("no raw errno")));
+    }
 
     #[test]
     fn outcomes_sum() {

@@ -432,6 +432,33 @@ mod tests {
         }
         assert_eq!(buf.capacity(), cap, "exposition must not grow after warmup");
         assert_eq!(buf, r.snapshot().render(), "both exposition paths agree");
+
+        // The histogram quantiles are *on the wire*, not just in the
+        // snapshot: the `--expose` loop prints exactly this buffer.
+        let hist_line = buf
+            .lines()
+            .find(|l| l.starts_with("c.hist"))
+            .expect("histogram line on the exposition wire");
+        for field in ["n=", "p50≈", "p95≈", "p99≈"] {
+            assert!(
+                hist_line.contains(field),
+                "histogram line must carry {field}: {hist_line:?}"
+            );
+        }
+        // And they are the snapshot's values, rendered to the same
+        // precision — the wire is not a stale or re-derived estimate.
+        let (n, p50, p95, p99) = r.snapshot().histogram("c.hist").expect("c.hist registered");
+        assert_eq!(n, 103); // 3 warmup records + 100 loop records
+        let expect = format!("n={n} p50≈{p50:.0} p95≈{p95:.0} p99≈{p99:.0}");
+        assert!(
+            hist_line.ends_with(&expect),
+            "wire {hist_line:?} must end with snapshot rendering {expect:?}"
+        );
+        // Sanity on the estimates themselves: the pow2-bucket midpoint
+        // of the true quantile is within a factor of two, and the
+        // ordering p50 <= p95 <= p99 always holds.
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= 1.0 && p99 <= 2.0 * (1u64 << 41) as f64);
     }
 
     #[test]

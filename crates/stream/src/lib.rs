@@ -41,8 +41,10 @@ pub mod report;
 pub mod sample;
 pub mod session;
 pub mod sketch;
+pub mod tap;
 pub mod topk;
 
 pub use ingest::{StreamAnalyzer, StreamConfig};
 pub use report::StreamReport;
 pub use sketch::Sketch;
+pub use tap::MultiTap;

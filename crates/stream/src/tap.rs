@@ -1,0 +1,150 @@
+//! Multi-tap merge: per-tier characterization over one logged stream.
+//!
+//! A hierarchical replay logs completions at several tiers — the origin
+//! sees relay subscriptions, each relay sees its own clients — and the
+//! closed loop needs both views: per-tier reports for the operator, and
+//! one *edge-aggregated* report to diff against the trace's own
+//! characterization.
+//!
+//! Per-tier reports cannot be merged after the fact: the coordinator
+//! layer under [`StreamAnalyzer`] (sessionization, online concurrency,
+//! the CPU audit) folds over the released entry stream in order, and
+//! order across tiers is exactly what per-tier analyzers discard. So the
+//! merge happens at ingest: a [`MultiTap`] holds one analyzer per tier
+//! *plus* one merged analyzer, and every entry is ingested into its
+//! tier's analyzer and the merged one. The merged analyzer observes the
+//! identical entry stream a single-tier tap would have, so its report
+//! inherits every determinism and accuracy guarantee the single tap has
+//! — the differential test in `crates/edge` pins byte-equality against
+//! a direct single-tier ingest.
+
+use crate::ingest::{StreamAnalyzer, StreamConfig};
+use crate::report::StreamReport;
+use lsw_trace::LogEntry;
+
+/// Per-tier characterization taps plus the merged edge-aggregate tap.
+#[derive(Debug)]
+pub struct MultiTap {
+    tiers: Vec<StreamAnalyzer>,
+    merged: StreamAnalyzer,
+}
+
+impl MultiTap {
+    /// One analyzer per tier plus the merged aggregate, all under the
+    /// same configuration.
+    pub fn new(cfg: StreamConfig, tiers: usize) -> Self {
+        Self {
+            tiers: (0..tiers)
+                .map(|_| StreamAnalyzer::new(cfg.clone()))
+                .collect(),
+            merged: StreamAnalyzer::new(cfg),
+        }
+    }
+
+    /// Number of per-tier taps (excluding the merged aggregate).
+    pub fn tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Presets every tap's reorder look-ahead (see
+    /// [`StreamAnalyzer::preset_lookahead`]).
+    pub fn preset_lookahead(&mut self, max_duration: u32) {
+        for t in &mut self.tiers {
+            t.preset_lookahead(max_duration);
+        }
+        self.merged.preset_lookahead(max_duration);
+    }
+
+    /// Ingests one completion into tier `tier`'s tap and the merged
+    /// aggregate. Out-of-range tiers feed only the aggregate, so a
+    /// misrouted entry can skew a per-tier view but never the
+    /// closed-loop diff.
+    pub fn ingest(&mut self, tier: usize, e: &LogEntry) {
+        if let Some(t) = self.tiers.get_mut(tier) {
+            t.ingest_entry(e);
+        }
+        self.merged.ingest_entry(e);
+    }
+
+    /// Finalizes every tap: per-tier reports in tier order, then the
+    /// merged edge-aggregate report.
+    pub fn finalize(self) -> (Vec<StreamReport>, StreamReport) {
+        (
+            self.tiers
+                .into_iter()
+                .map(StreamAnalyzer::finalize)
+                .collect(),
+            self.merged.finalize(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsw_trace::event::LogEntryBuilder;
+    use lsw_trace::ids::{AsId, ClientId, CountryCode, Ipv4Addr, ObjectId};
+
+    fn entries() -> Vec<LogEntry> {
+        (0..400u32)
+            .map(|i| {
+                LogEntryBuilder::new()
+                    .span((i / 4) * 7, (i % 13) + 1)
+                    .client(ClientId(i % 37))
+                    .origin(
+                        Ipv4Addr(0x0a00_0000 + (i % 19)),
+                        AsId((i % 5) as u16),
+                        CountryCode(*b"BR"),
+                    )
+                    .object(ObjectId((i % 3) as u16), 0)
+                    .transfer_stats(u64::from(i) * 311 + 64, 64_000, 0.0)
+                    .build()
+            })
+            .collect()
+    }
+
+    /// The merged aggregate is byte-identical to a direct single-tier
+    /// ingest of the same entry stream, however entries are spread
+    /// across tiers.
+    #[test]
+    fn merged_tap_equals_direct_single_tier_ingest() {
+        let es = entries();
+        let mut direct = StreamAnalyzer::new(StreamConfig::default());
+        let mut multi = MultiTap::new(StreamConfig::default(), 3);
+        for (i, e) in es.iter().enumerate() {
+            direct.ingest_entry(e);
+            multi.ingest(i % 3, e);
+        }
+        let (tiers, merged) = multi.finalize();
+        assert_eq!(tiers.len(), 3);
+        assert_eq!(merged.to_json(), direct.finalize().to_json());
+    }
+
+    /// Tier reports partition the kept transfers; the aggregate sees all.
+    #[test]
+    fn tier_reports_partition_the_stream() {
+        let es = entries();
+        let mut multi = MultiTap::new(StreamConfig::default(), 2);
+        multi.preset_lookahead(13);
+        for (i, e) in es.iter().enumerate() {
+            multi.ingest(i % 2, e);
+        }
+        let (tiers, merged) = multi.finalize();
+        let kept: u64 = tiers.iter().map(|t| t.accounting.kept).sum();
+        assert_eq!(kept, merged.accounting.kept);
+        assert_eq!(merged.accounting.kept, es.len() as u64);
+    }
+
+    /// An out-of-range tier index still reaches the aggregate.
+    #[test]
+    fn misrouted_entries_never_skew_the_aggregate() {
+        let es = entries();
+        let mut multi = MultiTap::new(StreamConfig::default(), 1);
+        for e in &es {
+            multi.ingest(9, e);
+        }
+        let (tiers, merged) = multi.finalize();
+        assert_eq!(tiers[0].accounting.kept, 0);
+        assert_eq!(merged.accounting.kept, es.len() as u64);
+    }
+}

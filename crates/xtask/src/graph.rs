@@ -155,14 +155,15 @@ fn crate_alias(seg: &str, current: &str) -> Option<String> {
         "lsw_analysis" => Some("analysis".to_owned()),
         "lsw_topology" => Some("topology".to_owned()),
         "lsw_replay" => Some("replay".to_owned()),
+        "lsw_edge" => Some("edge".to_owned()),
         _ => None,
     }
 }
 
 /// Functions treated as thread entry points for the L008 nonblocking
 /// contract: the replay reactor shard, the legacy tick-plane worker,
-/// and the load driver's event loop.
-const L008_ENTRY_FNS: &[&str] = &["reactor_loop", "tick_worker_loop", "drive"];
+/// the load driver's event loop, and the edge relay's reactor.
+const L008_ENTRY_FNS: &[&str] = &["reactor_loop", "tick_worker_loop", "drive", "relay_loop"];
 
 /// A lock identity: `(crate, field name)`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]

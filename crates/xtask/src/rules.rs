@@ -197,6 +197,7 @@ const L002_CRATES: &[&str] = &[
     "analysis",
     "topology",
     "replay",
+    "edge",
 ];
 
 /// Crates exempt from L005 wholesale: the CLI front-end.

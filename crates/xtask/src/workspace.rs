@@ -20,8 +20,9 @@ const INGEST_HOT_DIRS: &[&str] = &["crates/trace/src/ltc/"];
 
 /// Crates whose non-bin sources participate in the L007 lock-order
 /// graph and seed the L008 reachability walk: the multithreaded replay
-/// harness and the shard-parallel streaming pipeline.
-const LOCK_SCOPE_CRATES: &[&str] = &["replay", "stream"];
+/// harness, the shard-parallel streaming pipeline, and the relay
+/// overlay.
+const LOCK_SCOPE_CRATES: &[&str] = &["replay", "stream", "edge"];
 
 /// Files under the bounded-memory contract (L009): streaming ingest
 /// state, the replay backlog/driver/metrics, and the shard coordinator.
@@ -34,6 +35,8 @@ const BOUNDED_MEM_FILES: &[&str] = &[
     "crates/replay/src/wheel.rs",
     "crates/stream/src/ingest.rs",
     "crates/stream/src/coord.rs",
+    "crates/edge/src/ring.rs",
+    "crates/edge/src/relay.rs",
 ];
 
 /// Blessed bounded containers: growth bounded by construction (the
@@ -203,6 +206,7 @@ mod tests {
         // Interprocedural scopes.
         assert!(classify("crates/replay/src/server.rs").lock_scope);
         assert!(classify("crates/stream/src/coord.rs").lock_scope);
+        assert!(classify("crates/edge/src/relay.rs").lock_scope);
         assert!(!classify("crates/replay/src/bin/lsw-replay.rs").lock_scope);
         assert!(!classify("crates/core/src/session.rs").lock_scope);
 
@@ -211,6 +215,7 @@ mod tests {
         assert!(classify("crates/replay/src/slab.rs").bounded_mem);
         assert!(classify("crates/replay/src/wheel.rs").bounded_mem);
         assert!(classify("crates/stream/src/ingest.rs").bounded_mem);
+        assert!(classify("crates/edge/src/ring.rs").bounded_mem);
         assert!(!classify("crates/stream/src/hll.rs").bounded_mem);
         assert!(classify("crates/stream/src/sample.rs").bounded_container);
 
